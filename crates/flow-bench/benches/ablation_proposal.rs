@@ -1,0 +1,40 @@
+//! Ablation: the two proposal-weight conventions found in the paper
+//! (prose vs printed formulas — see `flow-mcmc`'s module docs). Both
+//! target the same distribution; this bench compares their raw step
+//! cost and reports their acceptance rates (higher acceptance = better
+//! mixing per step for this chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow_bench::scaling_icm;
+use flow_mcmc::sampler::{ProposalKind, PseudoStateSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn proposal_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposal_kind_step");
+    for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+        let icm = scaling_icm(8_000, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut sampler = PseudoStateSampler::new(&icm, kind, &mut rng);
+        sampler.run(20_000, &mut rng);
+        println!(
+            "proposal {:?}: acceptance rate {:.3} after 20k steps",
+            kind,
+            sampler.acceptance_rate()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, _| b.iter(|| black_box(sampler.step(&mut rng))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = proposal_kinds
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: the §III-C "search tree". The Fenwick tree gives
+//! `O(log m)` weighted sampling and updates; a naive linear scan is
+//! `O(m)` per draw. This bench quantifies the crossover that justifies
+//! the tree for graph-scale edge counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow_stats::WeightTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn linear_sample(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let target = rng.random::<f64>() * total;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn weighted_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_sampling");
+    for m in [100usize, 2_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let weights: Vec<f64> = (0..m).map(|_| rng.random::<f64>()).collect();
+        let tree = WeightTree::new(&weights);
+        let total: f64 = weights.iter().sum();
+        group.bench_with_input(BenchmarkId::new("fenwick", m), &m, |b, _| {
+            let mut r = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(tree.sample(&mut r)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", m), &m, |b, _| {
+            let mut r = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(linear_sample(&weights, total, &mut r)))
+        });
+    }
+    group.finish();
+}
+
+fn sample_and_update(c: &mut Criterion) {
+    // The sampler's actual inner loop: draw an index, then update its
+    // weight (an accepted flip).
+    let mut group = c.benchmark_group("sample_then_update");
+    for m in [2_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let weights: Vec<f64> = (0..m).map(|_| rng.random::<f64>()).collect();
+        let mut tree = WeightTree::new(&weights);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut r = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let i = tree.sample(&mut r).expect("positive total");
+                let w = tree.get(i);
+                tree.update(i, 1.0 - w);
+                black_box(i)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = weighted_sampling, sample_and_update
+);
+criterion_main!(benches);

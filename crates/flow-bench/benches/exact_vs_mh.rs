@@ -1,0 +1,72 @@
+//! The motivation for §III: exact flow evaluation is exponential in
+//! the edge count while Metropolis–Hastings sampling is not. This bench
+//! shows the exact evaluator's cost doubling per edge against the flat
+//! per-sample cost of MH and naive Monte-Carlo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow_graph::NodeId;
+use flow_icm::exact::{enumerate_flow_probability, monte_carlo_flow_probability};
+use flow_icm::Icm;
+use flow_mcmc::{FlowEstimator, McmcConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn model(m: usize, seed: u64) -> Icm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (m / 2).max(4);
+    let graph = flow_graph::generate::uniform_edges(&mut rng, n, m);
+    let probs = (0..m).map(|_| rng.random_range(0.2..0.8)).collect();
+    Icm::new(graph, probs)
+}
+
+fn exact_exponential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_enumeration");
+    for m in [12usize, 16, 20] {
+        let icm = model(m, m as u64);
+        let sink = NodeId((icm.node_count() - 1) as u32);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(enumerate_flow_probability(&icm, NodeId(0), sink)))
+        });
+    }
+    group.finish();
+}
+
+fn sampling_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_estimators");
+    for m in [20usize, 200, 2_000] {
+        let icm = model(m, 100 + m as u64);
+        let sink = NodeId((icm.node_count() - 1) as u32);
+        group.bench_with_input(BenchmarkId::new("mh_500_samples", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let est = FlowEstimator::new(
+                &icm,
+                McmcConfig {
+                    samples: 500,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| black_box(est.estimate_flow(NodeId(0), sink, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_mc_500", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                black_box(monte_carlo_flow_probability(
+                    &icm,
+                    NodeId(0),
+                    sink,
+                    500,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = exact_exponential, sampling_flat
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Fig. 6 as a Criterion bench: the per-sample cost of the joint-Bayes
+//! learner against one Goyal credit pass, across evidence sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow_graph::NodeId;
+use flow_learn::goyal::goyal_credit;
+use flow_learn::joint_bayes::{JointBayes, JointBayesConfig};
+use flow_learn::summary::{SinkSummary, TimingAssumption};
+use flow_learn::synthetic::{star_episodes, StarConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixtures(parents: usize, objects: usize, seed: u64) -> SinkSummary {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probs: Vec<f64> = (0..parents)
+        .map(|j| 0.2 + 0.6 * j as f64 / parents as f64)
+        .collect();
+    let episodes = star_episodes(&StarConfig::new(probs), objects, &mut rng);
+    SinkSummary::build(
+        NodeId(parents as u32),
+        (0..parents as u32).map(NodeId).collect(),
+        &episodes,
+        TimingAssumption::AnyEarlier,
+    )
+}
+
+fn single_sample() -> JointBayesConfig {
+    JointBayesConfig {
+        samples: 1,
+        burn_in_sweeps: 0,
+        thin_sweeps: 1,
+        ..Default::default()
+    }
+}
+
+fn learning_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_learning_cost");
+    for &objects in &[1_000usize, 10_000, 100_000] {
+        let summary = fixtures(10, objects, objects as u64);
+        // Our core computation: one posterior sample on the summary.
+        group.bench_with_input(
+            BenchmarkId::new("ours_one_sample", objects),
+            &objects,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    black_box(
+                        JointBayes::new(single_sample()).sample_posterior(&summary, &mut rng),
+                    )
+                })
+            },
+        );
+        // Goyal's pass over the summary (its natural single "sample").
+        group.bench_with_input(
+            BenchmarkId::new("goyal_pass", objects),
+            &objects,
+            |b, _| b.iter(|| black_box(goyal_credit(&summary))),
+        );
+    }
+    group.finish();
+}
+
+fn summarize_cost(c: &mut Criterion) {
+    // The one-off preprocessing Fig. 6(b) includes in its dots.
+    let mut group = c.benchmark_group("fig6_summarize");
+    for &objects in &[1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let probs: Vec<f64> = (0..10).map(|j| 0.2 + 0.06 * j as f64).collect();
+        let episodes = star_episodes(&StarConfig::new(probs), objects, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(objects),
+            &objects,
+            |b, _| {
+                b.iter(|| {
+                    black_box(SinkSummary::build(
+                        NodeId(10),
+                        (0..10).map(NodeId).collect(),
+                        &episodes,
+                        TimingAssumption::AnyEarlier,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = learning_cost, summarize_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! §V-C complexity claim: summaries have width `ω = O(min(2ⁿ, m))`
+//! ("in practice it is much less"), so the model-fitness computation is
+//! `O(nω)` instead of `O(nm)` — the likelihood cost must *not* grow
+//! with the object count once summarized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flow_graph::NodeId;
+use flow_learn::summary::{Episode, SinkSummary, TimingAssumption};
+use flow_learn::synthetic::{star_episodes, StarConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn make(parents: usize, objects: usize) -> (Vec<Episode>, SinkSummary, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(objects as u64);
+    let probs: Vec<f64> = (0..parents)
+        .map(|j| 0.15 + 0.7 * j as f64 / parents as f64)
+        .collect();
+    let episodes = star_episodes(&StarConfig::new(probs.clone()), objects, &mut rng);
+    let summary = SinkSummary::build(
+        NodeId(parents as u32),
+        (0..parents as u32).map(NodeId).collect(),
+        &episodes,
+        TimingAssumption::AnyEarlier,
+    );
+    (episodes, summary, probs)
+}
+
+/// Per-episode Bernoulli likelihood (the unsummarized O(nm) evaluation).
+fn raw_ln_likelihood(episodes: &[Episode], parents: usize, probs: &[f64]) -> f64 {
+    let sink = NodeId(parents as u32);
+    let mut acc = 0.0;
+    for ep in episodes {
+        let mut miss = 1.0;
+        let mut any = false;
+        for (j, &p_j) in probs.iter().enumerate().take(parents) {
+            let p_active = match (ep.activation_time(NodeId(j as u32)), ep.activation_time(sink)) {
+                (Some(tp), Some(t)) => tp < t,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if p_active {
+                any = true;
+                miss *= 1.0 - p_j;
+            }
+        }
+        if !any {
+            continue;
+        }
+        let p = 1.0 - miss;
+        acc += if ep.is_active(sink) { p.ln() } else { (1.0 - p).ln() };
+    }
+    acc
+}
+
+fn likelihood_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("likelihood_eval");
+    for &objects in &[1_000usize, 8_000, 64_000] {
+        let (episodes, summary, probs) = make(8, objects);
+        group.bench_with_input(
+            BenchmarkId::new("summarized", objects),
+            &objects,
+            |b, _| b.iter(|| black_box(summary.ln_likelihood(&probs))),
+        );
+        group.bench_with_input(BenchmarkId::new("raw", objects), &objects, |b, _| {
+            b.iter(|| black_box(raw_ln_likelihood(&episodes, 8, &probs)))
+        });
+    }
+    group.finish();
+}
+
+fn summary_width_report(c: &mut Criterion) {
+    // Not a timing bench per se: document ω vs m in the bench output.
+    let mut group = c.benchmark_group("summary_width");
+    for &objects in &[1_000usize, 64_000] {
+        let (_, summary, probs) = make(12, objects);
+        println!(
+            "summary_width: parents=12 objects={objects} width={} (2^n = 4096)",
+            summary.width()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(objects),
+            &objects,
+            |b, _| b.iter(|| black_box(summary.ln_likelihood(&probs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3));
+    targets = likelihood_scaling, summary_width_report
+);
+criterion_main!(benches);

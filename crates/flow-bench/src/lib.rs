@@ -1,0 +1,55 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate the paper's performance claims:
+//!
+//! * `mh_sampler` — §IV-C: "on a small sample from Twitter with around
+//!   6K users and 14K edges, our sampler takes 27 milliseconds per
+//!   output sample (0.13 milliseconds per Markov-Chain update)". We
+//!   measure the same two quantities at the same scale and verify the
+//!   `O(log m)` chain-update scaling.
+//! * `fig6_learning_cost` — Fig. 6's per-sample cost comparison (ours
+//!   vs Goyal).
+//! * `summarization` — §V-C: the summary is `O(min(2ⁿ, m))` wide and
+//!   makes likelihood evaluation independent of the object count.
+//! * `exact_vs_mh` — exponential exact evaluation vs sampling.
+//! * `ablation_proposal` / `ablation_weight_tree` — the design choices
+//!   called out in DESIGN.md (proposal-weight convention; Fenwick tree
+//!   vs linear-scan sampling).
+
+use flow_icm::Icm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Twitter-scale model matching the paper's timing claim: ~6K nodes,
+/// ~14K edges, moderate activation probabilities.
+pub fn twitter_scale_icm(seed: u64) -> Icm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = flow_graph::generate::uniform_edges(&mut rng, 6_000, 14_000);
+    let probs = (0..graph.edge_count())
+        .map(|_| rng.random_range(0.05..0.6))
+        .collect();
+    Icm::new(graph, probs)
+}
+
+/// A model with `m` edges on `m/2` nodes for scaling sweeps.
+pub fn scaling_icm(m: usize, seed: u64) -> Icm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (m / 2).max(4);
+    let graph = flow_graph::generate::uniform_edges(&mut rng, n, m);
+    let probs = (0..graph.edge_count())
+        .map(|_| rng.random_range(0.05..0.6))
+        .collect();
+    Icm::new(graph, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_shapes() {
+        let icm = scaling_icm(500, 1);
+        assert_eq!(icm.edge_count(), 500);
+        assert_eq!(icm.node_count(), 250);
+    }
+}

@@ -1,0 +1,124 @@
+//! Terminal renderings: scatter plots and histograms, for eyeballing
+//! figure shapes without a plotting stack.
+
+/// Renders an ASCII scatter plot of `(x, y)` points over `[0,1]²` by
+/// default, or the data's bounding box when out of range.
+pub fn scatter(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("  (no points)\n");
+        return out;
+    }
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) = (0.0f64, 1.0f64, 0.0f64, 1.0f64);
+    for &(x, y) in points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    let place = |v: f64, lo: f64, hi: f64, cells: usize| -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        (((v - lo) / (hi - lo) * cells as f64).floor() as usize).min(cells - 1)
+    };
+    for &(x, y) in points {
+        let cx = place(x, x_lo, x_hi, width);
+        let cy = place(y, y_lo, y_hi, height);
+        let row = height - 1 - cy;
+        grid[row][cx] = match grid[row][cx] {
+            b' ' => b'.',
+            b'.' => b':',
+            b':' => b'*',
+            _ => b'#',
+        };
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_hi:6.2} |")
+        } else if i == height - 1 {
+            format!("{y_lo:6.2} |")
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       +{}\n        {:<w$.2}{:>w2$.2}\n",
+        "-".repeat(width),
+        x_lo,
+        x_hi,
+        w = width / 2,
+        w2 = width - width / 2
+    ));
+    out
+}
+
+/// Renders a horizontal-bar histogram from labeled counts.
+pub fn histogram(bins: &[(String, u64)], width: usize, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = bins.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    if max == 0 {
+        out.push_str("  (empty)\n");
+        return out;
+    }
+    let label_w = bins.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, count) in bins {
+        let bar = (*count as f64 / max as f64 * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:>label_w$} | {} {count}\n",
+            "#".repeat(bar)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_diagonal() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 / 9.0, i as f64 / 9.0)).collect();
+        let s = scatter(&pts, 20, 10, "diag");
+        assert!(s.contains("diag"));
+        assert!(s.contains('.'));
+        // Top-right and bottom-left populated.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].trim_end().ends_with('.') || lines[1].contains('.'));
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_constant() {
+        assert!(scatter(&[], 10, 5, "e").contains("no points"));
+        let s = scatter(&[(0.5, 0.5), (0.5, 0.5)], 10, 5, "c");
+        assert!(s.contains(':'), "overlap increases density: {s}");
+    }
+
+    #[test]
+    fn histogram_scales_bars() {
+        let bins = vec![
+            ("0".to_string(), 10),
+            ("1".to_string(), 5),
+            ("2".to_string(), 0),
+        ];
+        let h = histogram(&bins, 20, "h");
+        let lines: Vec<&str> = h.lines().collect();
+        let count_hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(count_hashes(lines[1]), 20);
+        assert_eq!(count_hashes(lines[2]), 10);
+        assert_eq!(count_hashes(lines[3]), 0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        assert!(histogram(&[], 10, "t").contains("empty"));
+    }
+}

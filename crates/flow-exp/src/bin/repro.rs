@@ -1,0 +1,150 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv]
+//!
+//! subcommands:
+//!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//!   table1 table3 ablation appendix all
+//! ```
+//!
+//! `--scale` multiplies replication counts (default 1.0; ~5 approaches
+//! the paper's levels). `--seed` fixes all randomness. CSVs land in
+//! `--out` (default `results/`).
+
+use flow_exp::runners::{self, ExpConfig};
+use flow_exp::Output;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|all> \
+         [--scale S] [--seed N] [--out DIR] [--no-csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut out_dir = Some("results".to_string());
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-csv" => out_dir = None,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let out = match &out_dir {
+        Some(d) => Output::to_dir(d),
+        None => Output::stdout_only(),
+    };
+    let started = std::time::Instant::now();
+    run(&command, &cfg, &out);
+    println!(
+        "\ndone ({}) in {:.1}s  [seed {}, scale {}]",
+        command,
+        started.elapsed().as_secs_f64(),
+        cfg.seed,
+        cfg.scale
+    );
+}
+
+fn run(command: &str, cfg: &ExpConfig, out: &Output) {
+    match command {
+        "fig1" => {
+            runners::fig01_synthetic_bucket::run_fig1(cfg, out);
+        }
+        "fig2" => {
+            runners::fig02_attributed::run_fig2(cfg, out);
+        }
+        "fig3" => {
+            runners::fig03_uncertainty::run_fig3(cfg, out);
+        }
+        "fig4" => {
+            runners::fig04_impact::run_fig4(cfg, out);
+        }
+        "fig5" => {
+            runners::fig01_synthetic_bucket::run_fig5(cfg, out);
+        }
+        "fig6" => {
+            runners::fig06_timing::run_fig6(cfg, out);
+        }
+        "fig7" => {
+            runners::fig07_rmse::run_fig7(cfg, out);
+        }
+        "fig8" => {
+            runners::fig08_tags::run_fig8(cfg, out);
+        }
+        "fig9" => {
+            runners::fig08_tags::run_fig9(cfg, out);
+        }
+        "fig10" => {
+            runners::fig08_tags::run_fig10(cfg, out);
+        }
+        "fig11" => {
+            runners::fig11_multimodal::run_fig11(cfg, out);
+        }
+        "table1" => {
+            runners::table1::run_table1(cfg, out);
+        }
+        "ablation" => {
+            runners::ablation::run_ablation(cfg, out);
+        }
+        "appendix" => {
+            runners::appendix::run_appendix(cfg, out);
+        }
+        "table3" => {
+            runners::table3::run_table3(cfg, out);
+        }
+        "all" => {
+            // Table III re-runs Figs. 1, 2, 5 and 8 and tabulates their
+            // pairs, so run it first and then the remaining figures.
+            let mut rows = runners::table3::run_table3(cfg, out);
+            runners::fig03_uncertainty::run_fig3(cfg, out);
+            runners::fig04_impact::run_fig4(cfg, out);
+            runners::fig06_timing::run_fig6(cfg, out);
+            runners::fig07_rmse::run_fig7(cfg, out);
+            for r in runners::fig08_tags::run_fig9(cfg, out) {
+                rows.push(runners::table3::metrics_row(
+                    &format!("{} - Fig. 9", r.label),
+                    &r.pairs,
+                ));
+            }
+            let fig10 = runners::fig08_tags::run_fig10(cfg, out);
+            rows.push(runners::table3::metrics_row(
+                "fig10_gaussian - Fig. 10",
+                &fig10.pairs,
+            ));
+            runners::fig11_multimodal::run_fig11(cfg, out);
+            runners::table1::run_table1(cfg, out);
+            runners::ablation::run_ablation(cfg, out);
+            runners::appendix::run_appendix(cfg, out);
+            out.heading("Table III (extended, all bucket experiments)");
+            runners::table3::render(&rows, out);
+        }
+        _ => usage(),
+    }
+}

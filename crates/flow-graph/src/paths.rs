@@ -1,0 +1,221 @@
+//! Weighted shortest paths (Dijkstra).
+//!
+//! The timed-flow extension of the paper's Discussion section assigns a
+//! delay to each edge and computes arrival times as shortest paths over
+//! the active edges; this module provides the Dijkstra machinery,
+//! restricted to an arbitrary edge filter so it can run directly on a
+//! pseudo-state's active subgraph.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(distance, node)` heap entry ordered as a min-heap over f64
+/// distances (NaN-free by construction).
+#[derive(Copy, Clone, Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; distances are finite and non-NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are never NaN")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances over the edges passing
+/// `active`, with nonnegative weights from `weight`.
+///
+/// Returns one entry per node: `Some(distance)` if reachable (the
+/// source gets `Some(0.0)`), `None` otherwise. Panics on a negative
+/// weight.
+pub fn shortest_path_distances(
+    graph: &DiGraph,
+    source: NodeId,
+    active: impl Fn(EdgeId) -> bool,
+    weight: impl Fn(EdgeId) -> f64,
+) -> Vec<Option<f64>> {
+    let n = graph.node_count();
+    assert!(source.index() < n, "source out of range");
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = Some(0.0);
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        match dist[u.index()] {
+            Some(best) if d > best => continue, // stale entry
+            _ => {}
+        }
+        for &e in graph.out_edges(u) {
+            if !active(e) {
+                continue;
+            }
+            let w = weight(e);
+            assert!(w >= 0.0, "negative edge weight on {e}");
+            let v = graph.dst(e);
+            let candidate = d + w;
+            let improved = match dist[v.index()] {
+                None => true,
+                Some(cur) => candidate < cur,
+            };
+            if improved {
+                dist[v.index()] = Some(candidate);
+                heap.push(HeapEntry {
+                    dist: candidate,
+                    node: v,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance from `source` to `sink` only (early exit when
+/// the sink is settled). `None` when unreachable.
+pub fn shortest_path_to(
+    graph: &DiGraph,
+    source: NodeId,
+    sink: NodeId,
+    active: impl Fn(EdgeId) -> bool,
+    weight: impl Fn(EdgeId) -> f64,
+) -> Option<f64> {
+    if source == sink {
+        return Some(0.0);
+    }
+    let n = graph.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = Some(0.0);
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if u == sink {
+            return Some(d);
+        }
+        match dist[u.index()] {
+            Some(best) if d > best => continue,
+            _ => {}
+        }
+        for &e in graph.out_edges(u) {
+            if !active(e) {
+                continue;
+            }
+            let w = weight(e);
+            assert!(w >= 0.0, "negative edge weight on {e}");
+            let v = graph.dst(e);
+            let candidate = d + w;
+            let improved = match dist[v.index()] {
+                None => true,
+                Some(cur) => candidate < cur,
+            };
+            if improved {
+                dist[v.index()] = Some(candidate);
+                heap.push(HeapEntry {
+                    dist: candidate,
+                    node: v,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    #[test]
+    fn line_graph_distances() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = shortest_path_distances(&g, NodeId(0), |_| true, |e| (e.index() + 1) as f64);
+        assert_eq!(d[0], Some(0.0));
+        assert_eq!(d[1], Some(1.0));
+        assert_eq!(d[2], Some(3.0));
+        assert_eq!(d[3], Some(6.0));
+    }
+
+    #[test]
+    fn picks_the_cheaper_path() {
+        // 0 -> 3 direct (10.0) vs 0 -> 1 -> 2 -> 3 (1+1+1).
+        let g = graph_from_edges(4, &[(0, 3), (0, 1), (1, 2), (2, 3)]);
+        let weights = [10.0, 1.0, 1.0, 1.0];
+        let d = shortest_path_to(&g, NodeId(0), NodeId(3), |_| true, |e| weights[e.index()]);
+        assert_eq!(d, Some(3.0));
+        // Cut the cheap path: the direct edge wins.
+        let e12 = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let d2 = shortest_path_to(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            |e| e != e12,
+            |e| weights[e.index()],
+        );
+        assert_eq!(d2, Some(10.0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let d = shortest_path_distances(&g, NodeId(0), |_| true, |_| 1.0);
+        assert_eq!(d[2], None);
+        assert_eq!(
+            shortest_path_to(&g, NodeId(0), NodeId(2), |_| true, |_| 1.0),
+            None
+        );
+        assert_eq!(
+            shortest_path_to(&g, NodeId(2), NodeId(2), |_| true, |_| 1.0),
+            Some(0.0),
+            "reflexive"
+        );
+    }
+
+    #[test]
+    fn zero_weights_allowed() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let d = shortest_path_distances(&g, NodeId(0), |_| true, |_| 0.0);
+        assert_eq!(d[2], Some(0.0));
+    }
+
+    #[test]
+    fn respects_edge_filter() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let e02 = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        // Only the direct edge active.
+        let d = shortest_path_distances(&g, NodeId(0), |e| e == e02, |_| 2.5);
+        assert_eq!(d[1], None);
+        assert_eq!(d[2], Some(2.5));
+    }
+
+    #[test]
+    fn matches_bfs_on_unit_weights() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = crate::generate::uniform_edges(&mut rng, 30, 120);
+        let d = shortest_path_distances(&g, NodeId(0), |_| true, |_| 1.0);
+        let reach = crate::traverse::reachable(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(d[v.index()].is_some(), reach.contains(v), "node {v}");
+        }
+    }
+}

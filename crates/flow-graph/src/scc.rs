@@ -1,0 +1,202 @@
+//! Strongly connected components (Tarjan) and the condensation DAG.
+//!
+//! The paper stresses that its model works on *general directed graphs*
+//! ("other models ... constrain the network topology to be a directed
+//! acyclic graph"); SCC analysis is the structural tool that makes
+//! cyclic flow tractable to reason about: within a component, certain
+//! reachability is mutual, and across the condensation the flow
+//! structure *is* a DAG.
+
+use crate::graph::{DiGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `component[v]` = the component index of node `v` (0-based;
+    /// indices are in reverse topological order of the condensation:
+    /// a component's successors always have *smaller* indices).
+    pub component: Vec<usize>,
+    /// Members of each component.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of `v`.
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.component[v.index()]
+    }
+
+    /// True iff `u` and `v` are mutually reachable.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.component[u.index()] == self.component[v.index()]
+    }
+
+    /// True iff the graph is acyclic (every component is a singleton).
+    pub fn is_acyclic(&self) -> bool {
+        self.members.iter().all(|m| m.len() == 1)
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes the strongly connected components with Tarjan's algorithm
+/// (iterative, so deep graphs cannot overflow the call stack).
+pub fn strongly_connected_components(graph: &DiGraph) -> Condensation {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frame: (node, next out-edge offset).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut edge_pos)) = call_stack.last_mut() {
+            let out = graph.out_edges(NodeId(v as u32));
+            if *edge_pos < out.len() {
+                let e = out[*edge_pos];
+                *edge_pos += 1;
+                let w = graph.dst(e).index();
+                if index[w] == UNSET {
+                    // Descend.
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Finished v: pop and propagate lowlink.
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // v roots a component.
+                    let cid = members.len();
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w] = false;
+                        component[w] = cid;
+                        comp.push(NodeId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    members.push(comp);
+                }
+            }
+        }
+    }
+    Condensation { component, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count(), 4);
+        assert!(c.is_acyclic());
+        assert_eq!(c.largest(), 1);
+        assert!(!c.same_component(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = crate::generate::cycle(5);
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 5);
+        assert!(c.same_component(NodeId(0), NodeId(4)));
+        assert!(!c.is_acyclic());
+    }
+
+    #[test]
+    fn mixed_graph_components() {
+        // 0 <-> 1 form a component; 2 -> 3 -> 2 another; 1 -> 2 bridges.
+        let g = graph_from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same_component(NodeId(0), NodeId(1)));
+        assert!(c.same_component(NodeId(2), NodeId(3)));
+        assert!(!c.same_component(NodeId(1), NodeId(2)));
+        assert_eq!(c.members[c.component_of(NodeId(4))], vec![NodeId(4)]);
+        // Reverse-topological indices: a successor component has a
+        // smaller index than its predecessor.
+        assert!(c.component_of(NodeId(4)) < c.component_of(NodeId(2)));
+        assert!(c.component_of(NodeId(2)) < c.component_of(NodeId(0)));
+    }
+
+    #[test]
+    fn members_partition_the_nodes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = crate::generate::uniform_edges(&mut rng, 60, 200);
+        let c = strongly_connected_components(&g);
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 60);
+        for (cid, m) in c.members.iter().enumerate() {
+            for &v in m {
+                assert_eq!(c.component_of(v), cid);
+            }
+        }
+        // Mutual reachability check against BFS for a sample.
+        for &u in c.members[0].iter().take(3) {
+            for &v in c.members[0].iter().take(3) {
+                let forward = crate::traverse::reachable(&g, &[u]).contains(v);
+                let back = crate::traverse::reachable(&g, &[v]).contains(u);
+                assert!(forward && back, "{u} and {v} must be mutually reachable");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 100k-node path: a recursive Tarjan would blow the stack.
+        let g = crate::generate::path(100_000);
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count(), 100_000);
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::graph::GraphBuilder::new(0).build();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.is_acyclic());
+        assert_eq!(c.largest(), 0);
+    }
+}

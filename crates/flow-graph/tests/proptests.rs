@@ -1,0 +1,110 @@
+//! Property-based tests for the graph substrate.
+
+use flow_graph::traverse::{ego_subgraph, EgoDirection};
+use flow_graph::{generate, reachable, shortest_path_distances, BitSet, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64, n: usize, m: usize) -> flow_graph::DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = m.min(n * n.saturating_sub(1));
+    generate::uniform_edges(&mut rng, n, m)
+}
+
+proptest! {
+    #[test]
+    fn adjacency_partitions_edges(seed in any::<u64>(), n in 2usize..25, m in 0usize..80) {
+        let g = random_graph(seed, n, m);
+        let mut out_seen = 0usize;
+        let mut in_seen = 0usize;
+        for v in g.nodes() {
+            for &e in g.out_edges(v) {
+                prop_assert_eq!(g.src(e), v);
+                out_seen += 1;
+            }
+            for &e in g.in_edges(v) {
+                prop_assert_eq!(g.dst(e), v);
+                in_seen += 1;
+            }
+        }
+        prop_assert_eq!(out_seen, g.edge_count());
+        prop_assert_eq!(in_seen, g.edge_count());
+        // Degrees sum to edge count.
+        let od: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(od, g.edge_count());
+    }
+
+    #[test]
+    fn ego_net_nodes_are_within_radius(seed in any::<u64>(), n in 3usize..20, m in 2usize..60, r in 0usize..4) {
+        let g = random_graph(seed, n, m);
+        let ego = ego_subgraph(&g, NodeId(0), r, EgoDirection::Out);
+        // BFS distances on the parent graph bound the members.
+        let dist = shortest_path_distances(&g, NodeId(0), |_| true, |_| 1.0);
+        for &orig in &ego.original_nodes {
+            let d = dist[orig.index()].expect("ego members are reachable");
+            prop_assert!(d <= r as f64 + 1e-9, "node {orig} at distance {d} > {r}");
+        }
+        // Every reachable node within the radius is included.
+        for v in g.nodes() {
+            if let Some(d) = dist[v.index()] {
+                if d <= r as f64 {
+                    prop_assert!(
+                        ego.original_nodes.contains(&v),
+                        "node {v} at distance {d} missing from radius-{r} ego"
+                    );
+                }
+            }
+        }
+        // Edge mapping preserves endpoints.
+        for le in ego.graph.edges() {
+            let (lu, lv) = ego.graph.endpoints(le);
+            let oe = ego.original_edges[le.index()];
+            prop_assert_eq!(ego.original_nodes[lu.index()], g.src(oe));
+            prop_assert_eq!(ego.original_nodes[lv.index()], g.dst(oe));
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_equal_bfs_layers(seed in any::<u64>(), n in 2usize..25, m in 0usize..80) {
+        let g = random_graph(seed, n, m);
+        let d = shortest_path_distances(&g, NodeId(0), |_| true, |_| 1.0);
+        let reach = reachable(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            prop_assert_eq!(d[v.index()].is_some(), reach.contains(v));
+        }
+        // Triangle inequality on edges.
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            if let Some(du) = d[u.index()] {
+                let dv = d[v.index()].expect("successor of reachable node is reachable");
+                prop_assert!(dv <= du + 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_roundtrip(indices in prop::collection::hash_set(0usize..500, 0..50)) {
+        let mut s = BitSet::new(500);
+        for &i in &indices {
+            s.set(i, true);
+        }
+        prop_assert_eq!(s.count_ones(), indices.len());
+        let got: std::collections::HashSet<usize> = s.iter_ones().collect();
+        prop_assert_eq!(got, indices);
+    }
+
+    #[test]
+    fn reachability_is_transitive(seed in any::<u64>(), n in 2usize..15, m in 0usize..40) {
+        let g = random_graph(seed, n, m);
+        let from0 = reachable(&g, &[NodeId(0)]);
+        for &mid in from0.order.iter().take(5) {
+            let from_mid = reachable(&g, &[mid]);
+            for v in g.nodes() {
+                if from_mid.contains(v) {
+                    prop_assert!(from0.contains(v), "0 reaches {mid} reaches {v}");
+                }
+            }
+        }
+    }
+}

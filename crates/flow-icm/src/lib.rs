@@ -1,0 +1,42 @@
+//! The Independent Cascade Model (ICM) of information flow — the core
+//! model of the reproduced paper (§II).
+//!
+//! An ICM is a directed graph `G = (V, E, P)` where `P` maps each edge to
+//! an *activation probability*: the chance that an information atom held
+//! by the edge's source node traverses the edge. Information atoms
+//! traverse each edge at most once and arrive at each node at most once;
+//! once active, an edge or node stays active for that atom.
+//!
+//! This crate provides:
+//!
+//! * [`Icm`] — the point-probability model.
+//! * [`state`] — *pseudo-states* (a boolean per edge, Eq. 3) and
+//!   *active-states* (the flows a pseudo-state gives rise to given a
+//!   source set), plus direct cascade simulation.
+//! * [`exact`] — exact flow-probability evaluation by pseudo-state
+//!   enumeration, the paper's recursive rewriting (Eq. 2), and naive
+//!   Monte-Carlo, used to validate the Metropolis–Hastings sampler in
+//!   `flow-mcmc`.
+//! * [`BetaIcm`] — the distributional model of §II-A: a Beta
+//!   distribution per edge, trained by counting from attributed
+//!   evidence.
+//! * [`evidence`] — attributed evidence (`D = (O, F)` with
+//!   `F = {(Vi⊕, Vi, Ei)}`) and its validation.
+//! * [`query`] — flow-condition vocabulary (`(u, v, a)` triples of §III)
+//!   shared with the samplers.
+//! * [`synth`] — the synthetic betaICM generator of §IV-A.
+
+pub mod evidence;
+pub mod exact;
+pub mod model;
+pub mod query;
+pub mod state;
+pub mod synth;
+
+mod beta_icm;
+
+pub use beta_icm::{BetaIcm, ExtendError};
+pub use evidence::{AttributedEvidence, AttributedRecord};
+pub use model::Icm;
+pub use query::FlowCondition;
+pub use state::{ActiveState, PseudoState};

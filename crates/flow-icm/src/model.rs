@@ -1,0 +1,145 @@
+//! The point-probability Independent Cascade Model.
+
+use flow_graph::{DiGraph, EdgeId, NodeId};
+
+/// An ICM `(V, E, P)`: a directed graph plus one activation probability
+/// per edge (indexed by [`EdgeId`]).
+///
+/// The graph is shared immutably; probabilities are mutable so learners
+/// and samplers can refit them in place.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Icm {
+    graph: DiGraph,
+    probs: Vec<f64>,
+}
+
+impl Icm {
+    /// Builds an ICM from a graph and one probability per edge.
+    ///
+    /// Panics if the vector length does not match the edge count or any
+    /// probability lies outside `[0, 1]`.
+    pub fn new(graph: DiGraph, probs: Vec<f64>) -> Self {
+        assert_eq!(
+            probs.len(),
+            graph.edge_count(),
+            "need one probability per edge"
+        );
+        for (i, &p) in probs.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "activation probability {i} out of range: {p}"
+            );
+        }
+        Icm { graph, probs }
+    }
+
+    /// Builds an ICM where every edge has the same probability `p`.
+    pub fn with_uniform_probability(graph: DiGraph, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let m = graph.edge_count();
+        Icm {
+            graph,
+            probs: vec![p; m],
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Activation probability of edge `e`.
+    #[inline]
+    pub fn probability(&self, e: EdgeId) -> f64 {
+        self.probs[e.index()]
+    }
+
+    /// All activation probabilities, indexed by edge id.
+    #[inline]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Sets the activation probability of edge `e`.
+    pub fn set_probability(&mut self, e: EdgeId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.probs[e.index()] = p;
+    }
+
+    /// Activation probability of the edge `u -> v`, if it exists.
+    pub fn probability_between(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.graph.find_edge(u, v).map(|e| self.probability(e))
+    }
+
+    /// Exact end-to-end flow probability `Pr[u ~> v]` by pseudo-state
+    /// enumeration. Exponential in the edge count; see
+    /// [`crate::exact::enumerate_flow_probability`] for the guardrails.
+    pub fn exact_flow_probability(&self, source: NodeId, sink: NodeId) -> f64 {
+        crate::exact::enumerate_flow_probability(self, source, sink)
+    }
+
+    /// Consumes the model, returning its parts.
+    pub fn into_parts(self) -> (DiGraph, Vec<f64>) {
+        (self.graph, self.probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+
+    #[test]
+    fn construction_and_access() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let icm = Icm::new(g, vec![0.25, 0.75]);
+        assert_eq!(icm.node_count(), 3);
+        assert_eq!(icm.edge_count(), 2);
+        assert_eq!(icm.probability(EdgeId(0)), 0.25);
+        assert_eq!(icm.probability_between(NodeId(1), NodeId(2)), Some(0.75));
+        assert_eq!(icm.probability_between(NodeId(2), NodeId(1)), None);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let icm = Icm::with_uniform_probability(g, 0.5);
+        assert!(icm.probabilities().iter().all(|&p| p == 0.5));
+    }
+
+    #[test]
+    fn set_probability_roundtrip() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let mut icm = Icm::with_uniform_probability(g, 0.0);
+        icm.set_probability(EdgeId(0), 0.9);
+        assert_eq!(icm.probability(EdgeId(0)), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per edge")]
+    fn rejects_wrong_length() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let _ = Icm::new(g, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_probability() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let _ = Icm::new(g, vec![1.5]);
+    }
+}

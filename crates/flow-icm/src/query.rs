@@ -1,0 +1,126 @@
+//! Flow-condition vocabulary (§III): constrained flows `(u, v, a)`.
+//!
+//! A condition set `C ∈ P(V × V × B)` restricts the pseudo-state
+//! distribution: `a = true` *requires* the flow `u ~> v`, `a = false`
+//! *forbids* it. The combined indicator `I(x, C)` (the paper's product of
+//! per-condition indicators) is 1 exactly when every condition holds.
+
+use crate::state::PseudoState;
+use flow_graph::{DiGraph, NodeId};
+
+/// One constrained flow `(source, sink, required)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FlowCondition {
+    /// Flow source `u`.
+    pub source: NodeId,
+    /// Flow sink `v`.
+    pub sink: NodeId,
+    /// `true` enforces `u ~> v`; `false` enforces `u !~> v`.
+    pub required: bool,
+}
+
+impl FlowCondition {
+    /// Requires the flow `source ~> sink`.
+    pub fn requires(source: NodeId, sink: NodeId) -> Self {
+        FlowCondition {
+            source,
+            sink,
+            required: true,
+        }
+    }
+
+    /// Forbids the flow `source ~> sink`.
+    pub fn forbids(source: NodeId, sink: NodeId) -> Self {
+        FlowCondition {
+            source,
+            sink,
+            required: false,
+        }
+    }
+
+    /// True iff the pseudo-state satisfies this condition.
+    pub fn holds(&self, graph: &DiGraph, state: &PseudoState) -> bool {
+        state.carries_flow(graph, self.source, self.sink) == self.required
+    }
+}
+
+/// Evaluates the combined indicator `I(x, C)`: true iff every condition
+/// in `conditions` holds under `state`.
+pub fn conditions_hold(
+    graph: &DiGraph,
+    state: &PseudoState,
+    conditions: &[FlowCondition],
+) -> bool {
+    conditions.iter().all(|c| c.holds(graph, state))
+}
+
+/// Checks a condition set for direct contradictions (the same `(u, v)`
+/// pair both required and forbidden). Deeper unsatisfiability (e.g. a
+/// required flow whose every path crosses a forbidden one) is discovered
+/// by the sampler's initialization instead.
+pub fn find_contradiction(conditions: &[FlowCondition]) -> Option<(NodeId, NodeId)> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(u32, u32), bool> = HashMap::new();
+    for c in conditions {
+        if let Some(&prev) = seen.get(&(c.source.0, c.sink.0)) {
+            if prev != c.required {
+                return Some((c.source, c.sink));
+            }
+        } else {
+            seen.insert((c.source.0, c.sink.0), c.required);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+    use flow_graph::EdgeId;
+
+    #[test]
+    fn condition_holds_semantics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut x = PseudoState::all_inactive(2);
+        let req = FlowCondition::requires(NodeId(0), NodeId(2));
+        let forb = FlowCondition::forbids(NodeId(0), NodeId(2));
+        assert!(!req.holds(&g, &x));
+        assert!(forb.holds(&g, &x));
+        x.set(EdgeId(0), true);
+        x.set(EdgeId(1), true);
+        assert!(req.holds(&g, &x));
+        assert!(!forb.holds(&g, &x));
+    }
+
+    #[test]
+    fn combined_indicator() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut x = PseudoState::all_inactive(2);
+        x.set(EdgeId(0), true);
+        let cs = [
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::forbids(NodeId(0), NodeId(2)),
+        ];
+        assert!(conditions_hold(&g, &x, &cs));
+        x.set(EdgeId(1), true);
+        assert!(!conditions_hold(&g, &x, &cs));
+        assert!(conditions_hold(&g, &x, &[]), "empty set always holds");
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        let cs = [
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::forbids(NodeId(0), NodeId(1)),
+        ];
+        assert_eq!(find_contradiction(&cs), Some((NodeId(0), NodeId(1))));
+        let ok = [
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::requires(NodeId(0), NodeId(1)), // duplicate, fine
+            FlowCondition::forbids(NodeId(1), NodeId(0)),
+        ];
+        assert_eq!(find_contradiction(&ok), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic model generation (§IV-A of the paper).
+//!
+//! “Our betaICM generator takes a number of nodes, n; a number of edges,
+//! m ≤ n(n−1); and two ranges `[la, ua]` and `[lb, ub]`. The generator
+//! creates n nodes, and adds m random edges; for each edge e it draws
+//! `a ~ U(la, ua)`, `b ~ U(lb, ub)` and sets `B(e) = (a, b)`. For our
+//! experiments `a, b ~ U(1, 20)`.”
+
+use crate::beta_icm::BetaIcm;
+use crate::model::Icm;
+use flow_stats::Beta;
+use rand::Rng;
+
+/// Parameters of the synthetic betaICM generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticBetaIcmConfig {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of edges `m ≤ n(n−1)`.
+    pub edges: usize,
+    /// Range `[la, ua]` for the α parameter.
+    pub alpha_range: (f64, f64),
+    /// Range `[lb, ub]` for the β parameter.
+    pub beta_range: (f64, f64),
+}
+
+impl SyntheticBetaIcmConfig {
+    /// The paper's experimental setting: `a, b ~ U(1, 20)` with the
+    /// given structure.
+    pub fn paper_defaults(nodes: usize, edges: usize) -> Self {
+        SyntheticBetaIcmConfig {
+            nodes,
+            edges,
+            alpha_range: (1.0, 20.0),
+            beta_range: (1.0, 20.0),
+        }
+    }
+}
+
+/// Generates a random betaICM per §IV-A.
+pub fn synthetic_beta_icm<R: Rng + ?Sized>(rng: &mut R, cfg: &SyntheticBetaIcmConfig) -> BetaIcm {
+    let graph = flow_graph::generate::uniform_edges(rng, cfg.nodes, cfg.edges);
+    let params = (0..graph.edge_count())
+        .map(|_| {
+            let a = rng.random_range(cfg.alpha_range.0..=cfg.alpha_range.1);
+            let b = rng.random_range(cfg.beta_range.0..=cfg.beta_range.1);
+            Beta::new(a, b)
+        })
+        .collect();
+    BetaIcm::new(graph, params)
+}
+
+/// Generates a random point-probability ICM: uniform random structure
+/// with each activation probability drawn from `prob_dist`.
+pub fn synthetic_icm<R: Rng + ?Sized>(
+    rng: &mut R,
+    nodes: usize,
+    edges: usize,
+    mut prob_dist: impl FnMut(&mut R) -> f64,
+) -> Icm {
+    let graph = flow_graph::generate::uniform_edges(rng, nodes, edges);
+    let probs = (0..graph.edge_count()).map(|_| prob_dist(rng)).collect();
+    Icm::new(graph, probs)
+}
+
+/// The skewed activation-probability mixture of §V-C: 90% of edges from
+/// `Beta(16, 4)` (mean 0.8, narrow), 10% from `Beta(2, 8)` (mean 0.2,
+/// wide). Returns a closure usable with [`synthetic_icm`].
+pub fn skewed_probability_mixture<R: Rng + ?Sized>() -> impl FnMut(&mut R) -> f64 {
+    let strong = Beta::new(16.0, 4.0);
+    let weak = Beta::new(2.0, 8.0);
+    move |rng: &mut R| {
+        if rng.random::<f64>() < 0.9 {
+            strong.sample(rng)
+        } else {
+            weak.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_scale_generator() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let cfg = SyntheticBetaIcmConfig::paper_defaults(50, 200);
+        let model = synthetic_beta_icm(&mut rng, &cfg);
+        assert_eq!(model.graph().node_count(), 50);
+        assert_eq!(model.edge_count(), 200);
+        for e in model.graph().edges() {
+            let b = model.edge_beta(e);
+            assert!((1.0..=20.0).contains(&b.alpha()));
+            assert!((1.0..=20.0).contains(&b.beta()));
+        }
+    }
+
+    #[test]
+    fn synthetic_icm_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let icm = synthetic_icm(&mut rng, 30, 120, |r| r.random_range(0.25..0.75));
+        assert_eq!(icm.edge_count(), 120);
+        assert!(icm
+            .probabilities()
+            .iter()
+            .all(|&p| (0.25..0.75).contains(&p)));
+    }
+
+    #[test]
+    fn skewed_mixture_statistics() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut draw = skewed_probability_mixture();
+        let n = 20_000;
+        let mut low = 0usize;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let p = draw(&mut rng);
+            assert!((0.0..=1.0).contains(&p));
+            if p < 0.5 {
+                low += 1;
+            }
+            sum += p;
+        }
+        let mean = sum / n as f64;
+        // Mixture mean = 0.9*0.8 + 0.1*0.2 = 0.74.
+        assert!((mean - 0.74).abs() < 0.02, "mean {mean}");
+        // Roughly 10-20% of draws land below 0.5 (the weak component
+        // plus the strong component's tail).
+        let frac_low = low as f64 / n as f64;
+        assert!(frac_low > 0.05 && frac_low < 0.25, "frac_low {frac_low}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for ICM semantics and exact evaluation.
+
+use flow_icm::exact::{enumerate_event_probability, enumerate_flow_probability};
+use flow_icm::state::simulate_cascade;
+use flow_icm::{AttributedRecord, Icm, PseudoState};
+use flow_graph::{generate, BitSet, EdgeId, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_icm(seed: u64, n: usize, m: usize, p: f64) -> Icm {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = m.min(n * (n - 1)).min(14);
+    let graph = generate::uniform_edges(&mut rng, n, m);
+    Icm::with_uniform_probability(graph, p)
+}
+
+proptest! {
+    #[test]
+    fn pseudo_state_probabilities_normalize(seed in any::<u64>(), n in 3usize..7, m in 1usize..10, p in 0.05f64..0.95) {
+        let icm = small_icm(seed, n, m, p);
+        let total = enumerate_event_probability(&icm, |_| true);
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn flow_probability_monotone_in_edge_probability(
+        seed in any::<u64>(), n in 3usize..7, m in 2usize..10, p in 0.1f64..0.8,
+    ) {
+        // Raising any single edge's activation probability can never
+        // decrease any end-to-end flow probability.
+        let icm = small_icm(seed, n, m, p);
+        let sink = NodeId((n - 1) as u32);
+        let base = enumerate_flow_probability(&icm, NodeId(0), sink);
+        let mut boosted = icm.clone();
+        boosted.set_probability(EdgeId(0), (p + 0.15).min(1.0));
+        let after = enumerate_flow_probability(&boosted, NodeId(0), sink);
+        prop_assert!(after >= base - 1e-12, "boost lowered flow: {base} -> {after}");
+    }
+
+    #[test]
+    fn cascades_always_validate_as_evidence(
+        seed in any::<u64>(), n in 3usize..10, m in 1usize..20, p in 0.0f64..=1.0,
+    ) {
+        let icm = small_icm(seed, n, m.min(14), p);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+        for src in 0..(n as u32).min(3) {
+            let state = simulate_cascade(&icm, &[NodeId(src)], &mut rng);
+            let record = AttributedRecord::from_active_state(&state);
+            prop_assert_eq!(record.validate(icm.graph()), Ok(()));
+        }
+    }
+
+    #[test]
+    fn derived_active_state_flows_match_indicator(
+        seed in any::<u64>(), n in 3usize..6, m in 1usize..8, code in any::<u64>(),
+    ) {
+        let icm = small_icm(seed, n, m, 0.5);
+        let m_real = icm.edge_count();
+        let x = PseudoState::from_bits(BitSet::from_u64(m_real, code & ((1 << m_real) - 1)));
+        let s = x.derive_active_state(icm.graph(), &[NodeId(0)]);
+        for v in icm.graph().nodes() {
+            prop_assert_eq!(
+                x.carries_flow(icm.graph(), NodeId(0), v) && v != NodeId(0),
+                s.has_flow_to(v),
+                "node {}", v
+            );
+        }
+        // Active edges are a subset of pseudo-active edges.
+        for e in icm.graph().edges() {
+            if s.is_edge_active(e) {
+                prop_assert!(x.is_active(e));
+            }
+        }
+    }
+
+    #[test]
+    fn union_bound_holds(seed in any::<u64>(), n in 4usize..7, m in 3usize..10, p in 0.1f64..0.9) {
+        // P(flow to any of two sinks) <= P(a) + P(b), and >= max.
+        let icm = small_icm(seed, n, m, p);
+        let graph = icm.graph().clone();
+        let (a, b) = (NodeId(1), NodeId(2));
+        let pa = enumerate_flow_probability(&icm, NodeId(0), a);
+        let pb = enumerate_flow_probability(&icm, NodeId(0), b);
+        let either = enumerate_event_probability(&icm, |x| {
+            (x.carries_flow(&graph, NodeId(0), a) && a != NodeId(0))
+                || (x.carries_flow(&graph, NodeId(0), b) && b != NodeId(0))
+        });
+        prop_assert!(either <= pa + pb + 1e-12);
+        prop_assert!(either >= pa.max(pb) - 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's example evidence summaries.
+//!
+//! * **Table I** — a four-node example (sink `k` with incident nodes
+//!   A, B, C): characteristics `AB` (5 observations, 1 leak),
+//!   `BC` (50, 15), `AC` (10, 2).
+//! * **Table II** — the multimodal example used for Fig. 11:
+//!   `AB` (100, 50), `BC` (100, 50), `ABC` (100, 75).
+//!
+//! Parent bit order is `[A, B, C]` with node ids `A=0, B=1, C=2` and
+//! the sink `k = 3`.
+
+use crate::summary::{SinkSummary, SummaryRow};
+use flow_graph::{BitSet, NodeId};
+
+/// Node id of parent A in the fixtures.
+pub const A: NodeId = NodeId(0);
+/// Node id of parent B in the fixtures.
+pub const B: NodeId = NodeId(1);
+/// Node id of parent C in the fixtures.
+pub const C: NodeId = NodeId(2);
+/// Node id of the sink `k` in the fixtures.
+pub const K: NodeId = NodeId(3);
+
+fn row(bits: &[usize], count: u64, leaks: u64) -> SummaryRow {
+    SummaryRow {
+        characteristic: BitSet::from_indices(3, bits.iter().copied()),
+        count,
+        leaks,
+    }
+}
+
+/// The paper's Table I example summary.
+pub fn table_one() -> SinkSummary {
+    SinkSummary::from_rows(
+        K,
+        vec![A, B, C],
+        vec![row(&[0, 1], 5, 1), row(&[1, 2], 50, 15), row(&[0, 2], 10, 2)],
+    )
+}
+
+/// The paper's Table II example summary (multimodal posterior).
+pub fn table_two() -> SinkSummary {
+    SinkSummary::from_rows(
+        K,
+        vec![A, B, C],
+        vec![
+            row(&[0, 1], 100, 50),
+            row(&[1, 2], 100, 50),
+            row(&[0, 1, 2], 100, 75),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_shape() {
+        let s = table_one();
+        assert_eq!(s.parents, vec![A, B, C]);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.total_observations(), 65);
+        assert_eq!(s.rows[0].leaks, 1);
+        assert!(s.rows.iter().all(|r| !r.is_unambiguous()));
+    }
+
+    #[test]
+    fn table_two_shape() {
+        let s = table_two();
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.total_observations(), 300);
+        assert_eq!(s.rows[2].parent_count(), 3);
+        assert_eq!(s.rows[2].leaks, 75);
+    }
+
+    #[test]
+    fn table_two_likelihood_is_multimodal_along_a_c_tradeoff() {
+        // The AB and BC rows pin the pairwise noisy-ORs at 1/2 while the
+        // ABC row demands 3/4: solutions can trade A's probability
+        // against C's. Two qualitatively different parameter vectors
+        // should both achieve high likelihood.
+        let s = table_two();
+        // Mode-ish 1: strong A, weak C  (b chosen so pairwise ORs ≈ .5)
+        let high_a = [0.45, 0.09, 0.45];
+        let ll_sym = s.ln_likelihood(&high_a);
+        let skew = [0.02, 0.49, 0.02];
+        let ll_skew = s.ln_likelihood(&skew);
+        // Both beat a bad point decisively.
+        let bad = s.ln_likelihood(&[0.9, 0.9, 0.9]);
+        assert!(ll_sym > bad + 50.0);
+        assert!(ll_skew > bad + 10.0);
+    }
+}

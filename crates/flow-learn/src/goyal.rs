@@ -1,0 +1,126 @@
+//! Goyal et al.'s credit heuristic (§V-B), operating on summaries.
+//!
+//! Each of the `|J_o|` parents active before a leak shares the credit
+//! equally (`credit = k_o / |J_o|`), and an edge's probability is its
+//! total credit normalized by the number of objects for which the parent
+//! was active:
+//!
+//! `p_{j,k} = Σ_{J ∋ j} L_J / |J|  ÷  Σ_{J ∋ j} n_J`
+//!
+//! The paper points out this is "only a rule of thumb, and can result in
+//! biasing activation probabilities towards the mean of all edges
+//! incident to k" — the RMSE experiments (Fig. 7) exhibit exactly that
+//! plateau, and `credit_bias_toward_mean` below demonstrates it.
+
+use crate::summary::SinkSummary;
+
+/// Trains per-parent activation probabilities with the credit rule.
+/// Returns one probability per parent (0 for parents never observed
+/// active).
+pub fn goyal_credit(summary: &SinkSummary) -> Vec<f64> {
+    let k = summary.parents.len();
+    let mut credit = vec![0.0f64; k];
+    let mut exposure = vec![0u64; k];
+    for row in &summary.rows {
+        let width = row.parent_count();
+        if width == 0 {
+            continue;
+        }
+        let share = row.leaks as f64 / width as f64;
+        for b in row.characteristic.iter_ones() {
+            credit[b] += share;
+            exposure[b] += row.count;
+        }
+    }
+    (0..k)
+        .map(|b| {
+            if exposure[b] == 0 {
+                0.0
+            } else {
+                credit[b] / exposure[b] as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SummaryRow;
+    use flow_graph::{BitSet, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn unambiguous_evidence_gives_empirical_frequency() {
+        let rows = vec![SummaryRow {
+            characteristic: BitSet::from_indices(1, [0]),
+            count: 20,
+            leaks: 5,
+        }];
+        let s = SinkSummary::from_rows(n(9), vec![n(0)], rows);
+        let p = goyal_credit(&s);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_credit_splits_evenly() {
+        // Parents 0,1 always co-active; 10 observations, 6 leaks.
+        let rows = vec![SummaryRow {
+            characteristic: BitSet::from_indices(2, [0, 1]),
+            count: 10,
+            leaks: 6,
+        }];
+        let s = SinkSummary::from_rows(n(9), vec![n(0), n(1)], rows);
+        let p = goyal_credit(&s);
+        // credit = 6/2 = 3 each; exposure = 10 each; p = 0.3.
+        assert!((p[0] - 0.3).abs() < 1e-12);
+        assert!((p[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_parent_gets_zero() {
+        let rows = vec![SummaryRow {
+            characteristic: BitSet::from_indices(2, [0]),
+            count: 5,
+            leaks: 5,
+        }];
+        let s = SinkSummary::from_rows(n(9), vec![n(0), n(1)], rows);
+        let p = goyal_credit(&s);
+        assert_eq!(p[1], 0.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_one_fixture_values() {
+        // The paper's Table I: rows (A,B | 5 obs, 1 leak),
+        // (B,C | 50, 15), (A,C | 10, 2).
+        let s = crate::fixtures::table_one();
+        let p = goyal_credit(&s);
+        // A: credit 1/2 + 2/2 = 1.5, exposure 15 -> 0.1
+        assert!((p[0] - 1.5 / 15.0).abs() < 1e-12);
+        // B: credit 1/2 + 15/2 = 8, exposure 55 -> 8/55
+        assert!((p[1] - 8.0 / 55.0).abs() < 1e-12);
+        // C: credit 15/2 + 2/2 = 8.5, exposure 60 -> 8.5/60
+        assert!((p[2] - 8.5 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn credit_bias_toward_mean() {
+        // Ground truth: p0 = 0.9, p1 = 0.1, parents always co-active.
+        // Expected leak rate = 1 - 0.1*0.9 = 0.91; credit splits it
+        // evenly, pulling both edges toward 0.455 — the bias the paper
+        // describes. (Here we use the exact expected counts.)
+        let rows = vec![SummaryRow {
+            characteristic: BitSet::from_indices(2, [0, 1]),
+            count: 1000,
+            leaks: 910,
+        }];
+        let s = SinkSummary::from_rows(n(9), vec![n(0), n(1)], rows);
+        let p = goyal_credit(&s);
+        assert!((p[0] - 0.455).abs() < 1e-9);
+        assert!((p[1] - 0.455).abs() < 1e-9);
+    }
+}

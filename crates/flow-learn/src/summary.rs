@@ -1,0 +1,572 @@
+//! Episodes, characteristics, and evidence summaries (§V-B).
+//!
+//! An [`Episode`] is one information object's unattributed trace: the
+//! time at which each node became active (absence = never active). For a
+//! chosen sink `k` with candidate parents `j₀…j_ℓ` (its in-neighbours),
+//! each episode is reduced to a **characteristic**: the bitset of
+//! parents active before `k`'s decision point —
+//!
+//! * if `k` activated at time `t`, the parents active *strictly before*
+//!   `t` (the paper's relaxed window), or active at exactly `t − 1`
+//!   under the original Saito discrete-time assumption
+//!   ([`TimingAssumption`]);
+//! * if `k` never activated, the parents active at the latest time in
+//!   the data — "this ensures that all potential causes are considered
+//!   for both positive and negative flows".
+//!
+//! Identical characteristics are merged into [`SummaryRow`]s carrying an
+//! observation count and a leak count, giving the sufficient statistic
+//! of Eq. 9 (sufficiency is verified by a property test below).
+
+use flow_graph::{BitSet, NodeId};
+use flow_stats::specfn::ln_choose;
+use flow_stats::Beta;
+use std::collections::HashMap;
+
+/// Which parents count as potential causes of a sink activation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TimingAssumption {
+    /// Any parent active strictly before the sink (the paper's relaxed
+    /// assumption, appropriate for Twitter-like feeds).
+    #[default]
+    AnyEarlier,
+    /// Only parents active at exactly the preceding time step (the
+    /// assumption of Saito et al.'s original EM formulation).
+    PreviousStep,
+}
+
+/// One information object's activation trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Episode {
+    /// `(node, activation time)` pairs; a node absent from the list was
+    /// never active for this object. Times need not be sorted.
+    activations: Vec<(NodeId, u32)>,
+}
+
+impl Episode {
+    /// Builds an episode from `(node, time)` pairs.
+    ///
+    /// Panics if a node appears twice (an ICM node activates at most
+    /// once per object).
+    pub fn new(activations: Vec<(NodeId, u32)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for &(v, _) in &activations {
+            assert!(seen.insert(v), "node {v} activates twice in one episode");
+        }
+        Episode { activations }
+    }
+
+    /// The activation time of `v`, if it activated.
+    pub fn activation_time(&self, v: NodeId) -> Option<u32> {
+        self.activations
+            .iter()
+            .find(|&&(u, _)| u == v)
+            .map(|&(_, t)| t)
+    }
+
+    /// True iff `v` activated.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.activation_time(v).is_some()
+    }
+
+    /// All `(node, time)` activations.
+    pub fn activations(&self) -> &[(NodeId, u32)] {
+        &self.activations
+    }
+
+    /// The latest activation time in the episode (`None` if empty).
+    pub fn last_time(&self) -> Option<u32> {
+        self.activations.iter().map(|&(_, t)| t).max()
+    }
+
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.activations.len()
+    }
+}
+
+/// A merged evidence row: one characteristic with its observation and
+/// leak counts (one line of the paper's Table I).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Bitset over the summary's parent list: which parents were active
+    /// before the sink's decision.
+    pub characteristic: BitSet,
+    /// `n_J`: times this characteristic was observed.
+    pub count: u64,
+    /// `L_J`: times the sink activated under this characteristic.
+    pub leaks: u64,
+}
+
+impl SummaryRow {
+    /// Number of active parents in the characteristic.
+    pub fn parent_count(&self) -> usize {
+        self.characteristic.count_ones()
+    }
+
+    /// True iff exactly one parent was active (unambiguous attribution).
+    pub fn is_unambiguous(&self) -> bool {
+        self.parent_count() == 1
+    }
+}
+
+/// The evidence summary for one sink: the sufficient statistic for the
+/// activation probabilities of all edges incident on the sink.
+#[derive(Clone, Debug)]
+pub struct SinkSummary {
+    /// The sink node `k`.
+    pub sink: NodeId,
+    /// Candidate parents, fixing the characteristic bit order.
+    pub parents: Vec<NodeId>,
+    /// Merged rows, one per distinct observed characteristic.
+    pub rows: Vec<SummaryRow>,
+    /// Episodes skipped because the sink activated with no candidate
+    /// parent active (spontaneous/exogenous adoption — no edge can
+    /// explain it; the paper's omnipotent user absorbs these when
+    /// present in the graph).
+    pub skipped_spontaneous: u64,
+    /// Episodes skipped because they carried no information (sink
+    /// inactive and no parent ever active, or the sink was itself the
+    /// earliest activation).
+    pub skipped_uninformative: u64,
+}
+
+impl SinkSummary {
+    /// Builds a summary from raw rows (used by fixtures and tests).
+    pub fn from_rows(sink: NodeId, parents: Vec<NodeId>, rows: Vec<SummaryRow>) -> Self {
+        for r in &rows {
+            assert_eq!(r.characteristic.len(), parents.len(), "row width mismatch");
+            assert!(r.leaks <= r.count, "leaks cannot exceed count");
+        }
+        SinkSummary {
+            sink,
+            parents,
+            rows,
+            skipped_spontaneous: 0,
+            skipped_uninformative: 0,
+        }
+    }
+
+    /// Summarizes episodes for `sink` with the given candidate
+    /// `parents` (typically its in-neighbours).
+    pub fn build(
+        sink: NodeId,
+        parents: Vec<NodeId>,
+        episodes: &[Episode],
+        timing: TimingAssumption,
+    ) -> Self {
+        let mut merged: HashMap<BitSet, (u64, u64)> = HashMap::new();
+        let mut skipped_spontaneous = 0u64;
+        let mut skipped_uninformative = 0u64;
+        for ep in episodes {
+            let sink_time = ep.activation_time(sink);
+            let mut ch = BitSet::new(parents.len());
+            match sink_time {
+                Some(t) => {
+                    for (b, &p) in parents.iter().enumerate() {
+                        if let Some(tp) = ep.activation_time(p) {
+                            let causal = match timing {
+                                TimingAssumption::AnyEarlier => tp < t,
+                                TimingAssumption::PreviousStep => t > 0 && tp == t - 1,
+                            };
+                            if causal {
+                                ch.set(b, true);
+                            }
+                        }
+                    }
+                    if ch.none() {
+                        // Activated with no candidate cause.
+                        skipped_spontaneous += 1;
+                        continue;
+                    }
+                    let e = merged.entry(ch).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += 1;
+                }
+                None => {
+                    // Negative evidence: all parents that were ever
+                    // active had the opportunity to infect the sink.
+                    for (b, &p) in parents.iter().enumerate() {
+                        if ep.is_active(p) {
+                            ch.set(b, true);
+                        }
+                    }
+                    if ch.none() {
+                        skipped_uninformative += 1;
+                        continue;
+                    }
+                    let e = merged.entry(ch).or_insert((0, 0));
+                    e.0 += 1;
+                }
+            }
+        }
+        let mut rows: Vec<SummaryRow> = merged
+            .into_iter()
+            .map(|(characteristic, (count, leaks))| SummaryRow {
+                characteristic,
+                count,
+                leaks,
+            })
+            .collect();
+        // Deterministic order: by characteristic bits ascending.
+        rows.sort_by_key(|r| r.characteristic.iter_ones().collect::<Vec<_>>());
+        SinkSummary {
+            sink,
+            parents,
+            rows,
+            skipped_spontaneous,
+            skipped_uninformative,
+        }
+    }
+
+    /// Number of distinct characteristics ω.
+    pub fn width(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total observations across rows.
+    pub fn total_observations(&self) -> u64 {
+        self.rows.iter().map(|r| r.count).sum()
+    }
+
+    /// The combined activation probability `p_{J,k} = 1 − Π_{j∈J}(1−p_j)`
+    /// of one characteristic under edge probabilities `probs` (indexed
+    /// like `parents`).
+    pub fn characteristic_probability(&self, row: &SummaryRow, probs: &[f64]) -> f64 {
+        debug_assert_eq!(probs.len(), self.parents.len());
+        let mut miss = 1.0;
+        for b in row.characteristic.iter_ones() {
+            miss *= 1.0 - probs[b];
+        }
+        1.0 - miss
+    }
+
+    /// Log-likelihood of the summary under edge probabilities `probs`
+    /// (Eq. 9): `Σ_J ln Bin(L_J; n_J, p_{J,k})`, including the constant
+    /// binomial coefficients.
+    pub fn ln_likelihood(&self, probs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for row in &self.rows {
+            let p = self.characteristic_probability(row, probs);
+            acc += ln_choose(row.count, row.leaks);
+            acc += ln_term(row.leaks, p) + ln_term(row.count - row.leaks, 1.0 - p);
+            if acc == f64::NEG_INFINITY {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Log-likelihood restricted to the ambiguous rows (`|J| > 1`).
+    /// Combined with a Beta prior built from the unambiguous rows this
+    /// is exactly the full posterior under a uniform prior, because an
+    /// unambiguous row's Binomial likelihood *is* a Beta kernel in the
+    /// single parent's probability.
+    pub fn ln_likelihood_ambiguous(&self, probs: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for row in self.rows.iter().filter(|r| !r.is_unambiguous()) {
+            let p = self.characteristic_probability(row, probs);
+            acc += ln_choose(row.count, row.leaks);
+            acc += ln_term(row.leaks, p) + ln_term(row.count - row.leaks, 1.0 - p);
+            if acc == f64::NEG_INFINITY {
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Indices of rows whose characteristic includes parent `b`.
+    pub fn rows_with_parent(&self, b: usize) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&i| self.rows[i].characteristic.get(b))
+            .collect()
+    }
+}
+
+fn ln_term(count: u64, p: f64) -> f64 {
+    if count == 0 {
+        0.0
+    } else if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        count as f64 * p.ln()
+    }
+}
+
+/// The **filtered** baseline (§V-C): train a Beta per edge from the
+/// unambiguous rows only, exactly as the attributed method would, and
+/// ignore all ambiguous evidence. Returns one Beta per parent (indexed
+/// like `summary.parents`), defaulting to the uniform prior when a
+/// parent has no unambiguous evidence.
+pub fn filtered_betas(summary: &SinkSummary) -> Vec<Beta> {
+    let mut alpha = vec![1.0f64; summary.parents.len()];
+    let mut beta = vec![1.0f64; summary.parents.len()];
+    for row in summary.rows.iter().filter(|r| r.is_unambiguous()) {
+        let b = row
+            .characteristic
+            .iter_ones()
+            .next()
+            .expect("unambiguous row has one bit");
+        alpha[b] += row.leaks as f64;
+        beta[b] += (row.count - row.leaks) as f64;
+    }
+    alpha
+        .into_iter()
+        .zip(beta)
+        .map(|(a, b)| Beta::new(a, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn episode_accessors() {
+        let ep = Episode::new(vec![(n(0), 0), (n(2), 3)]);
+        assert_eq!(ep.activation_time(n(0)), Some(0));
+        assert_eq!(ep.activation_time(n(1)), None);
+        assert!(ep.is_active(n(2)));
+        assert_eq!(ep.last_time(), Some(3));
+        assert_eq!(ep.active_count(), 2);
+        assert_eq!(Episode::default().last_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn episode_rejects_duplicate_nodes() {
+        let _ = Episode::new(vec![(n(0), 0), (n(0), 1)]);
+    }
+
+    #[test]
+    fn build_positive_any_earlier() {
+        // Parents 0,1,2; sink 3. Parent 0 at t=0, parent 1 at t=2, sink
+        // at t=2: only parent 0 is strictly earlier.
+        let parents = vec![n(0), n(1), n(2)];
+        let ep = Episode::new(vec![(n(0), 0), (n(1), 2), (n(3), 2)]);
+        let s = SinkSummary::build(n(3), parents, &[ep], TimingAssumption::AnyEarlier);
+        assert_eq!(s.rows.len(), 1);
+        let row = &s.rows[0];
+        assert_eq!(row.count, 1);
+        assert_eq!(row.leaks, 1);
+        assert!(row.characteristic.get(0));
+        assert!(!row.characteristic.get(1));
+        assert!(row.is_unambiguous());
+    }
+
+    #[test]
+    fn build_positive_previous_step() {
+        // Parent 0 at t=0, parent 1 at t=1, sink at t=2: under the
+        // discrete-time assumption only parent 1 (t = 2-1) is a cause.
+        let parents = vec![n(0), n(1)];
+        let ep = Episode::new(vec![(n(0), 0), (n(1), 1), (n(9), 2)]);
+        let s = SinkSummary::build(n(9), parents, &[ep], TimingAssumption::PreviousStep);
+        assert_eq!(s.rows.len(), 1);
+        assert!(!s.rows[0].characteristic.get(0));
+        assert!(s.rows[0].characteristic.get(1));
+    }
+
+    #[test]
+    fn build_negative_uses_all_active_parents() {
+        let parents = vec![n(0), n(1)];
+        let ep = Episode::new(vec![(n(0), 0), (n(1), 5)]); // sink never active
+        let s = SinkSummary::build(n(9), parents, &[ep], TimingAssumption::AnyEarlier);
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!(s.rows[0].count, 1);
+        assert_eq!(s.rows[0].leaks, 0);
+        assert_eq!(s.rows[0].parent_count(), 2);
+    }
+
+    #[test]
+    fn build_skips_spontaneous_and_uninformative() {
+        let parents = vec![n(0)];
+        let spontaneous = Episode::new(vec![(n(9), 0)]); // sink active, no cause
+        let empty = Episode::new(vec![]); // nothing happened
+        let s = SinkSummary::build(
+            n(9),
+            parents,
+            &[spontaneous, empty],
+            TimingAssumption::AnyEarlier,
+        );
+        assert!(s.rows.is_empty());
+        assert_eq!(s.skipped_spontaneous, 1);
+        assert_eq!(s.skipped_uninformative, 1);
+    }
+
+    #[test]
+    fn build_merges_identical_characteristics() {
+        let parents = vec![n(0), n(1)];
+        let mut eps = Vec::new();
+        for i in 0..10 {
+            let mut acts = vec![(n(0), 0)];
+            if i < 4 {
+                acts.push((n(9), 1)); // leak in 4 of 10
+            }
+            eps.push(Episode::new(acts));
+        }
+        let s = SinkSummary::build(n(9), parents, &eps, TimingAssumption::AnyEarlier);
+        assert_eq!(s.rows.len(), 1, "identical characteristics merge");
+        assert_eq!(s.rows[0].count, 10);
+        assert_eq!(s.rows[0].leaks, 4);
+        assert_eq!(s.total_observations(), 10);
+        assert_eq!(s.width(), 1);
+    }
+
+    #[test]
+    fn characteristic_probability_noisy_or() {
+        let parents = vec![n(0), n(1), n(2)];
+        let row = SummaryRow {
+            characteristic: BitSet::from_indices(3, [0, 2]),
+            count: 1,
+            leaks: 0,
+        };
+        let s = SinkSummary::from_rows(n(9), parents, vec![row]);
+        let p = s.characteristic_probability(&s.rows[0], &[0.5, 0.9, 0.2]);
+        assert!((p - (1.0 - 0.5 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_sufficient_statistic() {
+        // Likelihood *differences* computed from the summary must equal
+        // those computed per-episode (Bernoulli), since the two forms
+        // differ only by the constant binomial coefficients.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let parents = vec![n(0), n(1), n(2)];
+        let sink = n(3);
+        // Random episodes.
+        let mut episodes = Vec::new();
+        for _ in 0..60 {
+            let mut acts = Vec::new();
+            for (t, p) in parents.iter().enumerate() {
+                if rng.random::<f64>() < 0.6 {
+                    acts.push((*p, t as u32));
+                }
+            }
+            if !acts.is_empty() && rng.random::<f64>() < 0.5 {
+                acts.push((sink, 10));
+            }
+            episodes.push(Episode::new(acts));
+        }
+        let s = SinkSummary::build(
+            sink,
+            parents.clone(),
+            &episodes,
+            TimingAssumption::AnyEarlier,
+        );
+        // Per-episode Bernoulli log-likelihood.
+        let bernoulli = |probs: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for ep in &episodes {
+                let active_parents: Vec<usize> = (0..parents.len())
+                    .filter(|&b| {
+                        ep.activation_time(parents[b])
+                            .map(|tp| match ep.activation_time(sink) {
+                                Some(t) => tp < t,
+                                None => true,
+                            })
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if active_parents.is_empty() {
+                    continue;
+                }
+                let p = 1.0
+                    - active_parents
+                        .iter()
+                        .map(|&b| 1.0 - probs[b])
+                        .product::<f64>();
+                acc += if ep.is_active(sink) { p.ln() } else { (1.0 - p).ln() };
+            }
+            acc
+        };
+        let p1 = [0.3, 0.6, 0.2];
+        let p2 = [0.7, 0.1, 0.55];
+        let d_summary = s.ln_likelihood(&p1) - s.ln_likelihood(&p2);
+        let d_episode = bernoulli(&p1) - bernoulli(&p2);
+        assert!(
+            (d_summary - d_episode).abs() < 1e-9,
+            "summary {d_summary} vs episode {d_episode}"
+        );
+    }
+
+    #[test]
+    fn ln_likelihood_degenerate_probabilities() {
+        let parents = vec![n(0)];
+        let leak_row = SummaryRow {
+            characteristic: BitSet::from_indices(1, [0]),
+            count: 2,
+            leaks: 1,
+        };
+        let s = SinkSummary::from_rows(n(9), parents, vec![leak_row]);
+        assert_eq!(s.ln_likelihood(&[0.0]), f64::NEG_INFINITY);
+        assert_eq!(s.ln_likelihood(&[1.0]), f64::NEG_INFINITY);
+        assert!(s.ln_likelihood(&[0.5]).is_finite());
+    }
+
+    #[test]
+    fn ambiguous_likelihood_excludes_unambiguous_rows() {
+        let parents = vec![n(0), n(1)];
+        let rows = vec![
+            SummaryRow {
+                characteristic: BitSet::from_indices(2, [0]),
+                count: 10,
+                leaks: 3,
+            },
+            SummaryRow {
+                characteristic: BitSet::from_indices(2, [0, 1]),
+                count: 4,
+                leaks: 2,
+            },
+        ];
+        let s = SinkSummary::from_rows(n(9), parents, rows);
+        // Varying p0 with the ambiguous row fixed: full likelihood
+        // changes through both rows, ambiguous-only through one.
+        let full_delta = s.ln_likelihood(&[0.6, 0.5]) - s.ln_likelihood(&[0.4, 0.5]);
+        let amb_delta =
+            s.ln_likelihood_ambiguous(&[0.6, 0.5]) - s.ln_likelihood_ambiguous(&[0.4, 0.5]);
+        assert!((full_delta - amb_delta).abs() > 1e-6);
+        assert_eq!(s.rows_with_parent(1), vec![1]);
+        assert_eq!(s.rows_with_parent(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn filtered_betas_from_unambiguous_rows_only() {
+        let parents = vec![n(0), n(1)];
+        let rows = vec![
+            SummaryRow {
+                characteristic: BitSet::from_indices(2, [0]),
+                count: 10,
+                leaks: 4,
+            },
+            SummaryRow {
+                characteristic: BitSet::from_indices(2, [0, 1]),
+                count: 100,
+                leaks: 90,
+            },
+        ];
+        let s = SinkSummary::from_rows(n(9), parents, rows);
+        let betas = filtered_betas(&s);
+        assert_eq!(betas[0], Beta::new(5.0, 7.0)); // 1+4, 1+6
+        assert_eq!(betas[1], Beta::uniform()); // no unambiguous evidence
+    }
+
+    #[test]
+    #[should_panic(expected = "leaks cannot exceed count")]
+    fn from_rows_validates_counts() {
+        let _ = SinkSummary::from_rows(
+            n(9),
+            vec![n(0)],
+            vec![SummaryRow {
+                characteristic: BitSet::from_indices(1, [0]),
+                count: 1,
+                leaks: 2,
+            }],
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Chain-quality diagnostics: effective sample size and the
+//! Gelman–Rubin potential scale reduction factor.
+//!
+//! The paper picks burn-in δ and thinning δ′ by hand; these diagnostics
+//! let users of the library verify those choices on their own models
+//! (and back the workspace's own tests of chain mixing).
+
+/// Effective sample size of a (possibly autocorrelated) series, using
+/// the initial-positive-sequence estimator of the integrated
+/// autocorrelation time: `ESS = n / (1 + 2 Σ ρ_k)` with the sum
+/// truncated at the first non-positive pair of autocorrelations.
+///
+/// Returns `n` for i.i.d.-looking series and values near 1 for a stuck
+/// chain. A constant series has undefined autocorrelation; we return 0
+/// to flag it.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let max_lag = n / 2;
+    let autocov = |lag: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += (series[i] - mean) * (series[i + lag] - mean);
+        }
+        acc / n as f64
+    };
+    let mut sum_rho = 0.0;
+    // Pairwise (Geyer) truncation: stop when ρ_{2k-1} + ρ_{2k} <= 0.
+    let mut lag = 1;
+    while lag < max_lag {
+        let pair = (autocov(lag) + autocov(lag + 1)) / var;
+        if pair <= 0.0 {
+            break;
+        }
+        sum_rho += pair;
+        lag += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * sum_rho)).min(n as f64)
+}
+
+/// Gelman–Rubin potential scale reduction factor across chains of equal
+/// length. Values near 1 indicate the chains have converged to a common
+/// distribution; values much above ~1.1 indicate trouble.
+///
+/// Returns `None` for fewer than 2 chains, chains shorter than 2, or
+/// unequal lengths; returns `Some(1.0)` when all chains are identical
+/// constants (a degenerate but converged situation).
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
+    let m = chains.len();
+    if m < 2 {
+        return None;
+    }
+    let n = chains[0].len();
+    if n < 2 || chains.iter().any(|c| c.len() != n) {
+        return None;
+    }
+    let chain_means: Vec<f64> = chains
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand = chain_means.iter().sum::<f64>() / m as f64;
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means
+            .iter()
+            .map(|mu| (mu - grand) * (mu - grand))
+            .sum::<f64>();
+    let w = chains
+        .iter()
+        .zip(&chain_means)
+        .map(|(c, mu)| {
+            c.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w == 0.0 {
+        return Some(if b == 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    Some((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ess_of_iid_series_is_near_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let series: Vec<f64> = (0..4000).map(|_| rng.random::<f64>()).collect();
+        let ess = effective_sample_size(&series);
+        assert!(ess > 2500.0, "ess {ess}");
+        assert!(ess <= 4000.0);
+    }
+
+    #[test]
+    fn ess_of_sticky_series_is_small() {
+        // AR(1) with coefficient 0.95: IACT ~ (1+.95)/(1-.95) = 39.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..4000)
+            .map(|_| {
+                x = 0.95 * x + rng.random::<f64>() - 0.5;
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&series);
+        assert!(ess < 500.0, "ess {ess}");
+        assert!(ess > 10.0, "ess {ess}");
+    }
+
+    #[test]
+    fn ess_edge_cases() {
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[1.0]), 1.0);
+        assert_eq!(effective_sample_size(&[2.0; 100]), 0.0, "constant flagged");
+    }
+
+    #[test]
+    fn gelman_rubin_converged_chains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..2000).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let r = gelman_rubin(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "r {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_detects_disagreement() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<f64> = (0..2000).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.random::<f64>() + 5.0).collect();
+        let r = gelman_rubin(&[a, b]).unwrap();
+        assert!(r > 3.0, "r {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_edge_cases() {
+        assert_eq!(gelman_rubin(&[vec![1.0, 2.0]]), None);
+        assert_eq!(gelman_rubin(&[vec![1.0, 2.0], vec![1.0]]), None);
+        assert_eq!(
+            gelman_rubin(&[vec![3.0, 3.0], vec![3.0, 3.0]]),
+            Some(1.0),
+            "identical constants are (degenerately) converged"
+        );
+        assert_eq!(
+            gelman_rubin(&[vec![1.0, 1.0], vec![2.0, 2.0]]),
+            Some(f64::INFINITY),
+            "distinct constants never mix"
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Flow-probability estimation on top of the pseudo-state chain.
+//!
+//! [`FlowEstimator`] packages the paper's burn-in/thinning protocol
+//! (§III-B: discard the first δ states, then keep every δ′-th state) and
+//! turns retained pseudo-states into the quantities the paper queries:
+//!
+//! * end-to-end flow probabilities (Eq. 5),
+//! * the same conditioned on required/forbidden flows (Eq. 6),
+//! * joint flow probabilities,
+//! * source-to-community flow, and
+//! * the dispersion/impact distribution (how many nodes an object
+//!   reaches — Fig. 4's retweet-count prediction).
+
+use crate::sampler::{ConditionInitError, ProposalKind, PseudoStateSampler};
+use flow_graph::NodeId;
+use flow_icm::{FlowCondition, Icm};
+use rand::Rng;
+
+/// Burn-in / thinning / sample-count configuration.
+///
+/// `burn_in` and `thin` are in chain *steps*; when left `None` they
+/// default to scale with the model's edge count `m` (each step touches
+/// one edge, so order-`m` steps are needed to decorrelate a state).
+#[derive(Clone, Copy, Debug)]
+pub struct McmcConfig {
+    /// Number of retained samples.
+    pub samples: usize,
+    /// Steps discarded before sampling; default `max(10·m, 500)`.
+    pub burn_in: Option<usize>,
+    /// Steps between retained samples (the paper's δ′); default
+    /// `max(m, 8)`.
+    pub thin: Option<usize>,
+    /// Proposal-weight convention.
+    pub proposal: ProposalKind,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            samples: 2_000,
+            burn_in: None,
+            thin: None,
+            proposal: ProposalKind::ResultingActivity,
+        }
+    }
+}
+
+impl McmcConfig {
+    /// A lighter configuration for hot loops (fewer samples).
+    pub fn fast() -> Self {
+        McmcConfig {
+            samples: 500,
+            ..Self::default()
+        }
+    }
+
+    /// Resolved burn-in steps for a model with `m` edges.
+    pub fn burn_in_steps(&self, m: usize) -> usize {
+        self.burn_in.unwrap_or_else(|| (10 * m).max(500))
+    }
+
+    /// Resolved thinning interval for a model with `m` edges.
+    pub fn thin_steps(&self, m: usize) -> usize {
+        self.thin.unwrap_or_else(|| m.max(8))
+    }
+}
+
+/// Source-to-community flow summary (§II's "flow to multiple sink
+/// nodes").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommunityFlow {
+    /// Probability that *every* community member is reached.
+    pub all: f64,
+    /// Probability that *at least one* community member is reached.
+    pub any: f64,
+    /// Expected fraction of the community reached.
+    pub expected_fraction: f64,
+}
+
+/// Estimates flow probabilities for one ICM by Metropolis–Hastings.
+#[derive(Clone, Debug)]
+pub struct FlowEstimator<'a> {
+    icm: &'a Icm,
+    config: McmcConfig,
+}
+
+impl<'a> FlowEstimator<'a> {
+    /// Creates an estimator over `icm` with the given chain protocol.
+    pub fn new(icm: &'a Icm, config: McmcConfig) -> Self {
+        FlowEstimator { icm, config }
+    }
+
+    /// The model under estimation.
+    pub fn icm(&self) -> &Icm {
+        self.icm
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> McmcConfig {
+        self.config
+    }
+
+    /// Estimates `Pr[source ~> sink | M]` (Eq. 5).
+    pub fn estimate_flow<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        sink: NodeId,
+        rng: &mut R,
+    ) -> f64 {
+        self.estimate_flows_from(source, &[sink], rng)[0]
+    }
+
+    /// Estimates `Pr[source ~> sink]` for many sinks from a single
+    /// chain: each retained sample computes the source's reach set once
+    /// (`O(m)`) and reads off every sink.
+    pub fn estimate_flows_from<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        sinks: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
+        self.collect_flow_counts(&mut sampler, source, sinks, rng)
+    }
+
+    /// Estimates `Pr[source ~> sink | M, C]` for the given conditions
+    /// (Eq. 6/8).
+    pub fn estimate_conditional_flow<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        sink: NodeId,
+        conditions: &[FlowCondition],
+        rng: &mut R,
+    ) -> Result<f64, ConditionInitError> {
+        Ok(self.estimate_conditional_flows_from(source, &[sink], conditions, rng)?[0])
+    }
+
+    /// Conditional variant of [`Self::estimate_flows_from`].
+    pub fn estimate_conditional_flows_from<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        sinks: &[NodeId],
+        conditions: &[FlowCondition],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, ConditionInitError> {
+        let mut sampler = PseudoStateSampler::with_conditions(
+            self.icm,
+            self.config.proposal,
+            conditions.to_vec(),
+            rng,
+        )?;
+        Ok(self.collect_flow_counts(&mut sampler, source, sinks, rng))
+    }
+
+    fn collect_flow_counts<R: Rng + ?Sized>(
+        &self,
+        sampler: &mut PseudoStateSampler<'_>,
+        source: NodeId,
+        sinks: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let m = self.icm.edge_count();
+        sampler.run(self.config.burn_in_steps(m), rng);
+        let thin = self.config.thin_steps(m);
+        let mut hits = vec![0u64; sinks.len()];
+        for _ in 0..self.config.samples {
+            sampler.run(thin, rng);
+            let reach = sampler.reach_set(&[source]);
+            for (k, &sink) in sinks.iter().enumerate() {
+                if sink != source && reach.get(sink.index()) {
+                    hits[k] += 1;
+                }
+            }
+        }
+        hits.iter()
+            .map(|&h| h as f64 / self.config.samples as f64)
+            .collect()
+    }
+
+    /// Estimates the probability that *all* the given flows are present
+    /// simultaneously — a joint flow probability.
+    pub fn estimate_joint_flow<R: Rng + ?Sized>(
+        &self,
+        flows: &[(NodeId, NodeId)],
+        rng: &mut R,
+    ) -> f64 {
+        let m = self.icm.edge_count();
+        let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
+        sampler.run(self.config.burn_in_steps(m), rng);
+        let thin = self.config.thin_steps(m);
+        let mut hits = 0u64;
+        for _ in 0..self.config.samples {
+            sampler.run(thin, rng);
+            if flows
+                .iter()
+                .all(|&(u, v)| sampler.carries_flow(u, v))
+            {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.config.samples as f64
+    }
+
+    /// Estimates source-to-community flow: the probability of reaching
+    /// all (resp. any) of `community`, and the expected fraction.
+    pub fn estimate_community_flow<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        community: &[NodeId],
+        rng: &mut R,
+    ) -> CommunityFlow {
+        assert!(!community.is_empty(), "community must be non-empty");
+        let m = self.icm.edge_count();
+        let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
+        sampler.run(self.config.burn_in_steps(m), rng);
+        let thin = self.config.thin_steps(m);
+        let mut all_hits = 0u64;
+        let mut any_hits = 0u64;
+        let mut reached_total = 0u64;
+        for _ in 0..self.config.samples {
+            sampler.run(thin, rng);
+            let reach = sampler.reach_set(&[source]);
+            let reached = community
+                .iter()
+                .filter(|&&v| v != source && reach.get(v.index()))
+                .count();
+            if reached == community.len() {
+                all_hits += 1;
+            }
+            if reached > 0 {
+                any_hits += 1;
+            }
+            reached_total += reached as u64;
+        }
+        let n = self.config.samples as f64;
+        CommunityFlow {
+            all: all_hits as f64 / n,
+            any: any_hits as f64 / n,
+            expected_fraction: reached_total as f64 / (n * community.len() as f64),
+        }
+    }
+
+    /// Samples the *impact* distribution of a source: for each retained
+    /// pseudo-state, the number of non-source nodes reached. This is the
+    /// dispersion measure behind Fig. 4 (predicted retweet counts).
+    pub fn impact_distribution<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let m = self.icm.edge_count();
+        let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
+        sampler.run(self.config.burn_in_steps(m), rng);
+        let thin = self.config.thin_steps(m);
+        let mut impacts = Vec::with_capacity(self.config.samples);
+        for _ in 0..self.config.samples {
+            sampler.run(thin, rng);
+            let reach = sampler.reach_set(&[source]);
+            impacts.push(reach.count_ones() - 1); // exclude the source
+        }
+        impacts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+    use flow_icm::exact::{
+        enumerate_conditional_probability, enumerate_event_probability,
+        enumerate_flow_probability,
+    };
+    use flow_icm::PseudoState;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_config() -> McmcConfig {
+        McmcConfig {
+            samples: 20_000,
+            ..Default::default()
+        }
+    }
+
+    fn diamond_icm() -> Icm {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        Icm::new(g, vec![0.7, 0.4, 0.5, 0.6])
+    }
+
+    #[test]
+    fn end_to_end_matches_enumeration() {
+        let icm = diamond_icm();
+        let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = FlowEstimator::new(&icm, test_config()).estimate_flow(
+            NodeId(0),
+            NodeId(3),
+            &mut rng,
+        );
+        assert!((est - exact).abs() < 0.012, "est {est}, exact {exact}");
+    }
+
+    #[test]
+    fn multi_sink_estimates_match_singletons() {
+        let icm = diamond_icm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = FlowEstimator::new(&icm, test_config());
+        let all = est.estimate_flows_from(
+            NodeId(0),
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(0)],
+            &mut rng,
+        );
+        for (k, sink) in [NodeId(1), NodeId(2), NodeId(3)].iter().enumerate() {
+            let exact = enumerate_flow_probability(&icm, NodeId(0), *sink);
+            assert!(
+                (all[k] - exact).abs() < 0.012,
+                "sink {sink}: got {}, exact {exact}",
+                all[k]
+            );
+        }
+        // Flow to self is zero by the (vk ∈ Vi \ Vi⊕) definition.
+        assert_eq!(all[3], 0.0);
+    }
+
+    #[test]
+    fn joint_flow_matches_enumeration() {
+        let icm = diamond_icm();
+        let graph = icm.graph().clone();
+        let exact = enumerate_event_probability(&icm, |x| {
+            x.carries_flow(&graph, NodeId(0), NodeId(1))
+                && x.carries_flow(&graph, NodeId(0), NodeId(3))
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = FlowEstimator::new(&icm, test_config())
+            .estimate_joint_flow(&[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(3))], &mut rng);
+        assert!((est - exact).abs() < 0.012, "est {est}, exact {exact}");
+    }
+
+    #[test]
+    fn conditional_flow_matches_enumeration() {
+        let icm = diamond_icm();
+        let graph = icm.graph().clone();
+        let conditions = vec![FlowCondition::requires(NodeId(0), NodeId(1))];
+        let exact = enumerate_conditional_probability(
+            &icm,
+            |x| x.carries_flow(&graph, NodeId(0), NodeId(3)),
+            |x| x.carries_flow(&graph, NodeId(0), NodeId(1)),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = FlowEstimator::new(&icm, test_config())
+            .estimate_conditional_flow(NodeId(0), NodeId(3), &conditions, &mut rng)
+            .unwrap();
+        assert!((est - exact).abs() < 0.012, "est {est}, exact {exact}");
+    }
+
+    #[test]
+    fn community_flow_consistency() {
+        let icm = diamond_icm();
+        let graph = icm.graph().clone();
+        let community = [NodeId(1), NodeId(3)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let cf = FlowEstimator::new(&icm, test_config()).estimate_community_flow(
+            NodeId(0),
+            &community,
+            &mut rng,
+        );
+        assert!(cf.all <= cf.any + 1e-12);
+        assert!(cf.all <= cf.expected_fraction + 1e-12);
+        assert!(cf.expected_fraction <= cf.any + 1e-12);
+        let exact_all = enumerate_event_probability(&icm, |x| {
+            x.carries_flow(&graph, NodeId(0), NodeId(1))
+                && x.carries_flow(&graph, NodeId(0), NodeId(3))
+        });
+        let exact_any = enumerate_event_probability(&icm, |x| {
+            x.carries_flow(&graph, NodeId(0), NodeId(1))
+                || x.carries_flow(&graph, NodeId(0), NodeId(3))
+        });
+        assert!((cf.all - exact_all).abs() < 0.015);
+        assert!((cf.any - exact_any).abs() < 0.015);
+    }
+
+    #[test]
+    fn impact_distribution_mean_matches_enumeration() {
+        let icm = diamond_icm();
+        let graph = icm.graph().clone();
+        // E[impact] = sum over nodes v != src of P(src ~> v).
+        let want: f64 = [NodeId(1), NodeId(2), NodeId(3)]
+            .iter()
+            .map(|&v| enumerate_flow_probability(&icm, NodeId(0), v))
+            .sum();
+        let mut rng = StdRng::seed_from_u64(6);
+        let impacts =
+            FlowEstimator::new(&icm, test_config()).impact_distribution(NodeId(0), &mut rng);
+        assert_eq!(impacts.len(), 20_000);
+        let mean = impacts.iter().sum::<usize>() as f64 / impacts.len() as f64;
+        assert!((mean - want).abs() < 0.03, "mean {mean}, want {want}");
+        assert!(impacts.iter().all(|&i| i < graph.node_count()));
+    }
+
+    #[test]
+    fn config_defaults_scale_with_edges() {
+        let c = McmcConfig::default();
+        assert_eq!(c.burn_in_steps(200), 2_000);
+        assert_eq!(c.thin_steps(200), 200);
+        assert_eq!(c.burn_in_steps(10), 500);
+        assert_eq!(c.thin_steps(2), 8);
+        let explicit = McmcConfig {
+            burn_in: Some(7),
+            thin: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(explicit.burn_in_steps(200), 7);
+        assert_eq!(explicit.thin_steps(200), 3);
+        assert_eq!(McmcConfig::fast().samples, 500);
+    }
+
+    #[test]
+    fn estimator_is_seed_deterministic() {
+        let icm = diamond_icm();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FlowEstimator::new(&icm, McmcConfig::fast()).estimate_flow(
+                NodeId(0),
+                NodeId(3),
+                &mut rng,
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn pseudo_state_probability_consistency() {
+        // Sanity link between this module and Eq. 3: the all-inactive
+        // state's probability is the product of (1 - p_e).
+        let icm = diamond_icm();
+        let x = PseudoState::all_inactive(icm.edge_count());
+        let want: f64 = icm.probabilities().iter().map(|p| 1.0 - p).product();
+        assert!((x.probability(&icm) - want).abs() < 1e-12);
+    }
+}

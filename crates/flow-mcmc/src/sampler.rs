@@ -1,0 +1,684 @@
+//! The Metropolis–Hastings pseudo-state chain (§III-B/C/D, Algorithm 1).
+//!
+//! ## Proposal
+//!
+//! From the current pseudo-state `x`, the proposal flips exactly one
+//! edge, chosen from a multinomial over edges. The paper describes the
+//! selection weights in prose as proportional to "the probability of the
+//! *resulting* activity on the flipped edge" (an inactive edge is picked
+//! ∝ `p`, an active one ∝ `1 − p`), but the printed formulas use the
+//! opposite convention (the probability of the *current* activity).
+//! Both are valid Metropolis–Hastings proposals for the same target —
+//! they only change `q`, and the acceptance ratio corrects for it — so
+//! both are implemented ([`ProposalKind`]) and cross-validated against
+//! exhaustive enumeration in the tests.
+//!
+//! Deriving the acceptance probability `A = min(p_ratio / q_ratio, 1)`
+//! for a flip of edge `i` with activation probability `p`:
+//!
+//! * **ResultingActivity** (prose convention, our default): the forward
+//!   selection weight equals the state-probability ratio's numerator and
+//!   everything cancels except the normalizers, giving `A = min(Z/Z′, 1)`
+//!   with `Z′ = Z + (−1)^{xᵢ}(1 − 2p)` — exactly the normalizer update
+//!   the paper states.
+//! * **CurrentActivity** (formula convention): the same derivation
+//!   leaves `A = min(r² · Z/Z′, 1)` where `r = p/(1−p)` when activating
+//!   and `(1−p)/p` when deactivating.
+//!
+//! The multinomial lives in a Fenwick tree ([`flow_stats::WeightTree`]),
+//! so sampling an edge, reading `Z`, and updating the flipped edge's
+//! weight are all `O(log m)` — the paper's "search tree".
+//!
+//! ## Conditions
+//!
+//! Flow conditions multiply the target by the indicator `I(x, C)`
+//! (Eq. 7): a proposal whose resulting state violates any condition has
+//! `p_ratio = 0` and is rejected outright (§III-D). The chain must
+//! *start* inside the support; [`PseudoStateSampler::with_conditions`]
+//! constructs a satisfying initial state by activating randomized paths
+//! for required flows and retrying on forbidden-flow violations.
+
+use flow_graph::traverse::BfsScratch;
+use flow_graph::{EdgeId, NodeId};
+use flow_icm::query::conditions_hold;
+use flow_icm::{FlowCondition, Icm, PseudoState};
+use flow_stats::WeightTree;
+use rand::Rng;
+
+/// Which per-edge selection weight the single-flip proposal uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProposalKind {
+    /// Weight = probability of the activity the flip would *produce*:
+    /// `p` for an inactive edge, `1 − p` for an active one. This is the
+    /// paper's prose description and our default; acceptance reduces to
+    /// `min(Z/Z′, 1)`.
+    #[default]
+    ResultingActivity,
+    /// Weight = probability of the *current* activity: `1 − p` for an
+    /// inactive edge, `p` for an active one (the convention of the
+    /// paper's printed `q_ratio` formula).
+    CurrentActivity,
+}
+
+impl ProposalKind {
+    /// Selection weight of an edge with activation probability `p` in
+    /// activity state `active`.
+    #[inline]
+    fn weight(self, p: f64, active: bool) -> f64 {
+        match self {
+            ProposalKind::ResultingActivity => {
+                if active {
+                    1.0 - p
+                } else {
+                    p
+                }
+            }
+            ProposalKind::CurrentActivity => {
+                if active {
+                    p
+                } else {
+                    1.0 - p
+                }
+            }
+        }
+    }
+}
+
+/// Failure to construct an initial state satisfying the flow conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConditionInitError {
+    /// The same flow is both required and forbidden.
+    Contradictory { source: NodeId, sink: NodeId },
+    /// A required flow has no path at all in the graph.
+    NoPath { source: NodeId, sink: NodeId },
+    /// No satisfying state was found within the attempt budget (the
+    /// required paths kept inducing forbidden flows).
+    SearchExhausted,
+}
+
+impl std::fmt::Display for ConditionInitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConditionInitError::Contradictory { source, sink } => {
+                write!(f, "flow {source} ~> {sink} is both required and forbidden")
+            }
+            ConditionInitError::NoPath { source, sink } => {
+                write!(f, "required flow {source} ~> {sink} has no path in the graph")
+            }
+            ConditionInitError::SearchExhausted => {
+                write!(f, "could not find a pseudo-state satisfying all conditions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConditionInitError {}
+
+/// A Metropolis–Hastings chain over the pseudo-states of one ICM.
+#[derive(Clone, Debug)]
+pub struct PseudoStateSampler<'a> {
+    icm: &'a Icm,
+    state: PseudoState,
+    tree: WeightTree,
+    kind: ProposalKind,
+    conditions: Vec<FlowCondition>,
+    scratch: BfsScratch,
+    steps: u64,
+    accepted: u64,
+    updates_since_rebuild: u64,
+    rebuild_every: u64,
+}
+
+impl<'a> PseudoStateSampler<'a> {
+    /// Starts a marginal (unconditioned) chain. The initial state is an
+    /// exact draw from the target (Eq. 3 factorizes over edges), so no
+    /// burn-in is strictly necessary — callers typically keep a short
+    /// one anyway for safety after conditioning.
+    pub fn new<R: Rng + ?Sized>(icm: &'a Icm, kind: ProposalKind, rng: &mut R) -> Self {
+        let state = PseudoState::sample(icm, rng);
+        Self::from_state(icm, kind, state, Vec::new())
+    }
+
+    /// Starts a chain targeting `Pr[x | M, C]` for the given conditions.
+    ///
+    /// The initial state activates a randomized path for every required
+    /// flow (everything else drawn from the marginal), retrying until
+    /// the forbidden flows hold too.
+    pub fn with_conditions<R: Rng + ?Sized>(
+        icm: &'a Icm,
+        kind: ProposalKind,
+        conditions: Vec<FlowCondition>,
+        rng: &mut R,
+    ) -> Result<Self, ConditionInitError> {
+        if let Some((source, sink)) = flow_icm::query::find_contradiction(&conditions) {
+            return Err(ConditionInitError::Contradictory { source, sink });
+        }
+        // A required flow with no path at all can never be satisfied.
+        let mut scratch = BfsScratch::new(icm.node_count());
+        for c in &conditions {
+            if c.required && !scratch.is_reachable(icm.graph(), c.source, c.sink, |_| true) {
+                return Err(ConditionInitError::NoPath {
+                    source: c.source,
+                    sink: c.sink,
+                });
+            }
+        }
+        const ATTEMPTS: usize = 200;
+        for attempt in 0..ATTEMPTS {
+            // Attempt 0..k: marginal draw + required-path repair.
+            // Later attempts: sparser backgrounds, which make forbidden
+            // conditions easier to satisfy.
+            let mut state = if attempt < ATTEMPTS / 2 {
+                PseudoState::sample(icm, rng)
+            } else {
+                PseudoState::all_inactive(icm.edge_count())
+            };
+            for c in &conditions {
+                if c.required && !state.carries_flow(icm.graph(), c.source, c.sink) {
+                    activate_random_path(icm, &mut state, c.source, c.sink, rng);
+                }
+            }
+            if conditions_hold(icm.graph(), &state, &conditions) {
+                return Ok(Self::from_state(icm, kind, state, conditions));
+            }
+        }
+        Err(ConditionInitError::SearchExhausted)
+    }
+
+    fn from_state(
+        icm: &'a Icm,
+        kind: ProposalKind,
+        state: PseudoState,
+        conditions: Vec<FlowCondition>,
+    ) -> Self {
+        let weights: Vec<f64> = icm
+            .graph()
+            .edges()
+            .map(|e| kind.weight(icm.probability(e), state.is_active(e)))
+            .collect();
+        PseudoStateSampler {
+            scratch: BfsScratch::new(icm.node_count()),
+            icm,
+            state,
+            tree: WeightTree::new(&weights),
+            kind,
+            conditions,
+            steps: 0,
+            accepted: 0,
+            updates_since_rebuild: 0,
+            rebuild_every: 1 << 20,
+        }
+    }
+
+    /// The model this chain samples from.
+    pub fn icm(&self) -> &Icm {
+        self.icm
+    }
+
+    /// The current pseudo-state.
+    pub fn state(&self) -> &PseudoState {
+        &self.state
+    }
+
+    /// The active conditions.
+    pub fn conditions(&self) -> &[FlowCondition] {
+        &self.conditions
+    }
+
+    /// Total proposals made.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Accepted proposals.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Fraction of proposals accepted (0 before any step).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// Laziness: probability of a deliberate self-loop per step.
+    ///
+    /// The single-flip proposal changes the state's edge-parity on
+    /// every acceptance, so a chain whose acceptance probability is
+    /// identically 1 (e.g. all `p = 1/2`) is *periodic*: thinned at an
+    /// even interval it can never leave its parity class. Any positive
+    /// laziness restores aperiodicity without changing the stationary
+    /// distribution (a lazy chain's fixed point is unchanged).
+    const LAZINESS: f64 = 0.05;
+
+    /// Performs one chain update (Algorithm 1, plus a 5% lazy
+    /// self-loop for aperiodicity — see [`Self::step`]'s source note).
+    /// Returns `true` if the proposal was accepted (the state changed).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.steps += 1;
+        if rng.random::<f64>() < Self::LAZINESS {
+            return false;
+        }
+        let Some(i) = self.tree.sample(rng) else {
+            // All proposal weights are zero (e.g. every edge has p = 0
+            // and is inactive): the chain is already at the target's
+            // only mass point.
+            return false;
+        };
+        let e = EdgeId(i as u32);
+        let p = self.icm.probability(e);
+        let was_active = self.state.is_active(e);
+        let z = self.tree.total();
+        let w_new = self.kind.weight(p, !was_active);
+        let z_new = z - self.tree.get(i) + w_new;
+
+        let accept_prob = match self.kind {
+            // A = min(Z / Z', 1); see module docs for the derivation.
+            ProposalKind::ResultingActivity => z / z_new,
+            // A = min(r^2 * Z / Z', 1) with r the state-probability ratio.
+            ProposalKind::CurrentActivity => {
+                let r = if was_active {
+                    (1.0 - p) / p
+                } else {
+                    p / (1.0 - p)
+                };
+                r * r * z / z_new
+            }
+        };
+
+        if accept_prob < 1.0 && rng.random::<f64>() > accept_prob {
+            return false;
+        }
+
+        // Condition indicator on the proposed state (p_ratio = 0 on
+        // violation → certain rejection).
+        if !self.conditions.is_empty() {
+            self.state.flip(e);
+            let ok = self.conditions_hold_scratch();
+            if !ok {
+                self.state.flip(e);
+                return false;
+            }
+        } else {
+            self.state.flip(e);
+        }
+
+        self.tree.update(i, w_new);
+        self.accepted += 1;
+        self.updates_since_rebuild += 1;
+        if self.updates_since_rebuild >= self.rebuild_every {
+            self.tree.rebuild();
+            self.updates_since_rebuild = 0;
+        }
+        true
+    }
+
+    /// Performs `n` chain updates.
+    pub fn run<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
+        for _ in 0..n {
+            self.step(rng);
+        }
+    }
+
+    /// True iff the current state carries the flow `source ~> sink`.
+    pub fn carries_flow(&mut self, source: NodeId, sink: NodeId) -> bool {
+        let state = &self.state;
+        self.scratch
+            .is_reachable(self.icm.graph(), source, sink, |e| state.is_active(e))
+    }
+
+    /// The set of nodes reachable from `sources` in the current state,
+    /// as a bitset reference (valid until the next call).
+    pub fn reach_set(&mut self, sources: &[NodeId]) -> &flow_graph::BitSet {
+        let state = &self.state;
+        self.scratch
+            .reach_set(self.icm.graph(), sources, |e| state.is_active(e))
+    }
+
+    fn conditions_hold_scratch(&mut self) -> bool {
+        let state = &self.state;
+        let graph = self.icm.graph();
+        self.conditions.iter().all(|c| {
+            self.scratch
+                .is_reachable(graph, c.source, c.sink, |e| state.is_active(e))
+                == c.required
+        })
+    }
+}
+
+/// Activates the edges of one randomized path from `source` to `sink`
+/// (BFS with shuffled neighbour order), leaving other edges untouched.
+fn activate_random_path<R: Rng + ?Sized>(
+    icm: &Icm,
+    state: &mut PseudoState,
+    source: NodeId,
+    sink: NodeId,
+    rng: &mut R,
+) {
+    let graph = icm.graph();
+    let n = graph.node_count();
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    let mut edge_buf: Vec<EdgeId> = Vec::new();
+    'bfs: while let Some(u) = queue.pop_front() {
+        edge_buf.clear();
+        edge_buf.extend_from_slice(graph.out_edges(u));
+        // Shuffle so repeated attempts explore different paths.
+        for k in (1..edge_buf.len()).rev() {
+            edge_buf.swap(k, rng.random_range(0..=k));
+        }
+        for &e in &edge_buf {
+            let v = graph.dst(e);
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                parent_edge[v.index()] = Some(e);
+                if v == sink {
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    // Walk back from the sink, activating the path edges.
+    let mut v = sink;
+    while v != source {
+        let Some(e) = parent_edge[v.index()] else {
+            return; // unreachable sink: nothing to activate
+        };
+        state.set(e, true);
+        v = graph.src(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+    use flow_icm::exact::{
+        enumerate_conditional_probability, enumerate_event_probability,
+        enumerate_flow_probability,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diamond_icm() -> Icm {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        Icm::new(g, vec![0.7, 0.4, 0.5, 0.6])
+    }
+
+    /// Empirical pseudo-state distribution from the chain vs Eq. 3.
+    fn check_stationary_distribution(kind: ProposalKind, seed: u64) {
+        let icm = diamond_icm();
+        let m = icm.edge_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = PseudoStateSampler::new(&icm, kind, &mut rng);
+        let mut counts = vec![0u64; 1 << m];
+        let kept = 60_000;
+        let thin = 8;
+        sampler.run(500, &mut rng);
+        for _ in 0..kept {
+            sampler.run(thin, &mut rng);
+            counts[sampler.state().bits().as_u64() as usize] += 1;
+        }
+        for code in 0..(1u64 << m) {
+            let x = PseudoState::from_bits(flow_graph::BitSet::from_u64(m, code));
+            let want = x.probability(&icm);
+            let got = counts[code as usize] as f64 / kept as f64;
+            assert!(
+                (got - want).abs() < 0.012,
+                "{kind:?} state {code:04b}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_resulting_activity() {
+        check_stationary_distribution(ProposalKind::ResultingActivity, 101);
+    }
+
+    #[test]
+    fn stationary_distribution_current_activity() {
+        check_stationary_distribution(ProposalKind::CurrentActivity, 102);
+    }
+
+    #[test]
+    fn marginal_flow_estimate_matches_enumeration() {
+        let icm = diamond_icm();
+        let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+            let mut rng = StdRng::seed_from_u64(200);
+            let mut sampler = PseudoStateSampler::new(&icm, kind, &mut rng);
+            sampler.run(500, &mut rng);
+            let kept = 40_000;
+            let mut hits = 0;
+            for _ in 0..kept {
+                sampler.run(6, &mut rng);
+                if sampler.carries_flow(NodeId(0), NodeId(3)) {
+                    hits += 1;
+                }
+            }
+            let got = hits as f64 / kept as f64;
+            assert!(
+                (got - exact).abs() < 0.01,
+                "{kind:?}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_sampling_matches_enumeration() {
+        let icm = diamond_icm();
+        let graph = icm.graph().clone();
+        // Condition: flow 0 ~> 1 required, flow 0 ~> 2 forbidden.
+        let conditions = vec![
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::forbids(NodeId(0), NodeId(2)),
+        ];
+        let exact = enumerate_conditional_probability(
+            &icm,
+            |x| x.carries_flow(&graph, NodeId(0), NodeId(3)),
+            |x| {
+                x.carries_flow(&graph, NodeId(0), NodeId(1))
+                    && !x.carries_flow(&graph, NodeId(0), NodeId(2))
+            },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(300);
+        let mut sampler = PseudoStateSampler::with_conditions(
+            &icm,
+            ProposalKind::ResultingActivity,
+            conditions,
+            &mut rng,
+        )
+        .unwrap();
+        sampler.run(2_000, &mut rng);
+        let kept = 40_000;
+        let mut hits = 0;
+        for _ in 0..kept {
+            sampler.run(6, &mut rng);
+            if sampler.carries_flow(NodeId(0), NodeId(3)) {
+                hits += 1;
+            }
+        }
+        let got = hits as f64 / kept as f64;
+        assert!((got - exact).abs() < 0.012, "got {got}, exact {exact}");
+    }
+
+    #[test]
+    fn conditional_chain_never_leaves_support() {
+        let icm = diamond_icm();
+        let conditions = vec![
+            FlowCondition::requires(NodeId(0), NodeId(3)),
+            FlowCondition::forbids(NodeId(0), NodeId(1)),
+        ];
+        let mut rng = StdRng::seed_from_u64(301);
+        let mut sampler = PseudoStateSampler::with_conditions(
+            &icm,
+            ProposalKind::ResultingActivity,
+            conditions.clone(),
+            &mut rng,
+        )
+        .unwrap();
+        for _ in 0..3_000 {
+            sampler.step(&mut rng);
+            assert!(conditions_hold(
+                sampler.icm().graph(),
+                sampler.state(),
+                &conditions
+            ));
+        }
+        // With 0~>1 forbidden, flow must go via node 2.
+        assert!(sampler.carries_flow(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn contradictory_conditions_rejected() {
+        let icm = diamond_icm();
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = PseudoStateSampler::with_conditions(
+            &icm,
+            ProposalKind::ResultingActivity,
+            vec![
+                FlowCondition::requires(NodeId(0), NodeId(3)),
+                FlowCondition::forbids(NodeId(0), NodeId(3)),
+            ],
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConditionInitError::Contradictory {
+                source: NodeId(0),
+                sink: NodeId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn unreachable_required_flow_rejected() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let icm = Icm::with_uniform_probability(g, 0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = PseudoStateSampler::with_conditions(
+            &icm,
+            ProposalKind::ResultingActivity,
+            vec![FlowCondition::requires(NodeId(0), NodeId(2))],
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConditionInitError::NoPath {
+                source: NodeId(0),
+                sink: NodeId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn conditional_bayes_coherence() {
+        // P(A and B) = P(A | B) P(B) on a 5-node random model, with the
+        // conditional estimated by the conditioned chain and the other
+        // two terms by enumeration.
+        let mut rng = StdRng::seed_from_u64(401);
+        let g = flow_graph::generate::uniform_edges(&mut rng, 5, 10);
+        let icm = Icm::with_uniform_probability(g, 0.4);
+        let graph = icm.graph().clone();
+        let (a_src, a_dst) = (NodeId(0), NodeId(4));
+        let (b_src, b_dst) = (NodeId(0), NodeId(2));
+        let p_b = enumerate_event_probability(&icm, |x| x.carries_flow(&graph, b_src, b_dst));
+        if p_b < 0.05 {
+            // Degenerate draw; the fixed seed avoids this in practice.
+            panic!("test fixture too degenerate (p_b = {p_b})");
+        }
+        let p_ab = enumerate_event_probability(&icm, |x| {
+            x.carries_flow(&graph, a_src, a_dst) && x.carries_flow(&graph, b_src, b_dst)
+        });
+        let mut sampler = PseudoStateSampler::with_conditions(
+            &icm,
+            ProposalKind::ResultingActivity,
+            vec![FlowCondition::requires(b_src, b_dst)],
+            &mut rng,
+        )
+        .unwrap();
+        sampler.run(2_000, &mut rng);
+        let kept = 40_000;
+        let mut hits = 0;
+        for _ in 0..kept {
+            sampler.run(8, &mut rng);
+            if sampler.carries_flow(a_src, a_dst) {
+                hits += 1;
+            }
+        }
+        let p_a_given_b = hits as f64 / kept as f64;
+        assert!(
+            (p_a_given_b * p_b - p_ab).abs() < 0.015,
+            "P(A|B)P(B) = {} vs P(AB) = {p_ab}",
+            p_a_given_b * p_b
+        );
+    }
+
+    #[test]
+    fn acceptance_rate_is_tracked() {
+        let icm = diamond_icm();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler =
+            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        assert_eq!(sampler.acceptance_rate(), 0.0);
+        sampler.run(5_000, &mut rng);
+        let rate = sampler.acceptance_rate();
+        assert!(rate > 0.3 && rate <= 1.0, "rate {rate}");
+        assert_eq!(sampler.steps(), 5_000);
+        assert!(sampler.accepted() > 0);
+    }
+
+    #[test]
+    fn chain_is_seed_deterministic() {
+        let icm = diamond_icm();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+            s.run(1_000, &mut rng);
+            s.state().bits().as_u64()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn degenerate_probabilities_are_stable() {
+        // p = 0 edges must stay inactive; p = 1 edges must become and
+        // stay active under the default proposal.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let icm = Icm::new(g, vec![0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sampler =
+            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        sampler.run(500, &mut rng);
+        assert!(!sampler.state().is_active(EdgeId(0)));
+        assert!(sampler.state().is_active(EdgeId(1)));
+    }
+
+    #[test]
+    fn reach_set_matches_carries_flow() {
+        let icm = diamond_icm();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sampler =
+            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        for _ in 0..100 {
+            sampler.run(3, &mut rng);
+            let flows: Vec<bool> = (0..4)
+                .map(|v| sampler.carries_flow(NodeId(0), NodeId(v)))
+                .collect();
+            let reach = sampler.reach_set(&[NodeId(0)]).clone();
+            for (v, &flow) in flows.iter().enumerate() {
+                assert_eq!(reach.get(v), flow, "node {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Regression test for chain periodicity.
+//!
+//! With every activation probability exactly 1/2, the single-flip
+//! proposal's acceptance is identically 1, so each step changes the
+//! state's edge-parity deterministically. Without the lazy self-loop,
+//! thinning at an even interval traps the chain inside one parity
+//! class: on the two-edge line graph, chains started in {(1,0),(0,1)}
+//! could *never* observe the flow state (1,1), yielding flow
+//! probabilities of exactly 0 or ~0.5 instead of 0.25 depending on the
+//! seed. The 5% laziness in `PseudoStateSampler::step` restores
+//! aperiodicity; this test locks the behaviour in across seeds.
+
+use flow_graph::{graph::graph_from_edges, NodeId};
+use flow_icm::Icm;
+use flow_mcmc::{FlowEstimator, McmcConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn half_probability_line_graph_is_not_parity_trapped() {
+    let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+    let icm = Icm::with_uniform_probability(g, 0.5);
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = FlowEstimator::new(
+            &icm,
+            McmcConfig {
+                samples: 4_000,
+                ..Default::default()
+            },
+        )
+        .estimate_flow(NodeId(0), NodeId(2), &mut rng);
+        assert!(
+            (est - 0.25).abs() < 0.04,
+            "seed {seed}: flow estimate {est} (parity trap would give 0 or ~0.5)"
+        );
+    }
+}
+
+#[test]
+fn half_probability_even_thinning_explicit() {
+    // Force an even thinning interval, the worst case for the parity
+    // trap, across both proposal kinds.
+    use flow_mcmc::sampler::ProposalKind;
+    let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+    let icm = Icm::with_uniform_probability(g, 0.5);
+    for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let est = FlowEstimator::new(
+                &icm,
+                McmcConfig {
+                    samples: 4_000,
+                    thin: Some(8),
+                    burn_in: Some(100),
+                    proposal: kind,
+                },
+            )
+            .estimate_flow(NodeId(0), NodeId(2), &mut rng);
+            assert!(
+                (est - 0.25).abs() < 0.05,
+                "{kind:?} seed {seed}: estimate {est}"
+            );
+        }
+    }
+}

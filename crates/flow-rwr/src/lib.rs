@@ -1,0 +1,218 @@
+//! Random Walk with Restart (RWR) — the similarity baseline of §IV-E.
+//!
+//! RWR scores node `v` from source `u` as the stationary probability of
+//! a random walk that follows out-edges (weighted by the model's
+//! activation probabilities) and teleports back to `u` with the restart
+//! probability `c` at every step:
+//!
+//! `r = (1 − c) · W̃ᵀ r + c · e_u`
+//!
+//! The paper's criticism, which the Fig. 5 bucket experiment
+//! demonstrates, is that RWR is a *similarity measure, not a
+//! probability*: the scores sum to 1 over nodes, so they systematically
+//! underestimate flow probabilities and cannot express joint or
+//! conditional flow queries at all. We implement it faithfully (power
+//! iteration on the probability-weighted, row-normalized transition
+//! matrix) so the comparison can be reproduced.
+
+use flow_graph::{DiGraph, NodeId};
+
+/// RWR configuration.
+///
+/// ```
+/// use flow_graph::{graph::graph_from_edges, NodeId};
+/// use flow_rwr::{rwr_scores, RwrConfig};
+///
+/// let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+/// let scores = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |_| 1.0);
+/// let total: f64 = scores.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9); // a similarity, not a probability
+/// assert!(scores[0] > scores[2]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RwrConfig {
+    /// Restart (teleport) probability `c`; 0.15 is the conventional
+    /// PageRank-style choice.
+    pub restart: f64,
+    /// Maximum power-iteration sweeps.
+    pub max_iterations: usize,
+    /// L1 convergence threshold.
+    pub tolerance: f64,
+}
+
+impl Default for RwrConfig {
+    fn default() -> Self {
+        RwrConfig {
+            restart: 0.15,
+            max_iterations: 200,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Computes the RWR score vector from `source` on `graph`, with edge
+/// weights `edge_weight(e)` (use the ICM activation probabilities to
+/// mirror the paper's comparison; any nonnegative weights work).
+///
+/// Walk mass at a node with no outgoing weight restarts (dangling-node
+/// convention). The returned vector sums to 1.
+pub fn rwr_scores(
+    graph: &DiGraph,
+    source: NodeId,
+    config: &RwrConfig,
+    edge_weight: impl Fn(flow_graph::EdgeId) -> f64,
+) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&config.restart),
+        "restart must be a probability"
+    );
+    let n = graph.node_count();
+    assert!(source.index() < n, "source out of range");
+    // Row-normalized transition weights.
+    let out_totals: Vec<f64> = graph
+        .nodes()
+        .map(|v| graph.out_edges(v).iter().map(|&e| edge_weight(e)).sum())
+        .collect();
+    let mut r = vec![0.0f64; n];
+    r[source.index()] = 1.0;
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.max_iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for v in graph.nodes() {
+            let mass = r[v.index()];
+            if mass == 0.0 {
+                continue;
+            }
+            let total = out_totals[v.index()];
+            if total <= 0.0 {
+                dangling += mass;
+                continue;
+            }
+            for &e in graph.out_edges(v) {
+                let w = edge_weight(e);
+                if w > 0.0 {
+                    next[graph.dst(e).index()] += (1.0 - config.restart) * mass * w / total;
+                }
+            }
+        }
+        // Restart mass: teleported fraction plus all dangling mass.
+        next[source.index()] += config.restart * (1.0 - dangling) + dangling;
+        let delta: f64 = next.iter().zip(&r).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut r, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    r
+}
+
+/// RWR pseudo-"flow estimate" from `source` to `sink`: the sink's score,
+/// clamped into `[0, 1]` (it already is, being a probability mass). This
+/// is the quantity fed to the Fig. 5 bucket experiment.
+pub fn rwr_flow_estimate(
+    graph: &DiGraph,
+    source: NodeId,
+    sink: NodeId,
+    config: &RwrConfig,
+    edge_weight: impl Fn(flow_graph::EdgeId) -> f64,
+) -> f64 {
+    rwr_scores(graph, source, config, edge_weight)[sink.index()].clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+
+    #[test]
+    fn scores_form_a_distribution() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let r = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |_| 1.0);
+        let total: f64 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(r.iter().all(|&x| x >= 0.0));
+        assert!(r[0] > r[3], "source retains the most mass");
+    }
+
+    #[test]
+    fn restart_one_is_a_point_mass() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = RwrConfig {
+            restart: 1.0,
+            ..Default::default()
+        };
+        let r = rwr_scores(&g, NodeId(0), &cfg, |_| 1.0);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_score_zero() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let r = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |_| 1.0);
+        assert_eq!(r[2], 0.0);
+        assert_eq!(r[3], 0.0);
+        assert!(r[1] > 0.0);
+    }
+
+    #[test]
+    fn dangling_mass_restarts() {
+        // 0 -> 1 with 1 a sink: mass cycles 0 -> 1 -> restart.
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let r = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |_| 1.0);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r[0] > r[1]);
+        // Stationarity: r1 = (1-c) * r0.
+        assert!((r[1] - 0.85 * r[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_ignored() {
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let r = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |e| {
+            if e == e01 {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(r[1], 0.0);
+        assert!(r[2] > 0.0);
+    }
+
+    #[test]
+    fn weights_bias_the_walk() {
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let r = rwr_scores(&g, NodeId(0), &RwrConfig::default(), |e| {
+            if e == e01 {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        assert!(r[1] > 5.0 * r[2], "r1 {} r2 {}", r[1], r[2]);
+    }
+
+    #[test]
+    fn rwr_underestimates_true_flow_probability() {
+        // The paper's point: on a high-probability path, the true flow
+        // probability is high but the RWR score is small because scores
+        // are shared across all nodes.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let est = rwr_flow_estimate(&g, NodeId(0), NodeId(2), &RwrConfig::default(), |_| 0.9);
+        // True ICM flow probability would be 0.81.
+        assert!(est < 0.5, "similarity {est} is not a probability");
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn flow_estimate_is_deterministic() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let a = rwr_flow_estimate(&g, NodeId(0), NodeId(3), &RwrConfig::default(), |_| 0.5);
+        let b = rwr_flow_estimate(&g, NodeId(0), NodeId(3), &RwrConfig::default(), |_| 0.5);
+        assert_eq!(a, b);
+    }
+}

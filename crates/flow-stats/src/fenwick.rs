@@ -1,0 +1,312 @@
+//! A Fenwick (binary-indexed) tree over nonnegative `f64` weights with
+//! `O(log m)` point updates and `O(log m)` weighted sampling.
+//!
+//! This is the “search tree” of §III-C of the paper: the
+//! Metropolis–Hastings proposal maintains a multinomial distribution over
+//! edges (`q_i`), flips one edge per step, and must both *sample* an edge
+//! proportional to its weight and *update* the flipped edge's weight in
+//! logarithmic time, while tracking the normalizing constant `Z`.
+//!
+//! Floating-point drift: weights are stored exactly in a side array, and
+//! the prefix sums can be rebuilt in `O(m)` via [`WeightTree::rebuild`];
+//! long-running samplers call this periodically.
+
+use rand::Rng;
+
+/// Weighted-sampling Fenwick tree.
+///
+/// ```
+/// use flow_stats::WeightTree;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut tree = WeightTree::new(&[1.0, 0.0, 3.0]);
+/// assert_eq!(tree.total(), 4.0);
+/// tree.update(1, 2.0);          // O(log m)
+/// assert_eq!(tree.total(), 6.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let i = tree.sample(&mut rng).unwrap();  // O(log m), ∝ weight
+/// assert!(i < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightTree {
+    /// Fenwick array of partial sums, 1-indexed internally.
+    tree: Vec<f64>,
+    /// Exact current weights, 0-indexed.
+    weights: Vec<f64>,
+    /// `tree.len() - 1` rounded up to a power of two, for the descent.
+    mask: usize,
+}
+
+impl WeightTree {
+    /// Builds a tree over the given weights. All weights must be
+    /// nonnegative and finite.
+    pub fn new(weights: &[f64]) -> Self {
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weight {i} must be nonnegative and finite, got {w}"
+            );
+        }
+        let n = weights.len();
+        let mut t = WeightTree {
+            tree: vec![0.0; n + 1],
+            weights: weights.to_vec(),
+            mask: n.next_power_of_two(),
+        };
+        t.rebuild();
+        t
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if there are no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of leaf `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight (the normalizing constant `Z`).
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.weights.len())
+    }
+
+    /// Sets leaf `i` to weight `w` in `O(log m)`.
+    pub fn update(&mut self, i: usize, w: f64) {
+        assert!(
+            w >= 0.0 && w.is_finite(),
+            "weight must be nonnegative and finite, got {w}"
+        );
+        let delta = w - self.weights[i];
+        self.weights[i] = w;
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Sum of weights `0..i`.
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        let mut idx = i.min(self.weights.len());
+        let mut acc = 0.0;
+        while idx > 0 {
+            acc += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Samples a leaf index with probability proportional to its weight.
+    ///
+    /// Returns `None` when the total weight is zero (or there are no
+    /// leaves). `O(log m)` via Fenwick descent.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if total <= 0.0 || self.weights.is_empty() {
+            return None;
+        }
+        let target = rng.random::<f64>() * total;
+        Some(self.find_by_prefix(target))
+    }
+
+    /// Returns the smallest index `i` such that the prefix sum through
+    /// leaf `i` exceeds `target`. `target` must be in `[0, total)`.
+    pub fn find_by_prefix(&self, mut target: f64) -> usize {
+        let mut pos = 0usize;
+        let mut step = self.mask;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // `pos` is the count of leaves whose cumulative weight is <= target.
+        // Guard against FP edge cases at the top end and zero-weight leaves.
+        let mut i = pos.min(self.weights.len().saturating_sub(1));
+        while i + 1 < self.weights.len() && self.weights[i] == 0.0 {
+            i += 1;
+        }
+        i
+    }
+
+    /// Recomputes all prefix sums from the exact weights, clearing any
+    /// accumulated floating-point drift. `O(m)`.
+    pub fn rebuild(&mut self) {
+        for t in &mut self.tree {
+            *t = 0.0;
+        }
+        for i in 0..self.weights.len() {
+            let mut idx = i + 1;
+            let w = self.weights[i];
+            // Propagate like `update` but from a clean slate: add w at
+            // every ancestor.
+            while idx < self.tree.len() {
+                self.tree[idx] += w;
+                idx += idx & idx.wrapping_neg();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_and_prefix_sums() {
+        let t = WeightTree::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.len(), 4);
+        assert!((t.total() - 10.0).abs() < 1e-12);
+        assert!((t.prefix_sum(0) - 0.0).abs() < 1e-12);
+        assert!((t.prefix_sum(2) - 3.0).abs() < 1e-12);
+        assert!((t.prefix_sum(4) - 10.0).abs() < 1e-12);
+        assert!((t.prefix_sum(100) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_changes_total() {
+        let mut t = WeightTree::new(&[1.0, 1.0, 1.0]);
+        t.update(1, 5.0);
+        assert!((t.total() - 7.0).abs() < 1e-12);
+        assert_eq!(t.get(1), 5.0);
+        t.update(1, 0.0);
+        assert!((t.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn find_by_prefix_boundaries() {
+        let t = WeightTree::new(&[2.0, 0.0, 3.0, 5.0]);
+        assert_eq!(t.find_by_prefix(0.0), 0);
+        assert_eq!(t.find_by_prefix(1.999), 0);
+        // Weight-0 leaf is skipped.
+        assert_eq!(t.find_by_prefix(2.0), 2);
+        assert_eq!(t.find_by_prefix(4.999), 2);
+        assert_eq!(t.find_by_prefix(5.0), 3);
+        assert_eq!(t.find_by_prefix(9.999), 3);
+    }
+
+    #[test]
+    fn sample_empirical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = WeightTree::new(&[1.0, 0.0, 2.0, 7.0]);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let f0 = counts[0] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        let f3 = counts[3] as f64 / n as f64;
+        assert!((f0 - 0.1).abs() < 0.01, "f0={f0}");
+        assert!((f2 - 0.2).abs() < 0.01, "f2={f2}");
+        assert!((f3 - 0.7).abs() < 0.01, "f3={f3}");
+    }
+
+    #[test]
+    fn sample_none_when_all_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = WeightTree::new(&[0.0, 0.0]);
+        assert_eq!(t.sample(&mut rng), None);
+        let e = WeightTree::new(&[]);
+        assert_eq!(e.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn rebuild_clears_drift() {
+        let mut t = WeightTree::new(&[0.1; 64]);
+        // Hammer updates to accumulate drift.
+        for i in 0..64 {
+            for _ in 0..1000 {
+                t.update(i, 0.3);
+                t.update(i, 0.1);
+            }
+        }
+        t.rebuild();
+        assert!((t.total() - 6.4).abs() < 1e-12);
+        for i in 0..64 {
+            assert_eq!(t.get(i), 0.1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 3, 5, 7, 13, 100] {
+            let weights: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let t = WeightTree::new(&weights);
+            let expect: f64 = weights.iter().sum();
+            assert!((t.total() - expect).abs() < 1e-9, "n={n}");
+            // find_by_prefix at each leaf boundary.
+            let mut acc = 0.0;
+            for (i, &w) in weights.iter().enumerate() {
+                assert_eq!(t.find_by_prefix(acc), i, "n={n} i={i}");
+                acc += w;
+                assert_eq!(t.find_by_prefix(acc - 1e-9), i, "n={n} i={i} end");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative_weight() {
+        let _ = WeightTree::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn matches_linear_scan_reference() {
+        // Property-style: random updates, then compare sampling CDF
+        // boundaries to a naive linear scan.
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng as _;
+        let n = 37;
+        let mut weights: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let mut t = WeightTree::new(&weights);
+        for _ in 0..500 {
+            let i = rng.random_range(0..n);
+            let w = if rng.random::<f64>() < 0.2 {
+                0.0
+            } else {
+                rng.random::<f64>() * 3.0
+            };
+            weights[i] = w;
+            t.update(i, w);
+        }
+        let total: f64 = weights.iter().sum();
+        assert!((t.total() - total).abs() < 1e-9);
+        for _ in 0..200 {
+            let target = rng.random::<f64>() * total;
+            // Naive scan.
+            let mut acc = 0.0;
+            let mut want = n - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                acc += w;
+                if target < acc {
+                    want = i;
+                    break;
+                }
+            }
+            let got = t.find_by_prefix(target);
+            // Both must land on a leaf with identical cumulative range;
+            // allow for FP ties only when weights are zero between them.
+            if got != want {
+                let (lo, hi) = (got.min(want), got.max(want));
+                assert!(
+                    (lo..hi).all(|j| weights[j + 1] == 0.0 || weights[j] == 0.0),
+                    "mismatch got={got} want={want} target={target}"
+                );
+            }
+        }
+    }
+}

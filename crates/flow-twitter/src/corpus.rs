@@ -1,0 +1,469 @@
+//! Synthetic corpus generation.
+//!
+//! The generator builds, in order: a follow graph (directed preferential
+//! attachment — edges point in the direction tweets flow), three hidden
+//! ground-truth ICMs over that graph (retweet, hashtag, URL), original
+//! tweets per user, retweet cascades with `RT @user:` ancestry syntax,
+//! hashtag/URL adoption cascades (hashtags get extra *exogenous*
+//! adopters to reproduce the paper's Fig. 8 vs Fig. 9 contrast), and
+//! finally a random crawl *drop* that hides a fraction of tweets from
+//! the preprocessing stage.
+
+use flow_graph::{DiGraph, NodeId};
+use flow_icm::state::simulate_cascade;
+use flow_icm::Icm;
+use flow_stats::Beta;
+use rand::Rng;
+
+/// Maximum tweet length, enforced like the real service.
+pub const TWEET_LIMIT: usize = 140;
+
+/// Identifier of a tweet within a corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TweetId(pub u64);
+
+/// One tweet (original or retweet).
+#[derive(Clone, Debug)]
+pub struct Tweet {
+    /// Corpus-unique id.
+    pub id: TweetId,
+    /// Author's node id in the follow graph.
+    pub author: NodeId,
+    /// Logical timestamp (cascade depth; originals are at their own
+    /// emission time).
+    pub time: u32,
+    /// The ≤140-character text, in real Twitter syntax.
+    pub text: String,
+    /// Ground truth: the tweet this one retweeted, if any.
+    pub true_parent: Option<TweetId>,
+    /// Ground truth: the original tweet at the root of the cascade.
+    pub true_root: TweetId,
+    /// Whether the crawl captured this tweet (false = dropped).
+    pub visible: bool,
+}
+
+impl Tweet {
+    /// True iff this is an original (non-retweet) tweet.
+    pub fn is_original(&self) -> bool {
+        self.true_parent.is_none()
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of users (nodes).
+    pub users: usize,
+    /// Preferential-attachment out-links per new node.
+    pub attachment: usize,
+    /// Probability a follow is reciprocated.
+    pub reciprocity: f64,
+    /// Mean original tweets per user (geometric-ish).
+    pub tweets_per_user: f64,
+    /// Fraction of tweets hidden from the crawl.
+    pub drop_rate: f64,
+    /// Number of distinct hashtag objects.
+    pub hashtags: usize,
+    /// Number of distinct URL objects.
+    pub urls: usize,
+    /// Per-user probability of adopting a hashtag *exogenously*
+    /// (offline coordination, independent discovery) — the mechanism
+    /// the paper blames for the poor hashtag calibration of Fig. 9.
+    pub exogenous_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            users: 300,
+            attachment: 3,
+            reciprocity: 0.3,
+            tweets_per_user: 3.0,
+            drop_rate: 0.1,
+            hashtags: 40,
+            urls: 40,
+            exogenous_rate: 0.02,
+        }
+    }
+}
+
+/// One hashtag or URL object's ground truth: its token and the true
+/// adoption times (including exogenous ones).
+#[derive(Clone, Debug)]
+pub struct PropagatedObject {
+    /// The in-text token (`#tag17` / `http://bit.ly/ab12cd`).
+    pub token: String,
+    /// `(user, time)` adoptions.
+    pub adoptions: Vec<(NodeId, u32)>,
+    /// Users who adopted exogenously (not via a graph edge).
+    pub exogenous: Vec<NodeId>,
+}
+
+/// A complete synthetic corpus with its hidden ground truth.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// The follow graph (edges point in the flow direction).
+    pub graph: DiGraph,
+    /// All tweets, visible or not, ordered by id.
+    pub tweets: Vec<Tweet>,
+    /// Hidden retweet-probability ICM (ground truth).
+    pub retweet_truth: Icm,
+    /// Hidden hashtag-propagation ICM.
+    pub hashtag_truth: Icm,
+    /// Hidden URL-propagation ICM.
+    pub url_truth: Icm,
+    /// Ground-truth hashtag objects.
+    pub hashtag_objects: Vec<PropagatedObject>,
+    /// Ground-truth URL objects.
+    pub url_objects: Vec<PropagatedObject>,
+}
+
+impl Corpus {
+    /// The `@handle` of a user (deterministic from the node id).
+    pub fn handle(user: NodeId) -> String {
+        format!("u{}", user.0)
+    }
+
+    /// Parses a handle back to a node id.
+    pub fn user_of_handle(handle: &str) -> Option<NodeId> {
+        handle.strip_prefix('u')?.parse::<u32>().ok().map(NodeId)
+    }
+
+    /// The tweets the crawl captured.
+    pub fn visible_tweets(&self) -> impl Iterator<Item = &Tweet> {
+        self.tweets.iter().filter(|t| t.visible)
+    }
+
+    /// Looks a tweet up by id.
+    pub fn tweet(&self, id: TweetId) -> &Tweet {
+        &self.tweets[id.0 as usize]
+    }
+}
+
+/// Draws a tag/URL-propagation edge probability: a skewed mixture in
+/// the spirit of §V-C (most edges weak, a minority strong) but with a
+/// lower overall mean — 75% `Beta(2.5, 7.5)` (mean 0.25) and 25%
+/// `Beta(6, 4)` (mean 0.6). On a preferential-attachment graph this
+/// keeps cascades from saturating the network, so flow outcomes vary
+/// and calibration is measurable; the paper's original 0.74-mean
+/// mixture (used for its single-sink learning experiments) would make
+/// every cascade reach essentially every user.
+fn skewed_edge_prob<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    if rng.random::<f64>() < 0.75 {
+        Beta::new(2.5, 7.5).sample(rng)
+    } else {
+        Beta::new(6.0, 4.0).sample(rng)
+    }
+}
+
+/// Generates a corpus.
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &CorpusConfig) -> Corpus {
+    assert!(cfg.users >= 2, "need at least two users");
+    let graph =
+        flow_graph::generate::preferential_attachment(rng, cfg.users, cfg.attachment, cfg.reciprocity);
+    // Retweet probabilities are moderate (people forward selectively);
+    // hashtag/URL adoption uses the skewed mixture.
+    let retweet_truth = Icm::new(
+        graph.clone(),
+        (0..graph.edge_count())
+            .map(|_| Beta::new(3.0, 7.0).sample(rng))
+            .collect(),
+    );
+    let hashtag_truth = Icm::new(
+        graph.clone(),
+        (0..graph.edge_count()).map(|_| skewed_edge_prob(rng)).collect(),
+    );
+    let url_truth = Icm::new(
+        graph.clone(),
+        (0..graph.edge_count()).map(|_| skewed_edge_prob(rng)).collect(),
+    );
+
+    let mut tweets: Vec<Tweet> = Vec::new();
+    // --- Original tweets and retweet cascades ---------------------------
+    for user in graph.nodes() {
+        // Geometric number of originals with the configured mean.
+        let continue_p = cfg.tweets_per_user / (1.0 + cfg.tweets_per_user);
+        let mut count = 0usize;
+        while rng.random::<f64>() < continue_p && count < 50 {
+            count += 1;
+            spawn_cascade(rng, &graph, &retweet_truth, user, &mut tweets);
+        }
+    }
+    // --- Hashtag and URL objects ----------------------------------------
+    let mut hashtag_objects = Vec::with_capacity(cfg.hashtags);
+    for i in 0..cfg.hashtags {
+        let token = format!("#tag{i}");
+        hashtag_objects.push(propagate_object(
+            rng,
+            &graph,
+            &hashtag_truth,
+            token,
+            cfg.exogenous_rate,
+            &mut tweets,
+        ));
+    }
+    let mut url_objects = Vec::with_capacity(cfg.urls);
+    for i in 0..cfg.urls {
+        // bit.ly-style shortened URLs: high entropy, never co-invented.
+        let token = format!("http://bit.ly/{i:06x}");
+        url_objects.push(propagate_object(
+            rng,
+            &graph,
+            &url_truth,
+            token,
+            0.0,
+            &mut tweets,
+        ));
+    }
+    // --- Crawl sparsity ---------------------------------------------------
+    for t in &mut tweets {
+        if rng.random::<f64>() < cfg.drop_rate {
+            t.visible = false;
+        }
+    }
+    Corpus {
+        graph,
+        tweets,
+        retweet_truth,
+        hashtag_truth,
+        url_truth,
+        hashtag_objects,
+        url_objects,
+    }
+}
+
+/// Simulates one retweet cascade rooted at `author`, appending the
+/// original tweet and every retweet (with proper `RT @…:` ancestry
+/// text) to `tweets`.
+fn spawn_cascade<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &DiGraph,
+    retweet_truth: &Icm,
+    author: NodeId,
+    tweets: &mut Vec<Tweet>,
+) {
+    let root_id = TweetId(tweets.len() as u64);
+    let body = format!("m{} lorem ipsum", root_id.0);
+    tweets.push(Tweet {
+        id: root_id,
+        author,
+        time: 0,
+        text: body.clone(),
+        true_parent: None,
+        true_root: root_id,
+        visible: true,
+    });
+    // Cascade over the retweet ICM. Every *fired edge* produces one
+    // retweet citing that edge's parent: a user exposed through several
+    // firing edges retweets each of them. This keeps the observable
+    // evidence aligned with the ICM's per-edge Bernoulli semantics —
+    // the betaICM counting rule (§II-A) increments β for every
+    // opportunity-without-retweet, so an edge that fired but went
+    // uncited would be mis-counted as a failure (see DESIGN.md).
+    let state = simulate_cascade(retweet_truth, &[author], rng);
+    let reach =
+        flow_graph::traverse::reachable_filtered(graph, &[author], |e| state.is_edge_active(e));
+    // Each activated user's *first* (re)tweet in this cascade; their
+    // own descendants cite this one.
+    let mut tweet_of: Vec<Option<TweetId>> = vec![None; graph.node_count()];
+    tweet_of[author.index()] = Some(root_id);
+    for &u in reach.order.iter() {
+        let parent_tweet_id = tweet_of[u.index()].expect("parents tweet before children");
+        for &e in graph.out_edges(u) {
+            if !state.is_edge_active(e) {
+                continue;
+            }
+            let v = graph.dst(e);
+            let parent_tweet = &tweets[parent_tweet_id.0 as usize];
+            let mut text = format!("RT @{}: {}", Corpus::handle(u), parent_tweet.text);
+            if text.len() > TWEET_LIMIT {
+                text.truncate(TWEET_LIMIT);
+            }
+            let id = TweetId(tweets.len() as u64);
+            let time = parent_tweet.time + 1;
+            tweets.push(Tweet {
+                id,
+                author: v,
+                time,
+                text,
+                true_parent: Some(parent_tweet_id),
+                true_root: root_id,
+                visible: true,
+            });
+            if tweet_of[v.index()].is_none() {
+                tweet_of[v.index()] = Some(id);
+            }
+        }
+    }
+}
+
+/// Simulates one hashtag/URL object: a random origin cascade plus
+/// (for hashtags) independent exogenous adopters, each adoption
+/// emitting a tweet mentioning the token.
+fn propagate_object<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &DiGraph,
+    truth: &Icm,
+    token: String,
+    exogenous_rate: f64,
+    tweets: &mut Vec<Tweet>,
+) -> PropagatedObject {
+    let n = graph.node_count();
+    let origin = NodeId(rng.random_range(0..n as u32));
+    let mut exogenous = vec![origin];
+    for v in graph.nodes() {
+        if v != origin && rng.random::<f64>() < exogenous_rate {
+            exogenous.push(v);
+        }
+    }
+    // Multi-source cascade: every exogenous adopter seeds the spread.
+    let state = simulate_cascade(truth, &exogenous, rng);
+    let reach = flow_graph::traverse::reachable_filtered(graph, &exogenous, |e| {
+        state.is_edge_active(e)
+    });
+    // Times: exogenous adopters at 0, others at BFS depth.
+    let mut depth = vec![u32::MAX; n];
+    let mut adoptions = Vec::new();
+    for &s in &exogenous {
+        depth[s.index()] = 0;
+    }
+    for &v in &reach.order {
+        let t = if depth[v.index()] == 0 {
+            0
+        } else {
+            let d = graph
+                .in_edges(v)
+                .iter()
+                .filter(|&&e| state.is_edge_active(e))
+                .map(|&e| depth[graph.src(e).index()])
+                .filter(|&d| d != u32::MAX)
+                .min()
+                .map(|d| d + 1)
+                .unwrap_or(0);
+            depth[v.index()] = d;
+            d
+        };
+        adoptions.push((v, t));
+        let id = TweetId(tweets.len() as u64);
+        tweets.push(Tweet {
+            id,
+            author: v,
+            time: t,
+            text: format!("about {token} m{}", id.0),
+            true_parent: None,
+            true_root: id,
+            visible: true,
+        });
+    }
+    PropagatedObject {
+        token,
+        adoptions,
+        exogenous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_corpus(seed: u64) -> Corpus {
+        let cfg = CorpusConfig {
+            users: 80,
+            hashtags: 5,
+            urls: 5,
+            ..Default::default()
+        };
+        generate(&mut StdRng::seed_from_u64(seed), &cfg)
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = small_corpus(1);
+        assert_eq!(c.graph.node_count(), 80);
+        assert!(c.tweets.len() > 100, "tweets {}", c.tweets.len());
+        assert_eq!(c.hashtag_objects.len(), 5);
+        assert_eq!(c.url_objects.len(), 5);
+        assert_eq!(c.retweet_truth.edge_count(), c.graph.edge_count());
+    }
+
+    #[test]
+    fn handles_roundtrip() {
+        assert_eq!(Corpus::handle(NodeId(17)), "u17");
+        assert_eq!(Corpus::user_of_handle("u17"), Some(NodeId(17)));
+        assert_eq!(Corpus::user_of_handle("bogus"), None);
+    }
+
+    #[test]
+    fn tweet_invariants() {
+        let c = small_corpus(2);
+        for t in &c.tweets {
+            assert!(t.text.len() <= TWEET_LIMIT);
+            let root = c.tweet(t.true_root);
+            assert!(root.is_original());
+            if let Some(pid) = t.true_parent {
+                let parent = c.tweet(pid);
+                assert_eq!(parent.true_root, t.true_root);
+                assert_eq!(t.time, parent.time + 1);
+                assert!(
+                    t.text.starts_with(&format!("RT @{}:", Corpus::handle(parent.author))),
+                    "retweet syntax: {}",
+                    t.text
+                );
+                // The retweet edge exists in the follow graph.
+                assert!(c.graph.has_edge(parent.author, t.author));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_hides_tweets() {
+        let c = small_corpus(3);
+        let visible = c.visible_tweets().count();
+        let total = c.tweets.len();
+        let frac = visible as f64 / total as f64;
+        assert!(frac > 0.8 && frac < 0.97, "visible fraction {frac}");
+    }
+
+    #[test]
+    fn urls_have_no_exogenous_adopters() {
+        let c = small_corpus(4);
+        for o in &c.url_objects {
+            assert_eq!(o.exogenous.len(), 1, "URLs spread only via the graph");
+        }
+        // Hashtags (rate 0.02 over 80 users, 5 tags) usually have some.
+        let extra: usize = c
+            .hashtag_objects
+            .iter()
+            .map(|o| o.exogenous.len() - 1)
+            .sum();
+        assert!(extra > 0, "expected some exogenous hashtag adoptions");
+    }
+
+    #[test]
+    fn object_adoptions_are_unique_users_with_causal_times() {
+        let c = small_corpus(5);
+        for o in c.hashtag_objects.iter().chain(&c.url_objects) {
+            let mut seen = std::collections::HashSet::new();
+            for &(v, _) in &o.adoptions {
+                assert!(seen.insert(v), "user adopts once");
+            }
+            for &s in &o.exogenous {
+                let t = o.adoptions.iter().find(|&&(v, _)| v == s).unwrap().1;
+                assert_eq!(t, 0, "exogenous adopters at time 0");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = small_corpus(9);
+        let b = small_corpus(9);
+        assert_eq!(a.tweets.len(), b.tweets.len());
+        for (x, y) in a.tweets.iter().zip(&b.tweets) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.visible, y.visible);
+        }
+    }
+}

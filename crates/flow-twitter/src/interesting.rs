@@ -1,0 +1,122 @@
+//! "Interesting user" selection (§IV-C, §V-D).
+//!
+//! The paper focuses its bucket experiments on users "who tweet
+//! frequently and whose tweets are retweeted often" (attributed case)
+//! and on "originators of many popular hashtags and URLs"
+//! (unattributed case). We score each user by
+//! `originals × (1 + retweets received)` and take the top `k`.
+
+use crate::corpus::Corpus;
+use flow_graph::NodeId;
+
+/// Per-user activity summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UserActivity {
+    /// Original tweets authored.
+    pub originals: usize,
+    /// Retweets *of this user's cascades* by others.
+    pub retweets_received: usize,
+}
+
+/// Computes activity for every user from the corpus ground truth.
+pub fn user_activity(corpus: &Corpus) -> Vec<UserActivity> {
+    let mut acts = vec![UserActivity::default(); corpus.graph.node_count()];
+    for t in &corpus.tweets {
+        if t.is_original() {
+            acts[t.author.index()].originals += 1;
+        } else {
+            let root_author = corpus.tweet(t.true_root).author;
+            acts[root_author.index()].retweets_received += 1;
+        }
+    }
+    acts
+}
+
+/// Returns the top `k` users by `originals × (1 + retweets_received)`,
+/// most interesting first. Ties break toward lower node ids for
+/// determinism.
+pub fn interesting_users(corpus: &Corpus, k: usize) -> Vec<NodeId> {
+    let acts = user_activity(corpus);
+    let mut scored: Vec<(usize, NodeId)> = acts
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.originals * (1 + a.retweets_received), NodeId(i as u32)))
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored
+        .into_iter()
+        .take(k)
+        .filter(|&(s, _)| s > 0)
+        .map(|(_, v)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activity_counts_are_consistent() {
+        let cfg = CorpusConfig {
+            users: 100,
+            hashtags: 0,
+            urls: 0,
+            ..Default::default()
+        };
+        let c = generate(&mut StdRng::seed_from_u64(31), &cfg);
+        let acts = user_activity(&c);
+        let total_originals: usize = acts.iter().map(|a| a.originals).sum();
+        let total_retweets: usize = acts.iter().map(|a| a.retweets_received).sum();
+        assert_eq!(
+            total_originals,
+            c.tweets.iter().filter(|t| t.is_original()).count()
+        );
+        assert_eq!(
+            total_retweets,
+            c.tweets.iter().filter(|t| !t.is_original()).count()
+        );
+    }
+
+    #[test]
+    fn interesting_users_are_sorted_and_active() {
+        let cfg = CorpusConfig {
+            users: 150,
+            hashtags: 0,
+            urls: 0,
+            ..Default::default()
+        };
+        let c = generate(&mut StdRng::seed_from_u64(32), &cfg);
+        let acts = user_activity(&c);
+        let top = interesting_users(&c, 10);
+        assert!(top.len() <= 10);
+        assert!(!top.is_empty());
+        let score =
+            |v: NodeId| acts[v.index()].originals * (1 + acts[v.index()].retweets_received);
+        for w in top.windows(2) {
+            assert!(score(w[0]) >= score(w[1]), "sorted descending");
+        }
+        assert!(score(top[0]) > 0);
+    }
+
+    #[test]
+    fn requesting_more_than_available_truncates() {
+        let cfg = CorpusConfig {
+            users: 10,
+            tweets_per_user: 0.2,
+            hashtags: 0,
+            urls: 0,
+            ..Default::default()
+        };
+        let c = generate(&mut StdRng::seed_from_u64(33), &cfg);
+        let top = interesting_users(&c, 500);
+        assert!(top.len() <= 10);
+        // All returned users actually tweeted.
+        let acts = user_activity(&c);
+        for v in top {
+            assert!(acts[v.index()].originals > 0);
+        }
+    }
+}

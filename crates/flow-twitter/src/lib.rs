@@ -1,0 +1,48 @@
+//! A synthetic Twitter substrate standing in for the paper's Choudhury
+//! et al. crawl (§IV-B, §V-D).
+//!
+//! The original evaluation used a 10M-tweet / 118K-user crawl that is
+//! not redistributable; this crate builds a corpus with the same
+//! *structure* so the paper's entire pipeline runs end-to-end:
+//!
+//! * [`corpus`] — a preferential-attachment follow graph carries hidden
+//!   ground-truth ICMs (retweet, hashtag, and URL propagation). Users
+//!   emit original tweets; cascades simulated from the retweet ICM
+//!   produce retweets with real Twitter syntax (`RT @user:` ancestry
+//!   chains, 140-character truncation, `#hashtags`, shortened URLs). A
+//!   configurable fraction of tweets is *dropped* to reproduce the
+//!   crawl's sparsity ("containing many retweeted messages without the
+//!   original tweet").
+//! * [`parse`] — tweet-text parsing: retweet chains, mentions,
+//!   hashtags, URLs.
+//! * [`retweets`] — preprocessing for **attributed** evidence: identify
+//!   retweets by syntax, link chains back through the data, recover
+//!   missing originals, infer topology from `@` references, and emit
+//!   `flow_icm::AttributedEvidence`.
+//! * [`tags`] — preprocessing for **unattributed** evidence: hashtag
+//!   and URL adoption episodes (first-mention times), plus the
+//!   *omnipotent user* construction that models information entering
+//!   Twitter from the outside world.
+//! * [`interesting`] — the paper's "interesting user" selection (users
+//!   who tweet frequently and whose tweets are retweeted often).
+//! * [`io`] — the entry point for *real* crawls: a TSV interchange
+//!   format and reconstruction/episode extraction straight from raw
+//!   `(author, time, text)` tweets.
+//!
+//! Because the generator's ground truth is known, this substrate also
+//! lets tests verify what the paper could not: that chain
+//! reconstruction recovers the true attribution when nothing is
+//! dropped.
+
+pub mod corpus;
+pub mod interesting;
+pub mod io;
+pub mod parse;
+pub mod retweets;
+pub mod tags;
+
+pub use corpus::{Corpus, CorpusConfig, Tweet, TweetId};
+pub use io::{episodes_from_raw, read_tsv, reconstruct_from_raw, write_tsv, RawTweet, UserIndex};
+pub use parse::ParsedTweet;
+pub use retweets::{reconstruct_attributed, ReconstructedEvidence};
+pub use tags::{episodes_for_objects, with_omnipotent_user, ObjectEpisodes, ObjectKind};

@@ -1,0 +1,196 @@
+//! Hashtag/URL adoption episodes → unattributed evidence (§V-D).
+//!
+//! For finer-granularity objects the crawl only shows *who mentioned
+//! what, when* — unattributed evidence. This module scans the visible
+//! tweets for hashtag and URL tokens and produces one
+//! [`flow_learn::Episode`] per object (a user's activation time is the
+//! time of their first mention).
+//!
+//! Because "hashtags and URLs can come from outside of Twitter", the
+//! paper adds an **omnipotent user** that every user follows and that is
+//! "the true originator of all tweets": [`with_omnipotent_user`] builds
+//! the augmented graph and [`episodes_for_objects`] activates the
+//! omnipotent node at time 0 in every episode so exogenous adoptions
+//! have a candidate cause.
+
+use crate::corpus::Corpus;
+use crate::parse::parse_tweet;
+use flow_graph::{DiGraph, GraphBuilder, NodeId};
+use flow_learn::Episode;
+use std::collections::HashMap;
+
+/// The kind of propagated object to extract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// `#hashtags` (low entropy, often exogenous).
+    Hashtag,
+    /// Shortened URLs (high entropy, endogenous).
+    Url,
+}
+
+/// Extracted episodes for one object kind.
+#[derive(Clone, Debug)]
+pub struct ObjectEpisodes {
+    /// Which kind was extracted.
+    pub kind: ObjectKind,
+    /// `(token, episode)` pairs, sorted by token for determinism.
+    pub episodes: Vec<(String, Episode)>,
+}
+
+/// Scans visible tweets and builds per-object adoption episodes.
+///
+/// When `omnipotent` is `Some(node)`, that node is activated at time 0
+/// in every episode (all observed adopter times are shifted by +1 so
+/// the omnipotent user is strictly earlier).
+pub fn episodes_for_objects(
+    corpus: &Corpus,
+    kind: ObjectKind,
+    omnipotent: Option<NodeId>,
+) -> ObjectEpisodes {
+    // token -> user -> earliest mention time
+    let mut mentions: HashMap<String, HashMap<NodeId, u32>> = HashMap::new();
+    for tweet in corpus.visible_tweets() {
+        let parsed = parse_tweet(&tweet.text);
+        let tokens: Vec<String> = match kind {
+            ObjectKind::Hashtag => parsed.hashtags.iter().map(|t| format!("#{t}")).collect(),
+            ObjectKind::Url => parsed.urls.clone(),
+        };
+        for token in tokens {
+            let users = mentions.entry(token).or_default();
+            let t = users.entry(tweet.author).or_insert(u32::MAX);
+            *t = (*t).min(tweet.time);
+        }
+    }
+    let mut episodes: Vec<(String, Episode)> = mentions
+        .into_iter()
+        .map(|(token, users)| {
+            let mut acts: Vec<(NodeId, u32)> = users.into_iter().collect();
+            acts.sort_by_key(|&(v, t)| (t, v.0));
+            if let Some(omni) = omnipotent {
+                for (_, t) in &mut acts {
+                    *t += 1;
+                }
+                acts.insert(0, (omni, 0));
+            }
+            (token, Episode::new(acts))
+        })
+        .collect();
+    episodes.sort_by(|a, b| a.0.cmp(&b.0));
+    ObjectEpisodes { kind, episodes }
+}
+
+/// Builds the omnipotent-user augmentation of `graph`: one extra node
+/// with an edge to every original node ("all users follow this
+/// hypothetical entity"). Returns the augmented graph and the
+/// omnipotent node's id; original node ids are unchanged.
+pub fn with_omnipotent_user(graph: &DiGraph) -> (DiGraph, NodeId) {
+    let n = graph.node_count();
+    let omni = NodeId(n as u32);
+    let mut b = GraphBuilder::new(n + 1);
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        b.add_edge(u, v).expect("copy of a valid graph");
+    }
+    for v in graph.nodes() {
+        b.add_edge(omni, v).expect("fresh edges from the new node");
+    }
+    (b.build(), omni)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig};
+    use flow_graph::graph::graph_from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus(seed: u64) -> Corpus {
+        let cfg = CorpusConfig {
+            users: 100,
+            hashtags: 8,
+            urls: 8,
+            drop_rate: 0.0,
+            ..Default::default()
+        };
+        generate(&mut StdRng::seed_from_u64(seed), &cfg)
+    }
+
+    #[test]
+    fn episodes_match_ground_truth_adoptions() {
+        let c = corpus(21);
+        let eps = episodes_for_objects(&c, ObjectKind::Url, None);
+        assert_eq!(eps.episodes.len(), c.url_objects.len());
+        for truth in &c.url_objects {
+            let (_, ep) = eps
+                .episodes
+                .iter()
+                .find(|(tok, _)| *tok == truth.token)
+                .expect("every object observed");
+            for &(v, t) in &truth.adoptions {
+                assert_eq!(
+                    ep.activation_time(v),
+                    Some(t),
+                    "user {v} time for {}",
+                    truth.token
+                );
+            }
+            assert_eq!(ep.active_count(), truth.adoptions.len());
+        }
+    }
+
+    #[test]
+    fn hashtags_extracted_separately_from_urls() {
+        let c = corpus(22);
+        let tags = episodes_for_objects(&c, ObjectKind::Hashtag, None);
+        assert_eq!(tags.kind, ObjectKind::Hashtag);
+        assert_eq!(tags.episodes.len(), c.hashtag_objects.len());
+        assert!(tags.episodes.iter().all(|(t, _)| t.starts_with('#')));
+        let urls = episodes_for_objects(&c, ObjectKind::Url, None);
+        assert!(urls.episodes.iter().all(|(t, _)| t.starts_with("http")));
+    }
+
+    #[test]
+    fn omnipotent_user_is_always_first() {
+        let c = corpus(23);
+        let (aug, omni) = with_omnipotent_user(&c.graph);
+        let eps = episodes_for_objects(&c, ObjectKind::Hashtag, Some(omni));
+        for (_, ep) in &eps.episodes {
+            assert_eq!(ep.activation_time(omni), Some(0));
+            for &(v, t) in ep.activations() {
+                if v != omni {
+                    assert!(t >= 1, "real users strictly after the omnipotent user");
+                }
+            }
+        }
+        assert_eq!(aug.node_count(), c.graph.node_count() + 1);
+    }
+
+    #[test]
+    fn omnipotent_graph_structure() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (aug, omni) = with_omnipotent_user(&g);
+        assert_eq!(omni, NodeId(3));
+        assert_eq!(aug.edge_count(), 2 + 3);
+        for v in 0..3u32 {
+            assert!(aug.has_edge(omni, NodeId(v)));
+        }
+        assert!(aug.has_edge(NodeId(0), NodeId(1)), "original edges kept");
+        assert_eq!(aug.out_degree(omni), 3);
+        assert_eq!(aug.in_degree(omni), 0);
+    }
+
+    #[test]
+    fn episode_times_shifted_consistently() {
+        let c = corpus(24);
+        let plain = episodes_for_objects(&c, ObjectKind::Url, None);
+        let (_, omni) = with_omnipotent_user(&c.graph);
+        let shifted = episodes_for_objects(&c, ObjectKind::Url, Some(omni));
+        for ((_, a), (_, b)) in plain.episodes.iter().zip(&shifted.episodes) {
+            assert_eq!(a.active_count() + 1, b.active_count());
+            for &(v, t) in a.activations() {
+                assert_eq!(b.activation_time(v), Some(t + 1));
+            }
+        }
+    }
+}

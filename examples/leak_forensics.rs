@@ -1,0 +1,109 @@
+//! Leak forensics: conditional flow queries for information-disclosure
+//! analysis — the "assessing or limiting the damage associated with the
+//! undesired disclosure of sensitive information" use-case.
+//!
+//! A document leaks inside an organisation modelled as an ICM. We have
+//! partial observations: two insiders are known to have received it,
+//! one is known to be clean. Conditioning the Metropolis–Hastings chain
+//! on those facts (required/forbidden flows, §III-D) sharpens the
+//! probability that the document reached the outside world, compared
+//! with the unconditional estimate.
+//!
+//! ```sh
+//! cargo run --release --example leak_forensics
+//! ```
+
+use infoflow::graph::{generate, NodeId};
+use infoflow::icm::exact::enumerate_conditional_probability;
+use infoflow::icm::{FlowCondition, Icm};
+use infoflow::mcmc::{FlowEstimator, McmcConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(55);
+    // A small organisation: 12 desks, sparse random communication links.
+    let graph = generate::uniform_edges(&mut rng, 12, 22);
+    let probs: Vec<f64> = (0..graph.edge_count())
+        .map(|_| rng.random_range(0.15..0.65))
+        .collect();
+    let icm = Icm::new(graph, probs);
+
+    let source = NodeId(0); // where the document originated
+    let outside = NodeId(11); // the external contact we worry about
+    let known_leaked = [NodeId(3), NodeId(7)]; // observed to hold the doc
+    let known_clean = NodeId(5); // audited, does not hold it
+
+    let estimator = FlowEstimator::new(
+        &icm,
+        McmcConfig {
+            samples: 30_000,
+            ..Default::default()
+        },
+    );
+
+    let unconditional = estimator.estimate_flow(source, outside, &mut rng);
+    println!("P(document reaches {outside})                       = {unconditional:.4}");
+
+    let mut conditions: Vec<FlowCondition> = known_leaked
+        .iter()
+        .map(|&v| FlowCondition::requires(source, v))
+        .collect();
+    conditions.push(FlowCondition::forbids(source, known_clean));
+
+    match estimator.estimate_conditional_flow(source, outside, &conditions, &mut rng) {
+        Ok(conditional) => {
+            println!(
+                "P(document reaches {outside} | {:?} leaked, {known_clean} clean) = {conditional:.4}",
+                known_leaked
+            );
+            // Cross-check against exact enumeration (22 edges = feasible).
+            let g = icm.graph().clone();
+            let exact = enumerate_conditional_probability(
+                &icm,
+                |x| x.carries_flow(&g, source, outside),
+                |x| {
+                    known_leaked.iter().all(|&v| x.carries_flow(&g, source, v))
+                        && !x.carries_flow(&g, source, known_clean)
+                },
+            )
+            .expect("conditioning event has positive probability");
+            println!("exact conditional (2^22 pseudo-state enumeration)   = {exact:.4}");
+            println!(
+                "\nthe observed leaks shift the outside-disclosure risk by {:+.1}%",
+                100.0 * (conditional - unconditional)
+            );
+        }
+        Err(e) => println!("conditions unsatisfiable: {e}"),
+    }
+
+    // Joint exposure: probability BOTH auditors' departments received it.
+    let joint = estimator.estimate_joint_flow(
+        &[(source, NodeId(8)), (source, NodeId(9))],
+        &mut rng,
+    );
+    println!("\nP(both departments 8 and 9 exposed)                 = {joint:.4}");
+
+    // Timed forensics (the paper's Discussion extension): if each hop
+    // takes an exponential time with mean 2 hours, how likely has the
+    // document already reached the outside within the last 8 hours?
+    use infoflow::mcmc::{DelayModel, TimedFlowEstimator};
+    let timed = TimedFlowEstimator::with_uniform_delay(
+        &icm,
+        DelayModel::Exponential(0.5), // mean 2.0 time units per hop
+        McmcConfig {
+            samples: 20_000,
+            ..Default::default()
+        },
+    );
+    let arrivals = timed.arrival_times(source, outside, &mut rng);
+    println!(
+        "\ntimed analysis (exponential hop delay, mean 2h):\n  P(outside within  4h) = {:.4}\n  P(outside within  8h) = {:.4}\n  P(outside ever)       = {:.4}",
+        arrivals.probability_within(4.0),
+        arrivals.probability_within(8.0),
+        arrivals.flow_probability()
+    );
+    if let Some(median) = arrivals.quantile_given_flow(0.5) {
+        println!("  median arrival given a leak: {median:.2}h");
+    }
+}

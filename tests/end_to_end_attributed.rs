@@ -1,0 +1,164 @@
+//! Cross-crate integration: the full attributed pipeline of §IV —
+//! corpus → retweet-chain reconstruction → betaICM training →
+//! Metropolis–Hastings flow estimation → calibration.
+
+use infoflow::graph::NodeId;
+use infoflow::icm::state::simulate_cascade;
+use infoflow::icm::BetaIcm;
+use infoflow::mcmc::{FlowEstimator, McmcConfig};
+use infoflow::stats::metrics::PredictionOutcome;
+use infoflow::twitter::corpus::{generate, CorpusConfig};
+use infoflow::twitter::interesting::interesting_users;
+use infoflow::twitter::retweets::reconstruct_attributed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pipeline(seed: u64) -> (infoflow::twitter::Corpus, BetaIcm) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus = generate(
+        &mut rng,
+        &CorpusConfig {
+            users: 150,
+            hashtags: 0,
+            urls: 0,
+            tweets_per_user: 4.0,
+            // A dropped leaf retweet turns a fired edge into a counted
+            // failure, biasing trained means down by ~drop_rate; keep
+            // the crawl nearly lossless for the calibration assertion.
+            drop_rate: 0.02,
+            ..Default::default()
+        },
+    );
+    let rec = reconstruct_attributed(&corpus);
+    assert!(rec.objects > 100, "need a real evidence base");
+    let trained = BetaIcm::train(rec.graph, &rec.evidence);
+    (corpus, trained)
+}
+
+#[test]
+fn trained_model_is_calibrated_against_fresh_cascades() {
+    let (corpus, trained) = pipeline(1001);
+    let mut rng = StdRng::seed_from_u64(1002);
+    let icm = trained.expected_icm();
+    let focus = interesting_users(&corpus, 1)[0];
+    let estimator = FlowEstimator::new(
+        &icm,
+        McmcConfig {
+            samples: 800,
+            ..Default::default()
+        },
+    );
+    // Estimate flow to a batch of random sinks once, then check against
+    // many fresh ground-truth cascades.
+    let sinks: Vec<NodeId> = (0..corpus.graph.node_count() as u32)
+        .map(NodeId)
+        .filter(|&v| v != focus)
+        .take(40)
+        .collect();
+    let flows = estimator.estimate_flows_from(focus, &sinks, &mut rng);
+    let mut pairs = Vec::new();
+    for _ in 0..150 {
+        let cascade = simulate_cascade(&corpus.retweet_truth, &[focus], &mut rng);
+        for (i, &v) in sinks.iter().enumerate() {
+            pairs.push(PredictionOutcome::new(flows[i], cascade.has_flow_to(v)));
+        }
+    }
+    // Mean prediction ≈ mean outcome (global calibration), and the
+    // Brier score beats the climatological baseline.
+    let mean_p: f64 = pairs.iter().map(|p| p.prediction).sum::<f64>() / pairs.len() as f64;
+    let rate = pairs.iter().filter(|p| p.outcome).count() as f64 / pairs.len() as f64;
+    assert!(
+        (mean_p - rate).abs() < 0.05,
+        "mean prediction {mean_p} vs outcome rate {rate}"
+    );
+    let brier = infoflow::stats::metrics::brier_score(&pairs).unwrap();
+    let baseline = rate * (1.0 - rate);
+    assert!(
+        brier < baseline,
+        "model must beat the base-rate predictor: {brier} vs {baseline}"
+    );
+}
+
+#[test]
+fn conditioning_on_an_upstream_flow_raises_downstream_probability() {
+    let (_corpus, trained) = pipeline(1003);
+    let mut rng = StdRng::seed_from_u64(1004);
+    let icm = trained.expected_icm();
+    let graph = icm.graph();
+    // Find a two-hop chain focus -> mid -> sink with decent
+    // probabilities so the effect is measurable.
+    let mut chain = None;
+    'outer: for e1 in graph.edges() {
+        if icm.probability(e1) < 0.3 {
+            continue;
+        }
+        let (focus, mid) = graph.endpoints(e1);
+        for &e2 in graph.out_edges(mid) {
+            let sink = graph.dst(e2);
+            if sink != focus && icm.probability(e2) > 0.3 && !graph.has_edge(focus, sink) {
+                chain = Some((focus, mid, sink));
+                break 'outer;
+            }
+        }
+    }
+    let (focus, mid, sink) = chain.expect("a trained corpus has strong 2-hop chains");
+    let est = FlowEstimator::new(
+        &icm,
+        McmcConfig {
+            samples: 4_000,
+            ..Default::default()
+        },
+    );
+    let unconditional = est.estimate_flow(focus, sink, &mut rng);
+    let conditional = est
+        .estimate_conditional_flow(
+            focus,
+            sink,
+            &[infoflow::icm::FlowCondition::requires(focus, mid)],
+            &mut rng,
+        )
+        .expect("condition satisfiable");
+    assert!(
+        conditional > unconditional + 0.02,
+        "knowing the upstream flow must help: {conditional} vs {unconditional}"
+    );
+}
+
+#[test]
+fn dropped_crawl_still_yields_consistent_training() {
+    // Heavier drop rate: the chain-recovery machinery keeps the trained
+    // means close to a model trained on the lossless crawl.
+    let mut rng = StdRng::seed_from_u64(1005);
+    let cfg = CorpusConfig {
+        users: 120,
+        hashtags: 0,
+        urls: 0,
+        tweets_per_user: 4.0,
+        drop_rate: 0.0,
+        ..Default::default()
+    };
+    let lossless = generate(&mut rng, &cfg);
+    let mut dropped = lossless.clone();
+    // Apply a 30% drop independently (reuse the same ground-truth tweets).
+    let mut rng2 = StdRng::seed_from_u64(1006);
+    for t in &mut dropped.tweets {
+        t.visible = rng2.random::<f64>() >= 0.3;
+    }
+    let rec_full = reconstruct_attributed(&lossless);
+    let rec_drop = reconstruct_attributed(&dropped);
+    assert!(rec_drop.recovered_users > 0, "chains recover dropped users");
+    let m_full = BetaIcm::train(rec_full.graph.clone(), &rec_full.evidence);
+    let m_drop = BetaIcm::train(rec_drop.graph, &rec_drop.evidence);
+    // Compare on well-observed edges.
+    let mut diffs = Vec::new();
+    for e in rec_full.graph.edges() {
+        let a = m_full.edge_beta(e);
+        let b = m_drop.edge_beta(e);
+        if a.alpha() + a.beta() > 40.0 && b.alpha() + b.beta() > 20.0 {
+            diffs.push((a.mean() - b.mean()).abs());
+        }
+    }
+    assert!(diffs.len() > 10, "need comparable edges, got {}", diffs.len());
+    let mad = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    assert!(mad < 0.12, "training under drops drifted too far: {mad}");
+}

@@ -1,0 +1,152 @@
+//! Property-based validation of the Metropolis–Hastings machinery
+//! against exact enumeration, across randomly generated small models.
+
+use infoflow::graph::{generate, NodeId};
+use infoflow::icm::exact::{enumerate_event_probability, enumerate_flow_probability};
+use infoflow::icm::{FlowCondition, Icm, PseudoState};
+use infoflow::mcmc::sampler::{ProposalKind, PseudoStateSampler};
+use infoflow::mcmc::{FlowEstimator, McmcConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small random ICM (4–7 nodes, up to 12 edges, interior
+/// probabilities) plus a source/sink pair.
+fn small_icm() -> impl Strategy<Value = (Icm, NodeId, NodeId)> {
+    (4usize..=7, 5usize..=12, any::<u64>(), 0.1f64..0.9).prop_map(|(n, m, seed, p)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = m.min(n * (n - 1));
+        let graph = generate::uniform_edges(&mut rng, n, m);
+        let icm = Icm::with_uniform_probability(graph, p);
+        (icm, NodeId(0), NodeId((n - 1) as u32))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full MCMC chain
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn mh_flow_matches_enumeration_both_proposals((icm, src, dst) in small_icm()) {
+        let exact = enumerate_flow_probability(&icm, src, dst);
+        for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let est = FlowEstimator::new(
+                &icm,
+                McmcConfig {
+                    samples: 6_000,
+                    proposal: kind,
+                    ..Default::default()
+                },
+            )
+            .estimate_flow(src, dst, &mut rng);
+            prop_assert!(
+                (est - exact).abs() < 0.035,
+                "{kind:?}: est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_mh_matches_enumeration((icm, src, dst) in small_icm()) {
+        let graph = icm.graph().clone();
+        // Condition on a mid node's flow being required, when feasible.
+        let mid = NodeId(1);
+        let p_cond = enumerate_event_probability(&icm, |x| x.carries_flow(&graph, src, mid));
+        prop_assume!(p_cond > 0.05);
+        let exact_joint = enumerate_event_probability(&icm, |x| {
+            x.carries_flow(&graph, src, dst) && x.carries_flow(&graph, src, mid)
+        });
+        let exact = exact_joint / p_cond;
+        let mut rng = StdRng::seed_from_u64(10);
+        let est = FlowEstimator::new(
+            &icm,
+            McmcConfig {
+                samples: 6_000,
+                ..Default::default()
+            },
+        )
+        .estimate_conditional_flow(src, dst, &[FlowCondition::requires(src, mid)], &mut rng)
+        .expect("feasible by prop_assume");
+        prop_assert!((est - exact).abs() < 0.04, "est {est}, exact {exact}");
+    }
+
+    #[test]
+    fn chain_preserves_pseudo_state_marginals((icm, _, _) in small_icm()) {
+        // Per-edge activity frequencies under the chain match the edge
+        // probabilities (the stationary marginals of Eq. 3).
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        sampler.run(500, &mut rng);
+        let kept = 8_000;
+        let m = icm.edge_count();
+        let mut counts = vec![0u64; m];
+        for _ in 0..kept {
+            sampler.run(4, &mut rng);
+            for e in icm.graph().edges() {
+                if sampler.state().is_active(e) {
+                    counts[e.index()] += 1;
+                }
+            }
+        }
+        for e in icm.graph().edges() {
+            let freq = counts[e.index()] as f64 / kept as f64;
+            prop_assert!(
+                (freq - icm.probability(e)).abs() < 0.04,
+                "edge {e}: freq {freq}, p {}",
+                icm.probability(e)
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_equals_pseudo_state_sampling((icm, src, _) in small_icm()) {
+        // Two routes to the same distribution over reached-node counts.
+        let mut rng = StdRng::seed_from_u64(12);
+        let trials = 4_000;
+        let mut mean_cascade = 0.0;
+        let mut mean_pseudo = 0.0;
+        for _ in 0..trials {
+            mean_cascade +=
+                infoflow::icm::state::simulate_cascade(&icm, &[src], &mut rng).active_node_count()
+                    as f64;
+            let x = PseudoState::sample(&icm, &mut rng);
+            mean_pseudo += x
+                .derive_active_state(icm.graph(), &[src])
+                .active_node_count() as f64;
+        }
+        mean_cascade /= trials as f64;
+        mean_pseudo /= trials as f64;
+        prop_assert!(
+            (mean_cascade - mean_pseudo).abs() < 0.15,
+            "cascade {mean_cascade} vs pseudo {mean_pseudo}"
+        );
+    }
+}
+
+#[test]
+fn impact_expectation_equals_sum_of_flow_probabilities() {
+    // E[#reached] = Σ_v P(src ~> v): linearity check tying the
+    // dispersion estimator to the per-sink estimators.
+    let mut rng = StdRng::seed_from_u64(13);
+    let graph = generate::uniform_edges(&mut rng, 8, 18);
+    let icm = Icm::with_uniform_probability(graph, 0.4);
+    let want: f64 = icm
+        .graph()
+        .nodes()
+        .filter(|&v| v != NodeId(0))
+        .map(|v| enumerate_flow_probability(&icm, NodeId(0), v))
+        .sum();
+    let impacts = FlowEstimator::new(
+        &icm,
+        McmcConfig {
+            samples: 30_000,
+            ..Default::default()
+        },
+    )
+    .impact_distribution(NodeId(0), &mut rng);
+    let mean = impacts.iter().sum::<usize>() as f64 / impacts.len() as f64;
+    assert!((mean - want).abs() < 0.06, "mean {mean}, want {want}");
+}
