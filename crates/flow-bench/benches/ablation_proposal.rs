@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 fn proposal_kinds(c: &mut Criterion) {
     let mut group = c.benchmark_group("proposal_kind_step");
-    for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+    for kind in [
+        ProposalKind::ResultingActivity,
+        ProposalKind::CurrentActivity,
+    ] {
         let icm = scaling_icm(8_000, 11);
         let mut rng = StdRng::seed_from_u64(12);
         let mut sampler = PseudoStateSampler::new(&icm, kind, &mut rng);

@@ -45,18 +45,14 @@ fn learning_cost(c: &mut Criterion) {
             |b, _| {
                 let mut rng = StdRng::seed_from_u64(7);
                 b.iter(|| {
-                    black_box(
-                        JointBayes::new(single_sample()).sample_posterior(&summary, &mut rng),
-                    )
+                    black_box(JointBayes::new(single_sample()).sample_posterior(&summary, &mut rng))
                 })
             },
         );
         // Goyal's pass over the summary (its natural single "sample").
-        group.bench_with_input(
-            BenchmarkId::new("goyal_pass", objects),
-            &objects,
-            |b, _| b.iter(|| black_box(goyal_credit(&summary))),
-        );
+        group.bench_with_input(BenchmarkId::new("goyal_pass", objects), &objects, |b, _| {
+            b.iter(|| black_box(goyal_credit(&summary)))
+        });
     }
     group.finish();
 }
@@ -68,20 +64,16 @@ fn summarize_cost(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(9);
         let probs: Vec<f64> = (0..10).map(|j| 0.2 + 0.06 * j as f64).collect();
         let episodes = star_episodes(&StarConfig::new(probs), objects, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(objects),
-            &objects,
-            |b, _| {
-                b.iter(|| {
-                    black_box(SinkSummary::build(
-                        NodeId(10),
-                        (0..10).map(NodeId).collect(),
-                        &episodes,
-                        TimingAssumption::AnyEarlier,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(objects), &objects, |b, _| {
+            b.iter(|| {
+                black_box(SinkSummary::build(
+                    NodeId(10),
+                    (0..10).map(NodeId).collect(),
+                    &episodes,
+                    TimingAssumption::AnyEarlier,
+                ))
+            })
+        });
     }
     group.finish();
 }

@@ -37,8 +37,7 @@ fn chain_update_scaling(c: &mut Criterion) {
     for m in [500usize, 2_000, 8_000, 32_000, 128_000] {
         let icm = scaling_icm(m, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut sampler =
-            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
         sampler.run(2_000, &mut rng);
         group.throughput(Throughput::Elements(1));
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {

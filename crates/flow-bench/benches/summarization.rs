@@ -34,7 +34,10 @@ fn raw_ln_likelihood(episodes: &[Episode], parents: usize, probs: &[f64]) -> f64
         let mut miss = 1.0;
         let mut any = false;
         for (j, &p_j) in probs.iter().enumerate().take(parents) {
-            let p_active = match (ep.activation_time(NodeId(j as u32)), ep.activation_time(sink)) {
+            let p_active = match (
+                ep.activation_time(NodeId(j as u32)),
+                ep.activation_time(sink),
+            ) {
                 (Some(tp), Some(t)) => tp < t,
                 (Some(_), None) => true,
                 _ => false,
@@ -48,7 +51,11 @@ fn raw_ln_likelihood(episodes: &[Episode], parents: usize, probs: &[f64]) -> f64
             continue;
         }
         let p = 1.0 - miss;
-        acc += if ep.is_active(sink) { p.ln() } else { (1.0 - p).ln() };
+        acc += if ep.is_active(sink) {
+            p.ln()
+        } else {
+            (1.0 - p).ln()
+        };
     }
     acc
 }
@@ -57,11 +64,9 @@ fn likelihood_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("likelihood_eval");
     for &objects in &[1_000usize, 8_000, 64_000] {
         let (episodes, summary, probs) = make(8, objects);
-        group.bench_with_input(
-            BenchmarkId::new("summarized", objects),
-            &objects,
-            |b, _| b.iter(|| black_box(summary.ln_likelihood(&probs))),
-        );
+        group.bench_with_input(BenchmarkId::new("summarized", objects), &objects, |b, _| {
+            b.iter(|| black_box(summary.ln_likelihood(&probs)))
+        });
         group.bench_with_input(BenchmarkId::new("raw", objects), &objects, |b, _| {
             b.iter(|| black_box(raw_ln_likelihood(&episodes, 8, &probs)))
         });
@@ -78,11 +83,9 @@ fn summary_width_report(c: &mut Criterion) {
             "summary_width: parents=12 objects={objects} width={} (2^n = 4096)",
             summary.width()
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(objects),
-            &objects,
-            |b, _| b.iter(|| black_box(summary.ln_likelihood(&probs))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(objects), &objects, |b, _| {
+            b.iter(|| black_box(summary.ln_likelihood(&probs)))
+        });
     }
     group.finish();
 }

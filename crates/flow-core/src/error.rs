@@ -1,0 +1,172 @@
+//! The workspace-wide error taxonomy.
+
+use std::fmt;
+
+/// Convenience alias used by boundary APIs across the workspace.
+pub type FlowResult<T> = Result<T, FlowError>;
+
+/// Every recoverable failure the runtime can surface.
+///
+/// The taxonomy is deliberately small and flat: callers match on the
+/// variant to decide between retrying (e.g. [`FlowError::ChainStalled`]),
+/// degrading (e.g. [`FlowError::BudgetExhausted`]), and aborting
+/// (e.g. [`FlowError::GraphInconsistency`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A parameter that must lie in `[0, 1]` does not (or is not finite).
+    InvalidProbability { what: &'static str, value: f64 },
+
+    /// A sampling weight is negative, NaN, or infinite. `index` is the
+    /// position in the weight vector where the guard tripped.
+    NonFiniteWeight { index: usize, value: f64 },
+
+    /// Graph/model shape invariants are violated (edge references a
+    /// node outside the graph, probability vector length mismatch, …).
+    GraphInconsistency { detail: String },
+
+    /// A Markov chain made no usable progress: acceptance collapsed to
+    /// (near) zero or the conditioned indicator series froze.
+    ChainStalled {
+        chain: usize,
+        steps: u64,
+        acceptance_rate: f64,
+    },
+
+    /// A run budget (steps, wall-clock, or precision target) ran out
+    /// before the requested quality was reached. The partial result is
+    /// still available to callers that opted into degradation.
+    BudgetExhausted { detail: String },
+
+    /// A checkpoint could not be written, read, or applied.
+    Checkpoint { detail: String },
+
+    /// An input record could not be parsed. `line` is 1-based.
+    Parse { line: usize, detail: String },
+
+    /// An underlying I/O failure (stringified; `std::io::Error` is not
+    /// `Clone`/`PartialEq`, and callers only need the message).
+    Io { detail: String },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidProbability { what, value } => {
+                write!(
+                    f,
+                    "invalid probability for {what}: {value} is not in [0, 1]"
+                )
+            }
+            FlowError::NonFiniteWeight { index, value } => {
+                write!(
+                    f,
+                    "weight at index {index} is not a finite non-negative number: {value}"
+                )
+            }
+            FlowError::GraphInconsistency { detail } => {
+                write!(f, "graph inconsistency: {detail}")
+            }
+            FlowError::ChainStalled {
+                chain,
+                steps,
+                acceptance_rate,
+            } => write!(
+                f,
+                "chain {chain} stalled after {steps} steps (acceptance rate {acceptance_rate:.4})"
+            ),
+            FlowError::BudgetExhausted { detail } => {
+                write!(f, "run budget exhausted: {detail}")
+            }
+            FlowError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
+            FlowError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            FlowError::Io { detail } => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<std::io::Error> for FlowError {
+    fn from(e: std::io::Error) -> Self {
+        FlowError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(FlowError, &str)> = vec![
+            (
+                FlowError::InvalidProbability {
+                    what: "beta alpha",
+                    value: f64::NAN,
+                },
+                "beta alpha",
+            ),
+            (
+                FlowError::NonFiniteWeight {
+                    index: 3,
+                    value: f64::INFINITY,
+                },
+                "index 3",
+            ),
+            (
+                FlowError::GraphInconsistency {
+                    detail: "edge 9 references node 100 of 10".into(),
+                },
+                "edge 9",
+            ),
+            (
+                FlowError::ChainStalled {
+                    chain: 2,
+                    steps: 5000,
+                    acceptance_rate: 0.0001,
+                },
+                "chain 2",
+            ),
+            (
+                FlowError::BudgetExhausted {
+                    detail: "wall clock 30s".into(),
+                },
+                "wall clock",
+            ),
+            (
+                FlowError::Checkpoint {
+                    detail: "bitset length mismatch".into(),
+                },
+                "bitset",
+            ),
+            (
+                FlowError::Parse {
+                    line: 17,
+                    detail: "expected 3 tab-separated fields, got 1".into(),
+                },
+                "line 17",
+            ),
+            (
+                FlowError::Io {
+                    detail: "file not found".into(),
+                },
+                "file not found",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: FlowError = io.into();
+        assert!(matches!(err, FlowError::Io { .. }));
+    }
+}

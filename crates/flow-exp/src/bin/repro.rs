@@ -1,24 +1,29 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv]
+//! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]
 //!
 //! subcommands:
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//!   table1 table3 ablation appendix all
+//!   table1 table3 ablation appendix flow all
 //! ```
 //!
 //! `--scale` multiplies replication counts (default 1.0; ~5 approaches
 //! the paper's levels). `--seed` fixes all randomness. CSVs land in
 //! `--out` (default `results/`).
+//!
+//! `flow` runs a long checkpointed MH flow query, writing periodic
+//! checkpoints under `<out>/checkpoints/`; `--resume` continues a
+//! killed run from its latest checkpoint (bit-identical to an
+//! uninterrupted run).
 
 use flow_exp::runners::{self, ExpConfig};
-use flow_exp::Output;
+use flow_exp::{CheckpointStore, Output};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|all> \
-         [--scale S] [--seed N] [--out DIR] [--no-csv]"
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|flow|all> \
+         [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn main() {
     let command = args[0].clone();
     let mut cfg = ExpConfig::default();
     let mut out_dir = Some("results".to_string());
+    let mut resume = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +59,7 @@ fn main() {
                 out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--no-csv" => out_dir = None,
+            "--resume" => resume = true,
             _ => usage(),
         }
         i += 1;
@@ -61,8 +68,19 @@ fn main() {
         Some(d) => Output::to_dir(d),
         None => Output::stdout_only(),
     };
+    // Checkpoints live next to the CSVs; without an output directory
+    // the flow runner still works, it just cannot persist or resume.
+    let store = out_dir.as_ref().and_then(|d| {
+        match CheckpointStore::open(std::path::Path::new(d).join("checkpoints")) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: cannot open checkpoint directory: {e}");
+                None
+            }
+        }
+    });
     let started = std::time::Instant::now();
-    run(&command, &cfg, &out);
+    run(&command, &cfg, &out, store.as_ref(), resume);
     println!(
         "\ndone ({}) in {:.1}s  [seed {}, scale {}]",
         command,
@@ -72,7 +90,13 @@ fn main() {
     );
 }
 
-fn run(command: &str, cfg: &ExpConfig, out: &Output) {
+fn run(
+    command: &str,
+    cfg: &ExpConfig,
+    out: &Output,
+    store: Option<&CheckpointStore>,
+    resume: bool,
+) {
     match command {
         "fig1" => {
             runners::fig01_synthetic_bucket::run_fig1(cfg, out);
@@ -118,6 +142,12 @@ fn run(command: &str, cfg: &ExpConfig, out: &Output) {
         }
         "table3" => {
             runners::table3::run_table3(cfg, out);
+        }
+        "flow" => {
+            if let Err(e) = runners::flow_query::run_flow_checkpointed(cfg, out, store, resume) {
+                eprintln!("error: flow query failed: {e}");
+                std::process::exit(1);
+            }
         }
         "all" => {
             // Table III re-runs Figs. 1, 2, 5 and 8 and tabulates their

@@ -36,8 +36,10 @@
 
 pub mod ascii;
 pub mod bucket;
+pub mod checkpoint;
 pub mod output;
 pub mod runners;
 
 pub use bucket::{BucketBin, BucketConfig, BucketReport};
+pub use checkpoint::CheckpointStore;
 pub use output::Output;

@@ -106,7 +106,15 @@ impl Output {
             })
             .collect();
         self.table(
-            &["bin", "count", "flows", "mean-est", "empirical", "95% CI", "in"],
+            &[
+                "bin",
+                "count",
+                "flows",
+                "mean-est",
+                "empirical",
+                "95% CI",
+                "in",
+            ],
             &rows,
         );
         let csv_rows: Vec<Vec<String>> = report
@@ -129,8 +137,15 @@ impl Output {
         let _ = self.csv(
             name,
             &[
-                "lo", "hi", "count", "positives", "mean_estimate", "empirical_rate", "ci_lo",
-                "ci_hi", "mean_inside_ci",
+                "lo",
+                "hi",
+                "count",
+                "positives",
+                "mean_estimate",
+                "empirical_rate",
+                "ci_lo",
+                "ci_hi",
+                "mean_inside_ci",
             ],
             &csv_rows,
         );

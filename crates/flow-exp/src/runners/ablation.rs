@@ -41,7 +41,10 @@ pub fn run_ablation(cfg: &ExpConfig, out: &Output) -> Vec<AblationPoint> {
     let samples = cfg.scaled(4_000, 1_500);
 
     let mut points = Vec::new();
-    for proposal in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+    for proposal in [
+        ProposalKind::ResultingActivity,
+        ProposalKind::CurrentActivity,
+    ] {
         for thin in [1usize, m / 8, m / 2, 2 * m] {
             let thin = thin.max(1);
             let mut chain_rng = StdRng::seed_from_u64(cfg.seed ^ 0xAB1A_0001);
@@ -51,7 +54,11 @@ pub fn run_ablation(cfg: &ExpConfig, out: &Output) -> Vec<AblationPoint> {
             let mut series = Vec::with_capacity(samples);
             for _ in 0..samples {
                 sampler.run(thin, &mut chain_rng);
-                series.push(if sampler.carries_flow(src, dst) { 1.0 } else { 0.0 });
+                series.push(if sampler.carries_flow(src, dst) {
+                    1.0
+                } else {
+                    0.0
+                });
             }
             let elapsed = started.elapsed().as_secs_f64();
             let ess = effective_sample_size(&series);

@@ -65,11 +65,7 @@ fn delayed_star_episodes<R: Rng + ?Sized>(
         .collect()
 }
 
-fn point(
-    regime: &'static str,
-    truths: &[f64],
-    episodes: &[Episode],
-) -> AppendixPoint {
+fn point(regime: &'static str, truths: &[f64], episodes: &[Episode]) -> AppendixPoint {
     let parents: Vec<NodeId> = (0..truths.len() as u32).map(NodeId).collect();
     let sink = NodeId(truths.len() as u32);
     let fit = |timing: TimingAssumption| -> (f64, u64) {
@@ -99,7 +95,12 @@ pub fn run_appendix(cfg: &ExpConfig, out: &Output) -> Vec<AppendixPoint> {
     // Immediate regime: delay = exactly 1 step (Saito's assumption holds).
     let immediate = delayed_star_episodes(&truths, objects, |_| 1, &mut rng);
     // Delayed regime: 1-3 steps (feeds arrive late, as on Twitter).
-    let delayed = delayed_star_episodes(&truths, objects, |r: &mut StdRng| r.random_range(1..=3), &mut rng);
+    let delayed = delayed_star_episodes(
+        &truths,
+        objects,
+        |r: &mut StdRng| r.random_range(1..=3),
+        &mut rng,
+    );
     let points = vec![
         point("immediate", &truths, &immediate),
         point("delayed", &truths, &delayed),
@@ -116,12 +117,22 @@ pub fn run_appendix(cfg: &ExpConfig, out: &Output) -> Vec<AppendixPoint> {
         })
         .collect();
     out.table(
-        &["regime", "modified (any-earlier)", "original (t+1)", "orig. unattributable"],
+        &[
+            "regime",
+            "modified (any-earlier)",
+            "original (t+1)",
+            "orig. unattributable",
+        ],
         &rows,
     );
     let _ = out.csv(
         "appendix_timing",
-        &["regime", "modified_rmse", "original_rmse", "original_spontaneous"],
+        &[
+            "regime",
+            "modified_rmse",
+            "original_rmse",
+            "original_spontaneous",
+        ],
         &rows,
     );
     out.line(
@@ -162,6 +173,10 @@ mod tests {
             delayed.original
         );
         // The relaxed window is itself unaffected by the delay.
-        assert!(delayed.modified < 0.08, "modified rmse {}", delayed.modified);
+        assert!(
+            delayed.modified < 0.08,
+            "modified rmse {}",
+            delayed.modified
+        );
     }
 }

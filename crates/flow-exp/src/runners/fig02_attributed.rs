@@ -92,7 +92,8 @@ pub fn attributed_pairs(
     radius: usize,
     known_flows: usize,
 ) -> Vec<PredictionOutcome> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xF162_0100 + radius as u64 * 7 + known_flows as u64));
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (0xF162_0100 + radius as u64 * 7 + known_flows as u64));
     let graph = ctx.corpus.graph.clone();
     let tweets_per_focus = if known_flows == 0 {
         cfg.scaled(40, 10)

@@ -116,10 +116,7 @@ pub fn run_fig3(cfg: &ExpConfig, out: &Output) -> Vec<UncertaintyCase> {
         for &s in &dist.samples {
             hist.push(s);
         }
-        let bins: Vec<(String, u64)> = hist
-            .iter()
-            .map(|(c, n)| (format!("{c:.3}"), n))
-            .collect();
+        let bins: Vec<(String, u64)> = hist.iter().map(|(c, n)| (format!("{c:.3}"), n)).collect();
         out.line(ascii::histogram(&bins, 40, "  sampled flow probabilities:"));
         let fitted = dist.moment_matched_beta();
         if let Some(f) = &fitted {
@@ -170,8 +167,7 @@ mod tests {
             // The nested mean should land within a loose band around the
             // empirical mean (both estimate the same flow probability;
             // multi-path flow makes the model mean slightly higher).
-            let model_mean =
-                c.samples.iter().sum::<f64>() / c.samples.len() as f64;
+            let model_mean = c.samples.iter().sum::<f64>() / c.samples.len() as f64;
             assert!(
                 (model_mean - c.empirical.mean()).abs() < 0.3,
                 "model {model_mean} vs empirical {}",

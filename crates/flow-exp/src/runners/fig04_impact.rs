@@ -63,9 +63,7 @@ pub fn run_fig4(cfg: &ExpConfig, out: &Output) -> ImpactResult {
     )
     .impact_distribution(focus, &mut rng);
     let actual: Vec<usize> = (0..cfg.scaled(400, 150))
-        .map(|_| {
-            simulate_cascade(&ctx.corpus.retweet_truth, &[focus], &mut rng).impact()
-        })
+        .map(|_| simulate_cascade(&ctx.corpus.retweet_truth, &[focus], &mut rng).impact())
         .collect();
     let result = ImpactResult { predicted, actual };
     out.line(format!(

@@ -61,11 +61,7 @@ pub fn goyal_raw(parents: &[NodeId], sink: NodeId, episodes: &[Episode]) -> Vec<
             continue;
         }
         let leak = sink_time.is_some();
-        let share = if leak {
-            1.0 / active.len() as f64
-        } else {
-            0.0
-        };
+        let share = if leak { 1.0 / active.len() as f64 } else { 0.0 };
         for &j in &active {
             credit[j] += share;
             exposure[j] += 1;
@@ -94,7 +90,9 @@ fn single_sample_config() -> JointBayesConfig {
 /// Measures one grid point.
 fn measure(parents_n: usize, objects: usize, seed: u64) -> TimingPoint {
     let mut rng = StdRng::seed_from_u64(seed);
-    let true_probs: Vec<f64> = (0..parents_n).map(|j| 0.2 + 0.6 * (j as f64 / parents_n as f64)).collect();
+    let true_probs: Vec<f64> = (0..parents_n)
+        .map(|j| 0.2 + 0.6 * (j as f64 / parents_n as f64))
+        .collect();
     let star = StarConfig::new(true_probs);
     let episodes = star_episodes(&star, objects, &mut rng);
     let parents: Vec<NodeId> = (0..parents_n as u32).map(NodeId).collect();
@@ -154,13 +152,14 @@ pub fn run_fig6(cfg: &ExpConfig, out: &Output) -> Vec<TimingPoint> {
     out.heading("Fig. 6 — per-sample cost: joint Bayes vs Goyal");
     let mut points = Vec::new();
     let object_grid = [300usize, 1_000, 3_000, 10_000, 30_000];
-    let objects: Vec<usize> = object_grid
-        .iter()
-        .map(|&o| cfg.scaled(o, o / 10))
-        .collect();
+    let objects: Vec<usize> = object_grid.iter().map(|&o| cfg.scaled(o, o / 10)).collect();
     for &parents in &[5usize, 10, 15] {
         for &m in &objects {
-            points.push(measure(parents, m, cfg.seed ^ (parents as u64 * 131 + m as u64)));
+            points.push(measure(
+                parents,
+                m,
+                cfg.seed ^ (parents as u64 * 131 + m as u64),
+            ));
         }
     }
     let rows: Vec<Vec<String>> = points
@@ -221,8 +220,7 @@ mod tests {
         let parents: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(2)];
         let sink = NodeId(3);
         let raw = goyal_raw(&parents, sink, &episodes);
-        let summary =
-            SinkSummary::build(sink, parents, &episodes, TimingAssumption::AnyEarlier);
+        let summary = SinkSummary::build(sink, parents, &episodes, TimingAssumption::AnyEarlier);
         let via_summary = flow_learn::goyal::goyal_credit(&summary);
         for (a, b) in raw.iter().zip(&via_summary) {
             assert!((a - b).abs() < 1e-12, "raw {a} vs summary {b}");
@@ -232,7 +230,11 @@ mod tests {
     #[test]
     fn summary_width_is_bounded() {
         let p = measure(5, 2_000, 9);
-        assert!(p.summary_width <= 31, "ω ≤ 2^n − 1, got {}", p.summary_width);
+        assert!(
+            p.summary_width <= 31,
+            "ω ≤ 2^n − 1, got {}",
+            p.summary_width
+        );
         assert!(p.goyal > 0.0 && p.ours_core > 0.0);
         assert!(p.ours_total_single >= p.ours_core);
     }

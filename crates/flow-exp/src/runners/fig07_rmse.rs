@@ -15,12 +15,12 @@
 
 use crate::output::Output;
 use crate::runners::ExpConfig;
+use flow_graph::NodeId;
 use flow_learn::goyal::goyal_credit;
 use flow_learn::joint_bayes::{JointBayes, JointBayesConfig};
 use flow_learn::saito::{saito_em, SaitoConfig};
 use flow_learn::summary::{filtered_betas, SinkSummary, TimingAssumption};
 use flow_learn::synthetic::{star_episodes, StarConfig};
-use flow_graph::NodeId;
 use flow_stats::metrics::rmse;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,8 +84,12 @@ pub fn rmse_point(
     for _ in 0..reps {
         let star = StarConfig::new(truths.to_vec());
         let episodes = star_episodes(&star, objects, &mut rng);
-        let summary =
-            SinkSummary::build(sink, parents.clone(), &episodes, TimingAssumption::AnyEarlier);
+        let summary = SinkSummary::build(
+            sink,
+            parents.clone(),
+            &episodes,
+            TimingAssumption::AnyEarlier,
+        );
         // Joint Bayes.
         let post = JointBayes::new(JointBayesConfig {
             samples: 400,
@@ -109,11 +113,8 @@ pub fn rmse_point(
         acc.goyal += rmse(&goyal_credit(&summary), truths).expect("non-empty");
         let filt: Vec<f64> = filtered_betas(&summary).iter().map(|b| b.mean()).collect();
         acc.filtered += rmse(&filt, truths).expect("non-empty");
-        acc.saito += rmse(
-            &saito_em(&summary, &SaitoConfig::default()).probs,
-            truths,
-        )
-        .expect("non-empty");
+        acc.saito +=
+            rmse(&saito_em(&summary, &SaitoConfig::default()).probs, truths).expect("non-empty");
     }
     let n = reps as f64;
     acc.ours /= n;
@@ -154,14 +155,22 @@ pub fn run_fig7(cfg: &ExpConfig, out: &Output) -> Vec<RmsePoint> {
             all.push(point);
         }
         out.table(
-            &["objects", "ours", "ours 95% band", "goyal", "filtered", "saito"],
+            &[
+                "objects",
+                "ours",
+                "ours 95% band",
+                "goyal",
+                "filtered",
+                "saito",
+            ],
             &rows,
         );
         let _ = out.csv(
             &format!("fig7_{label}"),
-            &["objects", "ours", "band_lo", "band_hi", "goyal", "filtered", "saito"],
-            &all
-                .iter()
+            &[
+                "objects", "ours", "band_lo", "band_hi", "goyal", "filtered", "saito",
+            ],
+            &all.iter()
                 .filter(|p| p.config == label)
                 .map(|p| {
                     vec![

@@ -247,12 +247,7 @@ pub fn tag_pairs(
     pairs
 }
 
-fn run_panels(
-    cfg: &ExpConfig,
-    out: &Output,
-    kind: ObjectKind,
-    fig: &str,
-) -> Vec<TagFlowResult> {
+fn run_panels(cfg: &ExpConfig, out: &Output, kind: ObjectKind, fig: &str) -> Vec<TagFlowResult> {
     let ctx = build_tag_context(cfg, kind);
     out.line(format!(
         "{} objects: {}; focus users: {:?}",

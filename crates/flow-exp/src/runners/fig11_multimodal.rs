@@ -54,7 +54,10 @@ pub fn run_fig11(cfg: &ExpConfig, out: &Output) -> MultimodalResult {
     .sample_posterior(&summary, &mut rng);
     let bayes_samples: Vec<[f64; 3]> = bayes.samples.iter().map(|s| [s[0], s[1], s[2]]).collect();
 
-    for (name, data) in [("Saito EM (1000 restarts)", &em_solutions), ("Joint Bayes MCMC", &bayes_samples)] {
+    for (name, data) in [
+        ("Saito EM (1000 restarts)", &em_solutions),
+        ("Joint Bayes MCMC", &bayes_samples),
+    ] {
         let ab: Vec<(f64, f64)> = data.iter().map(|p| (p[0], p[1])).collect();
         let ac: Vec<(f64, f64)> = data.iter().map(|p| (p[0], p[2])).collect();
         out.line(ascii::scatter(&ab, 48, 16, &format!("{name}: B vs A")));

@@ -15,6 +15,7 @@ pub mod fig06_timing;
 pub mod fig07_rmse;
 pub mod fig08_tags;
 pub mod fig11_multimodal;
+pub mod flow_query;
 pub mod table1;
 pub mod table3;
 

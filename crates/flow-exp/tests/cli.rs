@@ -46,7 +46,11 @@ fn fig11_writes_csv_to_out_dir() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let csv = std::fs::read_to_string(dir.join("fig11_multimodal.csv")).expect("csv written");
     assert!(csv.starts_with("method,a,b,c"));
     assert!(csv.lines().count() > 1_000, "EM restarts + Bayes samples");

@@ -22,7 +22,10 @@ use rand::Rng;
 /// sampling; for dense requests it shuffles the full edge universe.
 pub fn uniform_edges<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> DiGraph {
     let universe = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= universe, "requested {m} edges but only {universe} possible");
+    assert!(
+        m <= universe,
+        "requested {m} edges but only {universe} possible"
+    );
     let mut b = GraphBuilder::new(n);
     if universe == 0 {
         return b.build();
@@ -39,7 +42,8 @@ pub fn uniform_edges<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> DiGrap
         }
         all.shuffle(rng);
         for &(u, v) in all.iter().take(m) {
-            b.add_edge(NodeId(u), NodeId(v)).expect("unique by construction");
+            b.add_edge(NodeId(u), NodeId(v))
+                .expect("unique by construction");
         }
     } else {
         // Sparse: rejection sampling.
@@ -132,7 +136,8 @@ pub fn cycle(n: usize) -> DiGraph {
     assert!(n >= 2, "a cycle needs at least 2 nodes");
     let mut b = GraphBuilder::new(n);
     for i in 0..n as u32 {
-        b.add_edge(NodeId(i), NodeId((i + 1) % n as u32)).expect("unique");
+        b.add_edge(NodeId(i), NodeId((i + 1) % n as u32))
+            .expect("unique");
     }
     b.build()
 }

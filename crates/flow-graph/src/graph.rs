@@ -166,7 +166,10 @@ impl DiGraph {
     /// Linear in `out_degree(u)`; fine for the degrees this workspace
     /// produces. Callers needing many lookups should build their own map.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.out_edges(u).iter().copied().find(|&e| self.dst(e) == v)
+        self.out_edges(u)
+            .iter()
+            .copied()
+            .find(|&e| self.dst(e) == v)
     }
 
     /// True if the graph contains an edge from `u` to `v`.

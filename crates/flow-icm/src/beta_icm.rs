@@ -25,11 +25,7 @@ pub struct BetaIcm {
 impl BetaIcm {
     /// Builds a betaICM from explicit per-edge Beta distributions.
     pub fn new(graph: DiGraph, params: Vec<Beta>) -> Self {
-        assert_eq!(
-            params.len(),
-            graph.edge_count(),
-            "need one Beta per edge"
-        );
+        assert_eq!(params.len(), graph.edge_count(), "need one Beta per edge");
         BetaIcm { graph, params }
     }
 
@@ -225,12 +221,8 @@ mod tests {
         let e13 = g.find_edge(NodeId(1), NodeId(3)).unwrap();
         let e23 = g.find_edge(NodeId(2), NodeId(3)).unwrap();
         // Object: source 0, flows 0->1->3; node 2 never active.
-        let r = AttributedRecord::from_lists(
-            &g,
-            vec![NodeId(0)],
-            &[NodeId(1), NodeId(3)],
-            &[e01, e13],
-        );
+        let r =
+            AttributedRecord::from_lists(&g, vec![NodeId(0)], &[NodeId(1), NodeId(3)], &[e01, e13]);
         assert_eq!(r.validate(&g), Ok(()));
         let ev = AttributedEvidence::from_records(vec![r]);
         let model = BetaIcm::train(g, &ev);
@@ -321,7 +313,11 @@ mod tests {
         let grown = trained.extended(bigger, Beta::uniform()).unwrap();
         assert_eq!(grown.edge_count(), 6);
         assert_eq!(grown.edge_beta(EdgeId(0)), old_beta, "posterior kept");
-        assert_eq!(grown.edge_beta(EdgeId(4)), Beta::uniform(), "new edge at prior");
+        assert_eq!(
+            grown.edge_beta(EdgeId(4)),
+            Beta::uniform(),
+            "new edge at prior"
+        );
         // Shrinking is rejected: fewer nodes, or fewer edges.
         let fewer_nodes = flow_graph::graph::graph_from_edges(4, &[(0, 1)]);
         assert!(matches!(
@@ -349,7 +345,9 @@ mod tests {
         let icm = Icm::with_uniform_probability(g.clone(), 0.5);
         let mut rng = StdRng::seed_from_u64(71);
         let records: Vec<AttributedRecord> = (0..200)
-            .map(|_| AttributedRecord::from_active_state(&simulate_cascade(&icm, &[NodeId(0)], &mut rng)))
+            .map(|_| {
+                AttributedRecord::from_active_state(&simulate_cascade(&icm, &[NodeId(0)], &mut rng))
+            })
             .collect();
         let batch = BetaIcm::train(
             g.clone(),

@@ -56,12 +56,24 @@ impl std::fmt::Display for EvidenceError {
 
 impl std::error::Error for EvidenceError {}
 
+impl From<EvidenceError> for flow_core::FlowError {
+    fn from(e: EvidenceError) -> Self {
+        flow_core::FlowError::GraphInconsistency {
+            detail: e.to_string(),
+        }
+    }
+}
+
 impl AttributedRecord {
     /// Builds a record directly from a simulated or derived
     /// [`ActiveState`] (always valid by construction).
     pub fn from_active_state(state: &ActiveState) -> Self {
         AttributedRecord {
-            sources: state.sources().iter_ones().map(|i| NodeId(i as u32)).collect(),
+            sources: state
+                .sources()
+                .iter_ones()
+                .map(|i| NodeId(i as u32))
+                .collect(),
             active_nodes: state.active_nodes().clone(),
             active_edges: state.active_edges().clone(),
         }

@@ -1,5 +1,6 @@
 //! The point-probability Independent Cascade Model.
 
+use flow_core::{fault, FlowError, FlowResult};
 use flow_graph::{DiGraph, EdgeId, NodeId};
 
 /// An ICM `(V, E, P)`: a directed graph plus one activation probability
@@ -20,18 +21,36 @@ impl Icm {
     /// Panics if the vector length does not match the edge count or any
     /// probability lies outside `[0, 1]`.
     pub fn new(graph: DiGraph, probs: Vec<f64>) -> Self {
-        assert_eq!(
-            probs.len(),
-            graph.edge_count(),
-            "need one probability per edge"
-        );
-        for (i, &p) in probs.iter().enumerate() {
-            assert!(
-                (0.0..=1.0).contains(&p),
-                "activation probability {i} out of range: {p}"
-            );
+        match Self::try_new(graph, probs) {
+            Ok(icm) => icm,
+            Err(e) => panic!("{e}"),
         }
-        Icm { graph, probs }
+    }
+
+    /// Fallible construction: returns
+    /// [`FlowError::GraphInconsistency`] on a length mismatch and
+    /// [`FlowError::InvalidProbability`] on an out-of-range or
+    /// non-finite probability, instead of panicking.
+    pub fn try_new(graph: DiGraph, mut probs: Vec<f64>) -> FlowResult<Self> {
+        if probs.len() != graph.edge_count() {
+            return Err(FlowError::GraphInconsistency {
+                detail: format!(
+                    "{} probabilities for {} edges",
+                    probs.len(),
+                    graph.edge_count()
+                ),
+            });
+        }
+        for p in probs.iter_mut() {
+            *p = fault::poison("icm.edge_probability", *p);
+            if !(p.is_finite() && (0.0..=1.0).contains(p)) {
+                return Err(FlowError::InvalidProbability {
+                    what: "edge activation probability",
+                    value: *p,
+                });
+            }
+        }
+        Ok(Icm { graph, probs })
     }
 
     /// Builds an ICM where every edge has the same probability `p`.
@@ -130,16 +149,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one probability per edge")]
+    #[should_panic(expected = "probabilities for")]
     fn rejects_wrong_length() {
         let g = graph_from_edges(2, &[(0, 1)]);
         let _ = Icm::new(g, vec![0.1, 0.2]);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
+    #[should_panic(expected = "edge activation probability")]
     fn rejects_invalid_probability() {
         let g = graph_from_edges(2, &[(0, 1)]);
         let _ = Icm::new(g, vec![1.5]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use flow_core::FlowError;
+        let g = graph_from_edges(2, &[(0, 1)]);
+        match Icm::try_new(g.clone(), vec![0.1, 0.2]) {
+            Err(FlowError::GraphInconsistency { .. }) => {}
+            other => panic!("expected GraphInconsistency, got {other:?}"),
+        }
+        match Icm::try_new(g, vec![f64::NAN]) {
+            Err(FlowError::InvalidProbability { value, .. }) => assert!(value.is_nan()),
+            other => panic!("expected InvalidProbability, got {other:?}"),
+        }
     }
 }

@@ -47,11 +47,7 @@ impl FlowCondition {
 
 /// Evaluates the combined indicator `I(x, C)`: true iff every condition
 /// in `conditions` holds under `state`.
-pub fn conditions_hold(
-    graph: &DiGraph,
-    state: &PseudoState,
-    conditions: &[FlowCondition],
-) -> bool {
+pub fn conditions_hold(graph: &DiGraph, state: &PseudoState, conditions: &[FlowCondition]) -> bool {
     conditions.iter().all(|c| c.holds(graph, state))
 }
 

@@ -376,8 +376,14 @@ mod tests {
         }
         let f_cascade = hits_cascade as f64 / n as f64;
         let f_pseudo = hits_pseudo as f64 / n as f64;
-        assert!((f_cascade - exact).abs() < 0.01, "cascade {f_cascade} vs {exact}");
-        assert!((f_pseudo - exact).abs() < 0.01, "pseudo {f_pseudo} vs {exact}");
+        assert!(
+            (f_cascade - exact).abs() < 0.01,
+            "cascade {f_cascade} vs {exact}"
+        );
+        assert!(
+            (f_pseudo - exact).abs() < 0.01,
+            "pseudo {f_pseudo} vs {exact}"
+        );
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Property-based tests for ICM semantics and exact evaluation.
 
+use flow_graph::{generate, BitSet, EdgeId, NodeId};
 use flow_icm::exact::{enumerate_event_probability, enumerate_flow_probability};
 use flow_icm::state::simulate_cascade;
 use flow_icm::{AttributedRecord, Icm, PseudoState};
-use flow_graph::{generate, BitSet, EdgeId, NodeId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

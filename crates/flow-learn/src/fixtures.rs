@@ -34,7 +34,11 @@ pub fn table_one() -> SinkSummary {
     SinkSummary::from_rows(
         K,
         vec![A, B, C],
-        vec![row(&[0, 1], 5, 1), row(&[1, 2], 50, 15), row(&[0, 2], 10, 2)],
+        vec![
+            row(&[0, 1], 5, 1),
+            row(&[1, 2], 50, 15),
+            row(&[0, 2], 10, 2),
+        ],
     )
 }
 

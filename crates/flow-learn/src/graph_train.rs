@@ -98,8 +98,7 @@ pub fn summarize_graph(
         .nodes()
         .filter(|&k| graph.in_degree(k) > 0)
         .map(|k| {
-            let parents: Vec<NodeId> =
-                graph.in_edges(k).iter().map(|&e| graph.src(e)).collect();
+            let parents: Vec<NodeId> = graph.in_edges(k).iter().map(|&e| graph.src(e)).collect();
             SinkSummary::build(k, parents, episodes, timing)
         })
         .collect()

@@ -186,8 +186,8 @@ impl JointBayes {
         let mut samples = Vec::with_capacity(self.config.samples);
         let mut proposals = 0u64;
         let mut accepts = 0u64;
-        let total_sweeps = self.config.burn_in_sweeps
-            + self.config.samples * self.config.thin_sweeps.max(1);
+        let total_sweeps =
+            self.config.burn_in_sweeps + self.config.samples * self.config.thin_sweeps.max(1);
         let mut sweeps_done = 0usize;
         let mut next_keep = self.config.burn_in_sweeps + self.config.thin_sweeps.max(1);
         while sweeps_done < total_sweeps {
@@ -345,7 +345,11 @@ mod tests {
         for sample in &post.samples {
             or_stats.push(1.0 - (1.0 - sample[0]) * (1.0 - sample[1]));
         }
-        assert!((or_stats.mean() - 0.75).abs() < 0.03, "or {}", or_stats.mean());
+        assert!(
+            (or_stats.mean() - 0.75).abs() < 0.03,
+            "or {}",
+            or_stats.mean()
+        );
         assert!(or_stats.std_dev() < 0.06);
     }
 

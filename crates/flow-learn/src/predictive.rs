@@ -219,6 +219,10 @@ mod tests {
         let check = posterior_predictive_check(&s, &post, 200, &mut rng);
         let r = &check.rows[0];
         assert!(r.replicated_mean >= 0.0 && r.replicated_mean <= 3.0);
-        assert!(r.p_value > 0.1, "tiny rows cannot be surprising: {}", r.p_value);
+        assert!(
+            r.p_value > 0.1,
+            "tiny rows cannot be surprising: {}",
+            r.p_value
+        );
     }
 }

@@ -481,7 +481,11 @@ mod tests {
                         .iter()
                         .map(|&b| 1.0 - probs[b])
                         .product::<f64>();
-                acc += if ep.is_active(sink) { p.ln() } else { (1.0 - p).ln() };
+                acc += if ep.is_active(sink) {
+                    p.ln()
+                } else {
+                    (1.0 - p).ln()
+                };
             }
             acc
         };

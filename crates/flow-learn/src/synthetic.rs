@@ -86,9 +86,8 @@ pub fn episodes_from_icm<R: Rng + ?Sized>(
         };
         let state = simulate_cascade(icm, &[src], rng);
         // BFS depth over the *active* edges gives consistent times.
-        let reach = flow_graph::traverse::reachable_filtered(graph, &[src], |e| {
-            state.is_edge_active(e)
-        });
+        let reach =
+            flow_graph::traverse::reachable_filtered(graph, &[src], |e| state.is_edge_active(e));
         let mut depth = vec![u32::MAX; n];
         depth[src.index()] = 0;
         let mut acts = vec![(src, 0u32)];
@@ -127,10 +126,7 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(61);
         let eps = star_episodes(&cfg, 20_000, &mut rng);
-        let leaks = eps
-            .iter()
-            .filter(|e| e.is_active(NodeId(1)))
-            .count() as f64;
+        let leaks = eps.iter().filter(|e| e.is_active(NodeId(1))).count() as f64;
         assert!((leaks / 20_000.0 - 0.8).abs() < 0.01);
     }
 

@@ -1,0 +1,269 @@
+//! Run budgets and graceful degradation for MCMC estimation.
+//!
+//! The paper's experiments pick sample counts offline; a library caller
+//! instead wants to say "spend at most this much work, and tell me how
+//! good the answer is". A [`RunBudget`] bounds a run by steps and
+//! wall-clock time and states quality targets (effective sample size,
+//! Gelman–Rubin R̂). Estimators that accept a budget return a
+//! [`PartialEstimate`]: always a number, plus an explicit
+//! [`DegradationReason`] list describing every way the run fell short —
+//! budget exhaustion, unmet convergence targets, stalled or excluded
+//! chains. An empty `degradation` list means the run completed cleanly.
+
+use std::time::Duration;
+
+/// Resource and quality bounds for a budgeted MCMC run.
+///
+/// All bounds are optional; [`RunBudget::default`] imposes none. Step
+/// and wall-clock bounds are interpreted per chain (each chain monitors
+/// its own consumption, which keeps threaded runs coordination-free).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunBudget {
+    /// Maximum chain updates per chain (burn-in plus thinning).
+    pub max_steps: Option<u64>,
+    /// Maximum wall-clock time per chain.
+    pub max_wall: Option<Duration>,
+    /// Target pooled effective sample size; recorded as degradation if
+    /// not reached.
+    pub target_ess: Option<f64>,
+    /// Maximum acceptable Gelman–Rubin R̂; chains are excluded and/or
+    /// degradation recorded if exceeded.
+    pub max_rhat: Option<f64>,
+}
+
+impl RunBudget {
+    /// A budget with no limits and no quality targets.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Bounds per-chain steps.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Bounds per-chain wall-clock time.
+    pub fn with_max_wall(mut self, wall: Duration) -> Self {
+        self.max_wall = Some(wall);
+        self
+    }
+
+    /// Requires a pooled effective sample size.
+    pub fn with_target_ess(mut self, ess: f64) -> Self {
+        self.target_ess = Some(ess);
+        self
+    }
+
+    /// Requires a Gelman–Rubin R̂ at or below `rhat`.
+    pub fn with_max_rhat(mut self, rhat: f64) -> Self {
+        self.max_rhat = Some(rhat);
+        self
+    }
+}
+
+/// One specific way a budgeted run fell short of a clean completion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DegradationReason {
+    /// A chain hit its step budget before collecting all samples.
+    StepBudgetExhausted {
+        /// The chain that ran out.
+        chain: usize,
+        /// Retained samples it managed to collect.
+        samples_collected: usize,
+        /// Retained samples it was asked for.
+        samples_requested: usize,
+    },
+    /// A chain hit its wall-clock budget before collecting all samples.
+    WallClockExhausted {
+        /// The chain that ran out.
+        chain: usize,
+        /// Retained samples it managed to collect.
+        samples_collected: usize,
+        /// Retained samples it was asked for.
+        samples_requested: usize,
+    },
+    /// A chain looked stuck (near-zero acceptance or a constant
+    /// indicator series while siblings varied) and was restarted with a
+    /// fresh seed.
+    ChainRestarted {
+        /// The chain that was restarted.
+        chain: usize,
+        /// Restart attempts consumed (1 = first restart).
+        attempt: usize,
+        /// Acceptance rate of the abandoned attempt.
+        acceptance_rate: f64,
+    },
+    /// A chain was still stuck after all restart attempts; its output is
+    /// included but flagged.
+    ChainStalled {
+        /// The stuck chain.
+        chain: usize,
+        /// Its acceptance rate after the final attempt.
+        acceptance_rate: f64,
+    },
+    /// A chain failed with a hard error (fault injection, numerical
+    /// corruption) on every attempt and contributes no samples.
+    ChainFailed {
+        /// The failed chain.
+        chain: usize,
+        /// The final attempt's error, rendered.
+        error: String,
+    },
+    /// A chain's output disagreed with its siblings enough to push R̂
+    /// over the budget's threshold; it was excluded from the pooled
+    /// estimate.
+    ChainExcluded {
+        /// The excluded chain.
+        chain: usize,
+        /// Its mean, for the record.
+        chain_mean: f64,
+    },
+    /// The pooled R̂ still exceeds the target after exclusions.
+    RhatAboveTarget {
+        /// Achieved R̂.
+        achieved: f64,
+        /// The budget's target.
+        target: f64,
+    },
+    /// The pooled effective sample size fell short of the target.
+    EssBelowTarget {
+        /// Achieved ESS.
+        achieved: f64,
+        /// The budget's target.
+        target: f64,
+    },
+}
+
+impl std::fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationReason::StepBudgetExhausted {
+                chain,
+                samples_collected,
+                samples_requested,
+            } => write!(
+                f,
+                "chain {chain}: step budget exhausted after {samples_collected}/{samples_requested} samples"
+            ),
+            DegradationReason::WallClockExhausted {
+                chain,
+                samples_collected,
+                samples_requested,
+            } => write!(
+                f,
+                "chain {chain}: wall-clock budget exhausted after {samples_collected}/{samples_requested} samples"
+            ),
+            DegradationReason::ChainRestarted {
+                chain,
+                attempt,
+                acceptance_rate,
+            } => write!(
+                f,
+                "chain {chain}: restarted (attempt {attempt}) with fresh seed; acceptance rate was {acceptance_rate:.4}"
+            ),
+            DegradationReason::ChainStalled {
+                chain,
+                acceptance_rate,
+            } => write!(
+                f,
+                "chain {chain}: still stalled after restarts (acceptance rate {acceptance_rate:.4})"
+            ),
+            DegradationReason::ChainFailed { chain, error } => {
+                write!(f, "chain {chain}: failed on every attempt: {error}")
+            }
+            DegradationReason::ChainExcluded { chain, chain_mean } => write!(
+                f,
+                "chain {chain}: excluded from pooled estimate (mean {chain_mean:.4} disagrees with siblings)"
+            ),
+            DegradationReason::RhatAboveTarget { achieved, target } => {
+                write!(f, "R-hat {achieved:.4} above target {target:.4}")
+            }
+            DegradationReason::EssBelowTarget { achieved, target } => {
+                write!(f, "effective sample size {achieved:.1} below target {target:.1}")
+            }
+        }
+    }
+}
+
+/// Convergence diagnostics attached to a [`PartialEstimate`].
+#[derive(Clone, Debug, Default)]
+pub struct EstimateDiagnostics {
+    /// Pooled effective sample size over the included chains.
+    pub effective_samples: f64,
+    /// Gelman–Rubin R̂ over the included chains (`None` below two
+    /// chains or for degenerate output).
+    pub r_hat: Option<f64>,
+    /// Monte-Carlo standard error of the pooled estimate.
+    pub standard_error: f64,
+    /// Acceptance rate per chain, indexed by original chain number
+    /// (includes excluded and stalled chains).
+    pub acceptance_rates: Vec<f64>,
+    /// Chains included in the pooled estimate, by original index.
+    pub included_chains: Vec<usize>,
+}
+
+/// The result of a budgeted run: always a usable number, never a panic,
+/// with every shortfall spelled out.
+#[derive(Clone, Debug)]
+pub struct PartialEstimate {
+    /// The pooled flow-probability estimate over the included chains.
+    pub value: f64,
+    /// Convergence diagnostics.
+    pub diagnostics: EstimateDiagnostics,
+    /// Every way the run fell short; empty means a clean run.
+    pub degradation: Vec<DegradationReason>,
+}
+
+impl PartialEstimate {
+    /// True if the run completed without any shortfall.
+    pub fn is_clean(&self) -> bool {
+        self.degradation.is_empty()
+    }
+
+    /// True if any degradation was recorded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradation.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let b = RunBudget::unlimited()
+            .with_max_steps(1000)
+            .with_max_wall(Duration::from_secs(2))
+            .with_target_ess(200.0)
+            .with_max_rhat(1.1);
+        assert_eq!(b.max_steps, Some(1000));
+        assert_eq!(b.max_wall, Some(Duration::from_secs(2)));
+        assert_eq!(b.target_ess, Some(200.0));
+        assert_eq!(b.max_rhat, Some(1.1));
+    }
+
+    #[test]
+    fn degradation_reasons_render() {
+        let reasons = [
+            DegradationReason::StepBudgetExhausted {
+                chain: 0,
+                samples_collected: 10,
+                samples_requested: 100,
+            },
+            DegradationReason::ChainStalled {
+                chain: 2,
+                acceptance_rate: 0.001,
+            },
+            DegradationReason::RhatAboveTarget {
+                achieved: 1.52,
+                target: 1.1,
+            },
+        ];
+        for r in &reasons {
+            assert!(!r.to_string().is_empty());
+        }
+        assert!(reasons[0].to_string().contains("10/100"));
+    }
+}

@@ -18,6 +18,13 @@ pub fn effective_sample_size(series: &[f64]) -> f64 {
     if n < 2 {
         return n as f64;
     }
+    // Test constancy exactly: the computed variance of a constant
+    // series can be a tiny non-zero value when its mean is not exactly
+    // representable, and the autocorrelation machinery would then run
+    // on pure rounding noise.
+    if series.iter().all(|&x| x == series[0]) {
+        return 0.0;
+    }
     let mean = series.iter().sum::<f64>() / n as f64;
     let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
     if var == 0.0 {
@@ -61,6 +68,18 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
     if n < 2 || chains.iter().any(|c| c.len() != n) {
         return None;
     }
+    // Constant chains answer exactly, without going through the
+    // variance arithmetic: the within-chain variance of a constant
+    // series can come out as rounding noise instead of zero when the
+    // chain's mean is not exactly representable.
+    if chains.iter().all(|c| c.iter().all(|&x| x == c[0])) {
+        let first = chains[0][0];
+        return Some(if chains.iter().all(|c| c[0] == first) {
+            1.0
+        } else {
+            f64::INFINITY
+        });
+    }
     let chain_means: Vec<f64> = chains
         .iter()
         .map(|c| c.iter().sum::<f64>() / n as f64)
@@ -74,9 +93,7 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
     let w = chains
         .iter()
         .zip(&chain_means)
-        .map(|(c, mu)| {
-            c.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
-        })
+        .map(|(c, mu)| c.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
     if w == 0.0 {
@@ -84,6 +101,80 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
     }
     let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
     Some((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Both diagnostics are total functions over any finite input:
+        // degenerate series answer with documented sentinels, never a
+        // panic, NaN, or out-of-range value.
+
+        #[test]
+        fn ess_is_total_and_bounded(
+            series in collection::vec(-1e6f64..1e6, 0..200)
+        ) {
+            let ess = effective_sample_size(&series);
+            prop_assert!(ess.is_finite(), "ess {ess}");
+            prop_assert!(ess >= 0.0, "ess {ess}");
+            prop_assert!(ess <= series.len() as f64, "ess {ess}");
+        }
+
+        #[test]
+        fn ess_sentinels_hold_for_any_value(
+            x in -1e6f64..1e6,
+            n in 2usize..100
+        ) {
+            // n < 2: too short for autocorrelation, ESS = n.
+            prop_assert_eq!(effective_sample_size(&[x]), 1.0);
+            // Constant series: undefined autocorrelation, flagged as 0.
+            prop_assert_eq!(effective_sample_size(&vec![x; n]), 0.0);
+        }
+
+        #[test]
+        fn gelman_rubin_is_total(
+            chains in collection::vec(
+                collection::vec(-1e6f64..1e6, 0..40),
+                0..6,
+            )
+        ) {
+            let degenerate = chains.len() < 2
+                || chains[0].len() < 2
+                || chains.iter().any(|c| c.len() != chains[0].len());
+            match gelman_rubin(&chains) {
+                None => prop_assert!(
+                    degenerate,
+                    "None only for <2 chains, short chains, or unequal lengths"
+                ),
+                Some(r) => {
+                    prop_assert!(!degenerate);
+                    // Finite and non-negative, or the distinct-constants
+                    // infinity sentinel — never NaN.
+                    prop_assert!(r >= 0.0, "r {r}");
+                }
+            }
+        }
+
+        #[test]
+        fn gelman_rubin_constant_chain_sentinels(
+            x in -10.0f64..10.0,
+            n in 2usize..40
+        ) {
+            prop_assert_eq!(
+                gelman_rubin(&[vec![x; n], vec![x; n]]),
+                Some(1.0),
+                "identical constants are (degenerately) converged"
+            );
+            prop_assert_eq!(
+                gelman_rubin(&[vec![x; n], vec![x + 1.0; n]]),
+                Some(f64::INFINITY),
+                "distinct constants never mix"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,10 +11,13 @@
 //! * the dispersion/impact distribution (how many nodes an object
 //!   reaches — Fig. 4's retweet-count prediction).
 
+use crate::checkpoint::{ChainCheckpoint, FlowCheckpoint};
 use crate::sampler::{ConditionInitError, ProposalKind, PseudoStateSampler};
+use flow_core::{FlowError, FlowResult};
 use flow_graph::NodeId;
 use flow_icm::{FlowCondition, Icm};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Burn-in / thinning / sample-count configuration.
 ///
@@ -77,6 +80,29 @@ pub struct CommunityFlow {
     pub expected_fraction: f64,
 }
 
+/// The outcome of a checkpointable flow estimate: the pooled value plus
+/// the full retained 0/1 indicator series (the unit of bit-exact
+/// resume comparison).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowRun {
+    /// The retained indicator series, one 0/1 entry per sample.
+    pub series: Vec<u8>,
+}
+
+impl FlowRun {
+    fn from_series(series: Vec<u8>) -> Self {
+        FlowRun { series }
+    }
+
+    /// The flow-probability estimate (mean of the indicator series).
+    pub fn value(&self) -> f64 {
+        if self.series.is_empty() {
+            return 0.0;
+        }
+        self.series.iter().map(|&b| b as u64).sum::<u64>() as f64 / self.series.len() as f64
+    }
+}
+
 /// Estimates flow probabilities for one ICM by Metropolis–Hastings.
 #[derive(Clone, Debug)]
 pub struct FlowEstimator<'a> {
@@ -101,12 +127,7 @@ impl<'a> FlowEstimator<'a> {
     }
 
     /// Estimates `Pr[source ~> sink | M]` (Eq. 5).
-    pub fn estimate_flow<R: Rng + ?Sized>(
-        &self,
-        source: NodeId,
-        sink: NodeId,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn estimate_flow<R: Rng + ?Sized>(&self, source: NodeId, sink: NodeId, rng: &mut R) -> f64 {
         self.estimate_flows_from(source, &[sink], rng)[0]
     }
 
@@ -177,6 +198,86 @@ impl<'a> FlowEstimator<'a> {
             .collect()
     }
 
+    /// Estimates `Pr[source ~> sink]` with periodic checkpointing: after
+    /// every `every` retained samples a [`FlowCheckpoint`] capturing the
+    /// full resumable state (chain, RNG, series so far) is handed to
+    /// `on_checkpoint`. A run resumed from any of those checkpoints via
+    /// [`Self::resume_from`] produces a retained-sample series
+    /// *bit-identical* to this uninterrupted run.
+    ///
+    /// The chain RNG is owned by this method (seeded from `seed`) so its
+    /// state can be captured exactly.
+    pub fn estimate_flow_checkpointed(
+        &self,
+        source: NodeId,
+        sink: NodeId,
+        seed: u64,
+        every: usize,
+        mut on_checkpoint: impl FnMut(&FlowCheckpoint),
+    ) -> FlowResult<FlowRun> {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = self.icm.edge_count();
+        let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, &mut rng);
+        sampler.try_run(self.config.burn_in_steps(m), &mut rng)?;
+        let thin = self.config.thin_steps(m);
+        let mut series: Vec<u8> = Vec::with_capacity(self.config.samples);
+        for k in 0..self.config.samples {
+            sampler.try_run(thin, &mut rng)?;
+            series.push(u8::from(sampler.carries_flow(source, sink)));
+            if (k + 1) % every == 0 && k + 1 < self.config.samples {
+                // `capture` rebuilds the weight tree, keeping this run
+                // on the exact same floating-point trajectory as any
+                // resumed continuation (which rebuilds from scratch).
+                let ckpt = FlowCheckpoint {
+                    chain: ChainCheckpoint::capture(&mut sampler, &rng),
+                    source: source.0,
+                    sink: sink.0,
+                    samples_done: k + 1,
+                    every,
+                    series: series.clone(),
+                };
+                on_checkpoint(&ckpt);
+            }
+        }
+        Ok(FlowRun::from_series(series))
+    }
+
+    /// Resumes a checkpointed flow estimate, continuing until the
+    /// configured sample count. The concatenated series (checkpointed
+    /// prefix plus resumed suffix) is bit-identical to the uninterrupted
+    /// run that produced the checkpoint, provided the estimator
+    /// configuration matches.
+    pub fn resume_from(&self, ckpt: &FlowCheckpoint) -> FlowResult<FlowRun> {
+        if ckpt.samples_done > self.config.samples {
+            return Err(FlowError::Checkpoint {
+                detail: format!(
+                    "checkpoint has {} samples but the configuration asks for {}",
+                    ckpt.samples_done, self.config.samples
+                ),
+            });
+        }
+        if ckpt.every == 0 {
+            return Err(FlowError::Checkpoint {
+                detail: "checkpoint cadence must be positive".into(),
+            });
+        }
+        let (mut sampler, mut rng) = ckpt.chain.restore(self.icm)?;
+        let (source, sink) = (NodeId(ckpt.source), NodeId(ckpt.sink));
+        let thin = self.config.thin_steps(self.icm.edge_count());
+        let mut series = ckpt.series.clone();
+        for k in ckpt.samples_done..self.config.samples {
+            sampler.try_run(thin, &mut rng)?;
+            series.push(u8::from(sampler.carries_flow(source, sink)));
+            if (k + 1) % ckpt.every == 0 && k + 1 < self.config.samples {
+                // Mirror the uninterrupted run's rebuild at every
+                // checkpoint boundary to stay on its exact trajectory.
+                sampler.rebuild_tree();
+            }
+        }
+        Ok(FlowRun::from_series(series))
+    }
+
     /// Estimates the probability that *all* the given flows are present
     /// simultaneously — a joint flow probability.
     pub fn estimate_joint_flow<R: Rng + ?Sized>(
@@ -191,10 +292,7 @@ impl<'a> FlowEstimator<'a> {
         let mut hits = 0u64;
         for _ in 0..self.config.samples {
             sampler.run(thin, rng);
-            if flows
-                .iter()
-                .all(|&(u, v)| sampler.carries_flow(u, v))
-            {
+            if flows.iter().all(|&(u, v)| sampler.carries_flow(u, v)) {
                 hits += 1;
             }
         }
@@ -243,11 +341,7 @@ impl<'a> FlowEstimator<'a> {
     /// Samples the *impact* distribution of a source: for each retained
     /// pseudo-state, the number of non-source nodes reached. This is the
     /// dispersion measure behind Fig. 4 (predicted retweet counts).
-    pub fn impact_distribution<R: Rng + ?Sized>(
-        &self,
-        source: NodeId,
-        rng: &mut R,
-    ) -> Vec<usize> {
+    pub fn impact_distribution<R: Rng + ?Sized>(&self, source: NodeId, rng: &mut R) -> Vec<usize> {
         let m = self.icm.edge_count();
         let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
         sampler.run(self.config.burn_in_steps(m), rng);
@@ -267,8 +361,7 @@ mod tests {
     use super::*;
     use flow_graph::graph::graph_from_edges;
     use flow_icm::exact::{
-        enumerate_conditional_probability, enumerate_event_probability,
-        enumerate_flow_probability,
+        enumerate_conditional_probability, enumerate_event_probability, enumerate_flow_probability,
     };
     use flow_icm::PseudoState;
     use rand::rngs::StdRng;
@@ -291,11 +384,8 @@ mod tests {
         let icm = diamond_icm();
         let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
         let mut rng = StdRng::seed_from_u64(1);
-        let est = FlowEstimator::new(&icm, test_config()).estimate_flow(
-            NodeId(0),
-            NodeId(3),
-            &mut rng,
-        );
+        let est =
+            FlowEstimator::new(&icm, test_config()).estimate_flow(NodeId(0), NodeId(3), &mut rng);
         assert!((est - exact).abs() < 0.012, "est {est}, exact {exact}");
     }
 
@@ -426,6 +516,71 @@ mod tests {
             )
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        // The acceptance-criterion test: an uninterrupted checkpointed
+        // run vs a run killed at a checkpoint and resumed must produce
+        // identical retained-sample series.
+        let icm = diamond_icm();
+        let config = McmcConfig {
+            samples: 400,
+            ..Default::default()
+        };
+        let est = FlowEstimator::new(&icm, config);
+        let mut checkpoints = Vec::new();
+        let full = est
+            .estimate_flow_checkpointed(NodeId(0), NodeId(3), 77, 100, |c| {
+                checkpoints.push(c.clone())
+            })
+            .unwrap();
+        assert_eq!(full.series.len(), 400);
+        assert_eq!(checkpoints.len(), 3, "400 samples / every 100, last elided");
+        // "Kill" at each checkpoint in turn and resume.
+        for ckpt in &checkpoints {
+            let resumed = est.resume_from(ckpt).unwrap();
+            assert_eq!(
+                resumed.series, full.series,
+                "diverged after sample {}",
+                ckpt.samples_done
+            );
+            assert_eq!(resumed.value(), full.value());
+        }
+        // The text round-trip preserves resumability too.
+        let reloaded = FlowCheckpoint::from_text(&checkpoints[1].to_text()).unwrap();
+        assert_eq!(est.resume_from(&reloaded).unwrap().series, full.series);
+        // And the estimate is statistically sane.
+        let exact = flow_icm::exact::enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        assert!((full.value() - exact).abs() < 0.1);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let icm = diamond_icm();
+        let big = FlowEstimator::new(
+            &icm,
+            McmcConfig {
+                samples: 200,
+                ..Default::default()
+            },
+        );
+        let mut checkpoints = Vec::new();
+        big.estimate_flow_checkpointed(NodeId(0), NodeId(3), 5, 100, |c| {
+            checkpoints.push(c.clone())
+        })
+        .unwrap();
+        let small = FlowEstimator::new(
+            &icm,
+            McmcConfig {
+                samples: 50,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            small.resume_from(&checkpoints[0]),
+            Err(flow_core::FlowError::Checkpoint { .. })
+        ));
     }
 
     #[test]

@@ -131,7 +131,9 @@ mod tests {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         let icm = Icm::with_uniform_probability(g, 0.5);
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = InfluenceConfig { simulations: 20_000 };
+        let cfg = InfluenceConfig {
+            simulations: 20_000,
+        };
         assert_eq!(expected_spread(&icm, &[], &cfg, &mut rng), 0.0);
         // E[spread({0})] = 1 + 0.5 + 0.25 = 1.75.
         let s = expected_spread(&icm, &[NodeId(0)], &cfg, &mut rng);

@@ -26,6 +26,8 @@
 //!   deadline queries by shortest paths on each sampled active
 //!   subgraph.
 
+pub mod budget;
+pub mod checkpoint;
 pub mod diagnostics;
 pub mod estimator;
 pub mod influence;
@@ -34,9 +36,11 @@ pub mod parallel;
 pub mod sampler;
 pub mod timed;
 
-pub use estimator::{FlowEstimator, McmcConfig};
+pub use budget::{DegradationReason, EstimateDiagnostics, PartialEstimate, RunBudget};
+pub use checkpoint::{ChainCheckpoint, FlowCheckpoint};
+pub use estimator::{FlowEstimator, FlowRun, McmcConfig};
 pub use influence::{expected_spread, greedy_seeds, InfluenceConfig};
 pub use nested::{NestedConfig, NestedSampler};
-pub use parallel::{multi_chain_flow, MultiChainEstimate};
+pub use parallel::{multi_chain_flow, multi_chain_flow_guarded, MultiChainEstimate};
 pub use sampler::{ConditionInitError, ProposalKind, PseudoStateSampler};
 pub use timed::{ArrivalTimes, DelayModel, TimedFlowEstimator};

@@ -172,7 +172,11 @@ mod tests {
             &mut rng,
         );
         assert_eq!(dist.samples.len(), 300);
-        assert!((dist.mean() - beta.mean()).abs() < 0.03, "mean {}", dist.mean());
+        assert!(
+            (dist.mean() - beta.mean()).abs() < 0.03,
+            "mean {}",
+            dist.mean()
+        );
         assert!(
             (dist.std_dev() - beta.std_dev()).abs() < 0.03,
             "sd {} vs {}",

@@ -7,13 +7,16 @@
 //! multicore machines and turns "did my chain mix?" into a measured
 //! quantity ([`MultiChainEstimate::r_hat`]).
 
+use crate::budget::{DegradationReason, EstimateDiagnostics, PartialEstimate, RunBudget};
 use crate::diagnostics::{effective_sample_size, gelman_rubin};
 use crate::estimator::McmcConfig;
 use crate::sampler::PseudoStateSampler;
+use flow_core::{FlowError, FlowResult};
 use flow_graph::NodeId;
 use flow_icm::Icm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// A pooled multi-chain flow estimate with convergence diagnostics.
 #[derive(Clone, Debug)]
@@ -44,10 +47,7 @@ impl MultiChainEstimate {
     /// Total effective sample size (sum of per-chain ESS of the
     /// indicator series).
     pub fn effective_samples(&self) -> f64 {
-        self.chains
-            .iter()
-            .map(|c| effective_sample_size(c))
-            .sum()
+        self.chains.iter().map(|c| effective_sample_size(c)).sum()
     }
 
     /// Monte-Carlo standard error of the pooled estimate, using the
@@ -74,8 +74,9 @@ pub fn multi_chain_flow(
 ) -> MultiChainEstimate {
     assert!(chains >= 1, "need at least one chain");
     let run_one = |chain_idx: usize| -> (Vec<f64>, f64) {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-            .wrapping_mul(chain_idx as u64 + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain_idx as u64 + 1)),
+        );
         let m = icm.edge_count();
         let mut sampler = PseudoStateSampler::new(icm, config.proposal, &mut rng);
         sampler.run(config.burn_in_steps(m), &mut rng);
@@ -110,6 +111,357 @@ pub fn multi_chain_flow(
     MultiChainEstimate {
         chains: chains_out,
         acceptance_rates,
+    }
+}
+
+/// Per-chain seed stream: the same formula [`multi_chain_flow`] uses,
+/// extended with a restart-attempt component so every restart of every
+/// chain draws from a distinct, deterministic stream.
+fn chain_seed(seed: u64, chain_idx: usize, attempt: usize) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain_idx as u64 + 1)
+        ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(attempt as u64)
+}
+
+/// Acceptance rate below which a chain is considered stuck. The lazy
+/// self-loop alone caps acceptance at 0.95; healthy chains on real
+/// models sit far above this floor.
+const STALL_ACCEPTANCE: f64 = 0.02;
+
+/// Minimum steps before the stall detector may fire (rates over a
+/// handful of steps are noise).
+const STALL_MIN_STEPS: u64 = 200;
+
+/// One completed chain attempt.
+struct ChainRun {
+    series: Vec<f64>,
+    acceptance_rate: f64,
+    degradation: Vec<DegradationReason>,
+}
+
+impl ChainRun {
+    fn is_constant(&self) -> bool {
+        self.series.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Runs one budget-aware chain attempt: burn-in then thinned sampling,
+/// stopping early (with a recorded [`DegradationReason`]) when the step
+/// or wall-clock budget runs out, and propagating typed errors from the
+/// fallible sampler instead of panicking.
+#[allow(clippy::too_many_arguments)] // internal: one parameter per chain knob
+fn run_chain_guarded(
+    icm: &Icm,
+    source: NodeId,
+    sink: NodeId,
+    config: &McmcConfig,
+    budget: &RunBudget,
+    chain_idx: usize,
+    attempt: usize,
+    seed: u64,
+) -> FlowResult<ChainRun> {
+    let mut rng = StdRng::seed_from_u64(chain_seed(seed, chain_idx, attempt));
+    let m = icm.edge_count();
+    let mut sampler = PseudoStateSampler::new(icm, config.proposal, &mut rng);
+    let start = Instant::now();
+    let mut steps_used: u64 = 0;
+    let mut degradation = Vec::new();
+    let thin = config.thin_steps(m) as u64;
+    let burn = config.burn_in_steps(m) as u64;
+
+    // Spend the burn-in in thin-sized slices so budget checks stay
+    // responsive even when burn-in dominates.
+    let mut burned = 0u64;
+    let over_budget = |steps_used: u64, collected: usize| -> Option<DegradationReason> {
+        if let Some(max) = budget.max_steps {
+            if steps_used + thin > max {
+                return Some(DegradationReason::StepBudgetExhausted {
+                    chain: chain_idx,
+                    samples_collected: collected,
+                    samples_requested: config.samples,
+                });
+            }
+        }
+        if let Some(max) = budget.max_wall {
+            if start.elapsed() >= max {
+                return Some(DegradationReason::WallClockExhausted {
+                    chain: chain_idx,
+                    samples_collected: collected,
+                    samples_requested: config.samples,
+                });
+            }
+        }
+        None
+    };
+
+    // Budgeted runs may ask for far more samples than the budget will
+    // ever deliver; don't preallocate for the request.
+    let mut series = Vec::with_capacity(config.samples.min(4_096));
+    'sampling: {
+        while burned < burn {
+            if let Some(reason) = over_budget(steps_used, 0) {
+                degradation.push(reason);
+                break 'sampling;
+            }
+            let slice = thin.min(burn - burned) as usize;
+            sampler
+                .try_run(slice, &mut rng)
+                .map_err(|e| tag_chain(e, chain_idx))?;
+            steps_used += slice as u64;
+            burned += slice as u64;
+        }
+        for _ in 0..config.samples {
+            if let Some(reason) = over_budget(steps_used, series.len()) {
+                degradation.push(reason);
+                break 'sampling;
+            }
+            sampler
+                .try_run(thin as usize, &mut rng)
+                .map_err(|e| tag_chain(e, chain_idx))?;
+            steps_used += thin;
+            series.push(if sampler.carries_flow(source, sink) {
+                1.0
+            } else {
+                0.0
+            });
+        }
+    }
+    let _ = steps_used;
+    Ok(ChainRun {
+        series,
+        acceptance_rate: sampler.acceptance_rate(),
+        degradation,
+    })
+}
+
+/// Stamps the originating chain index onto a [`FlowError::ChainStalled`]
+/// raised inside a chain (the sampler itself doesn't know its index).
+fn tag_chain(e: FlowError, chain: usize) -> FlowError {
+    match e {
+        FlowError::ChainStalled {
+            steps,
+            acceptance_rate,
+            ..
+        } => FlowError::ChainStalled {
+            chain,
+            steps,
+            acceptance_rate,
+        },
+        other => other,
+    }
+}
+
+/// Budget-aware, self-healing multi-chain estimation.
+///
+/// Runs `chains` independent chains like [`multi_chain_flow`], but:
+///
+/// * every chain respects `budget` (per-chain step and wall-clock caps),
+///   truncating its series instead of overrunning;
+/// * chains that error out (fault injection, numerical corruption) or
+///   look stuck — acceptance rate under 2%, or a constant indicator
+///   series while a sibling chain varies — are restarted with fresh
+///   deterministic seeds up to `max_restarts` times;
+/// * chains that still fail contribute nothing; chains that still look
+///   stuck are included but flagged;
+/// * if `budget.max_rhat` is set and the pooled Gelman–Rubin statistic
+///   exceeds it, the most deviant chains are excluded one at a time
+///   (down to two) until R̂ passes, each exclusion recorded;
+/// * the result is always a [`PartialEstimate`] — a usable number plus
+///   the complete list of [`DegradationReason`]s — never a panic.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_chain_flow_guarded(
+    icm: &Icm,
+    source: NodeId,
+    sink: NodeId,
+    config: McmcConfig,
+    chains: usize,
+    seed: u64,
+    budget: RunBudget,
+    max_restarts: usize,
+    threads: bool,
+) -> PartialEstimate {
+    assert!(chains >= 1, "need at least one chain");
+    let mut degradation: Vec<DegradationReason> = Vec::new();
+
+    // First pass: every chain's initial attempt (threaded if requested).
+    let first_pass: Vec<FlowResult<ChainRun>> = if threads && chains > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chains)
+                .map(|i| {
+                    let config = &config;
+                    let budget = &budget;
+                    scope.spawn(move || {
+                        run_chain_guarded(icm, source, sink, config, budget, i, 0, seed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chain thread panicked"))
+                .collect()
+        })
+    } else {
+        (0..chains)
+            .map(|i| run_chain_guarded(icm, source, sink, &config, &budget, i, 0, seed))
+            .collect()
+    };
+
+    // A chain with a constant series only counts as suspicious when a
+    // sibling shows the indicator actually varies under this model.
+    let any_varies = first_pass.iter().any(|r| {
+        r.as_ref()
+            .map(|run| !run.is_constant() && !run.series.is_empty())
+            .unwrap_or(false)
+    });
+    // Each retained sample costs at least `thin` ≥ m steps, so series
+    // length × thin bounds the steps behind an acceptance rate; demand
+    // enough evidence before calling a chain stuck.
+    let min_samples_for_stall =
+        (STALL_MIN_STEPS / config.thin_steps(icm.edge_count()).max(1) as u64).max(10) as usize;
+    let looks_stuck = move |run: &ChainRun| {
+        let low_acceptance =
+            run.acceptance_rate < STALL_ACCEPTANCE && run.series.len() >= min_samples_for_stall;
+        let frozen_series = any_varies && run.is_constant() && !run.series.is_empty();
+        low_acceptance || frozen_series
+    };
+
+    // Watchdog pass: restart errored or stuck chains with fresh seeds.
+    let mut runs: Vec<Option<ChainRun>> = Vec::with_capacity(chains);
+    for (i, first) in first_pass.into_iter().enumerate() {
+        let mut current = first;
+        let mut attempt = 0usize;
+        loop {
+            let needs_restart = match &current {
+                Err(_) => true,
+                Ok(run) => looks_stuck(run),
+            };
+            if !needs_restart || attempt >= max_restarts {
+                break;
+            }
+            attempt += 1;
+            let rate = match &current {
+                Ok(run) => run.acceptance_rate,
+                Err(_) => 0.0,
+            };
+            degradation.push(DegradationReason::ChainRestarted {
+                chain: i,
+                attempt,
+                acceptance_rate: rate,
+            });
+            current = run_chain_guarded(icm, source, sink, &config, &budget, i, attempt, seed);
+        }
+        match current {
+            Ok(run) => {
+                if looks_stuck(&run) {
+                    degradation.push(DegradationReason::ChainStalled {
+                        chain: i,
+                        acceptance_rate: run.acceptance_rate,
+                    });
+                }
+                degradation.extend(run.degradation.iter().cloned());
+                runs.push(Some(run));
+            }
+            Err(e) => {
+                degradation.push(DegradationReason::ChainFailed {
+                    chain: i,
+                    error: e.to_string(),
+                });
+                runs.push(None);
+            }
+        }
+    }
+
+    let acceptance_rates: Vec<f64> = runs
+        .iter()
+        .map(|r| r.as_ref().map(|run| run.acceptance_rate).unwrap_or(0.0))
+        .collect();
+
+    // Pool the surviving chains, excluding deviant ones if R̂ demands.
+    let mut included: Vec<usize> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.as_ref().is_some_and(|run| !run.series.is_empty()))
+        .map(|(i, _)| i)
+        .collect();
+    let series_of = |i: usize| -> &[f64] { &runs[i].as_ref().unwrap().series };
+    let pooled_rhat = |included: &[usize]| -> Option<f64> {
+        let chains: Vec<Vec<f64>> = included.iter().map(|&i| series_of(i).to_vec()).collect();
+        gelman_rubin(&chains)
+    };
+    if let Some(max_rhat) = budget.max_rhat {
+        while included.len() > 2 {
+            let Some(r) = pooled_rhat(&included) else {
+                break;
+            };
+            if r.is_finite() && r <= max_rhat {
+                break;
+            }
+            // Drop the chain whose mean deviates most from the rest.
+            let means: Vec<f64> = included
+                .iter()
+                .map(|&i| {
+                    let s = series_of(i);
+                    s.iter().sum::<f64>() / s.len() as f64
+                })
+                .collect();
+            let grand = means.iter().sum::<f64>() / means.len() as f64;
+            let (worst_pos, _) = means
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    (a.1 - grand)
+                        .abs()
+                        .partial_cmp(&(b.1 - grand).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty");
+            let chain = included.remove(worst_pos);
+            degradation.push(DegradationReason::ChainExcluded {
+                chain,
+                chain_mean: means[worst_pos],
+            });
+        }
+        if let Some(r) = pooled_rhat(&included) {
+            // NaN compares false either way; treat it as "target not met".
+            if r.is_nan() || r > max_rhat {
+                degradation.push(DegradationReason::RhatAboveTarget {
+                    achieved: r,
+                    target: max_rhat,
+                });
+            }
+        }
+    }
+
+    let total: usize = included.iter().map(|&i| series_of(i).len()).sum();
+    let value = if total == 0 {
+        0.0
+    } else {
+        let hits: f64 = included.iter().flat_map(|&i| series_of(i)).sum();
+        hits / total as f64
+    };
+    let ess: f64 = included
+        .iter()
+        .map(|&i| effective_sample_size(series_of(i)))
+        .sum();
+    if let Some(target) = budget.target_ess {
+        if ess < target {
+            degradation.push(DegradationReason::EssBelowTarget {
+                achieved: ess,
+                target,
+            });
+        }
+    }
+    let standard_error = (value * (1.0 - value) / ess.max(1.0)).sqrt();
+    let diagnostics = EstimateDiagnostics {
+        effective_samples: ess,
+        r_hat: pooled_rhat(&included),
+        standard_error,
+        acceptance_rates,
+        included_chains: included,
+    };
+    PartialEstimate {
+        value,
+        diagnostics,
+        degradation,
     }
 }
 
@@ -211,6 +563,143 @@ mod tests {
         assert!(est.standard_error() <= 0.011, "se {}", est.standard_error());
         let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
         assert!((est.estimate() - exact).abs() < 0.04);
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_enumeration() {
+        let icm = diamond_icm();
+        let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        let est = multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            McmcConfig {
+                samples: 4_000,
+                ..Default::default()
+            },
+            4,
+            7,
+            RunBudget::unlimited(),
+            2,
+            false,
+        );
+        assert!(est.is_clean(), "degradation: {:?}", est.degradation);
+        assert!((est.value - exact).abs() < 0.02, "{}", est.value);
+        assert_eq!(est.diagnostics.included_chains, vec![0, 1, 2, 3]);
+        assert_eq!(est.diagnostics.acceptance_rates.len(), 4);
+        assert!(est.diagnostics.r_hat.expect("4 chains") < 1.05);
+    }
+
+    #[test]
+    fn guarded_run_matches_unguarded_seeds() {
+        // With no budget pressure, the guarded runner must walk the
+        // exact same per-chain RNG streams as `multi_chain_flow`.
+        let icm = diamond_icm();
+        let cfg = McmcConfig {
+            samples: 1_000,
+            ..Default::default()
+        };
+        let plain = multi_chain_flow(&icm, NodeId(0), NodeId(3), cfg, 3, 11, false);
+        let guarded = multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            cfg,
+            3,
+            11,
+            RunBudget::unlimited(),
+            0,
+            false,
+        );
+        assert!(guarded.is_clean());
+        assert!((plain.estimate() - guarded.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guarded_step_budget_truncates_gracefully() {
+        let icm = diamond_icm();
+        let m = icm.edge_count();
+        let cfg = McmcConfig {
+            samples: 10_000,
+            ..Default::default()
+        };
+        // Enough for burn-in plus only ~500 retained samples per chain.
+        let per_chain = (cfg.burn_in_steps(m) + 500 * cfg.thin_steps(m)) as u64;
+        let est = multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            cfg,
+            2,
+            19,
+            RunBudget::unlimited().with_max_steps(per_chain),
+            1,
+            false,
+        );
+        assert!(est.is_degraded());
+        let truncations: Vec<_> = est
+            .degradation
+            .iter()
+            .filter(|d| matches!(d, DegradationReason::StepBudgetExhausted { .. }))
+            .collect();
+        assert_eq!(
+            truncations.len(),
+            2,
+            "both chains truncate: {:?}",
+            est.degradation
+        );
+        // The truncated estimate is still statistically usable.
+        let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        assert!((est.value - exact).abs() < 0.1, "{}", est.value);
+        assert!(est.diagnostics.effective_samples > 0.0);
+    }
+
+    #[test]
+    fn guarded_wall_clock_budget_stops_early() {
+        let icm = diamond_icm();
+        let est = multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            McmcConfig {
+                samples: usize::MAX / 2,
+                ..Default::default()
+            },
+            1,
+            23,
+            RunBudget::unlimited().with_max_wall(std::time::Duration::from_millis(50)),
+            0,
+            false,
+        );
+        assert!(est
+            .degradation
+            .iter()
+            .any(|d| matches!(d, DegradationReason::WallClockExhausted { .. })));
+    }
+
+    #[test]
+    fn guarded_reports_unmet_quality_targets() {
+        let icm = diamond_icm();
+        let est = multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            McmcConfig {
+                samples: 100,
+                ..Default::default()
+            },
+            2,
+            29,
+            RunBudget::unlimited().with_target_ess(1e9),
+            0,
+            false,
+        );
+        assert!(est
+            .degradation
+            .iter()
+            .any(|d| matches!(d, DegradationReason::EssBelowTarget { .. })));
+        // The value is still reported despite the unmet target.
+        assert!(est.value >= 0.0 && est.value <= 1.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! constructs a satisfying initial state by activating randomized paths
 //! for required flows and retrying on forbidden-flow violations.
 
+use flow_core::{fault, FlowError, FlowResult};
 use flow_graph::traverse::BfsScratch;
 use flow_graph::{EdgeId, NodeId};
 use flow_icm::query::conditions_hold;
@@ -47,6 +48,7 @@ use rand::Rng;
 
 /// Which per-edge selection weight the single-flip proposal uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProposalKind {
     /// Weight = probability of the activity the flip would *produce*:
     /// `p` for an inactive edge, `1 − p` for an active one. This is the
@@ -103,7 +105,10 @@ impl std::fmt::Display for ConditionInitError {
                 write!(f, "flow {source} ~> {sink} is both required and forbidden")
             }
             ConditionInitError::NoPath { source, sink } => {
-                write!(f, "required flow {source} ~> {sink} has no path in the graph")
+                write!(
+                    f,
+                    "required flow {source} ~> {sink} has no path in the graph"
+                )
             }
             ConditionInitError::SearchExhausted => {
                 write!(f, "could not find a pseudo-state satisfying all conditions")
@@ -210,6 +215,40 @@ impl<'a> PseudoStateSampler<'a> {
         }
     }
 
+    /// Reconstructs a chain from checkpointed parts: the pseudo-state
+    /// plus the step/acceptance counters. The proposal-weight tree is
+    /// rebuilt from scratch, so callers that need bit-exact resume must
+    /// pair this with [`Self::rebuild_tree`] on the live chain at the
+    /// capture point (see `crate::checkpoint`).
+    pub fn from_checkpoint_parts(
+        icm: &'a Icm,
+        kind: ProposalKind,
+        state: PseudoState,
+        conditions: Vec<FlowCondition>,
+        steps: u64,
+        accepted: u64,
+    ) -> Self {
+        let mut s = Self::from_state(icm, kind, state, conditions);
+        s.steps = steps;
+        s.accepted = accepted;
+        s
+    }
+
+    /// Recomputes the proposal-weight tree's prefix sums from the exact
+    /// per-edge weights, clearing accumulated floating-point drift.
+    /// Called automatically every `2^20` accepted updates; checkpoint
+    /// capture calls it explicitly so a resumed chain (whose tree is
+    /// rebuilt from scratch) stays bit-identical to the original.
+    pub fn rebuild_tree(&mut self) {
+        self.tree.rebuild();
+        self.updates_since_rebuild = 0;
+    }
+
+    /// The proposal convention this chain uses.
+    pub fn proposal_kind(&self) -> ProposalKind {
+        self.kind
+    }
+
     /// The model this chain samples from.
     pub fn icm(&self) -> &Icm {
         self.icm
@@ -257,16 +296,40 @@ impl<'a> PseudoStateSampler<'a> {
     /// Performs one chain update (Algorithm 1, plus a 5% lazy
     /// self-loop for aperiodicity — see [`Self::step`]'s source note).
     /// Returns `true` if the proposal was accepted (the state changed).
+    ///
+    /// Panics if the update hits a numerical fault; use
+    /// [`Self::try_step`] to get a typed error instead.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self.try_step(rng) {
+            Ok(accepted) => accepted,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible chain update: returns `Ok(true)` on acceptance,
+    /// `Ok(false)` on rejection/self-loop, and a typed error when the
+    /// acceptance probability goes non-finite or negative
+    /// ([`FlowError::InvalidProbability`]) or when the `sampler.kill_chain`
+    /// fault point fires ([`FlowError::ChainStalled`], fault-injection
+    /// builds only). On error the chain state is unchanged apart from
+    /// the step counter.
+    pub fn try_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> FlowResult<bool> {
         self.steps += 1;
+        if fault::fires("sampler.kill_chain") {
+            return Err(FlowError::ChainStalled {
+                chain: 0,
+                steps: self.steps,
+                acceptance_rate: self.acceptance_rate(),
+            });
+        }
         if rng.random::<f64>() < Self::LAZINESS {
-            return false;
+            return Ok(false);
         }
         let Some(i) = self.tree.sample(rng) else {
             // All proposal weights are zero (e.g. every edge has p = 0
             // and is inactive): the chain is already at the target's
             // only mass point.
-            return false;
+            return Ok(false);
         };
         let e = EdgeId(i as u32);
         let p = self.icm.probability(e);
@@ -288,9 +351,19 @@ impl<'a> PseudoStateSampler<'a> {
                 r * r * z / z_new
             }
         };
+        let accept_prob = fault::poison("sampler.acceptance", accept_prob);
+        // NaN would silently reject below (`NaN < 1.0` is false but so is
+        // `rng > NaN`, accepting every proposal); +inf is a legitimate
+        // "certain accept" (flip away from a zero-weight configuration).
+        if accept_prob.is_nan() || accept_prob < 0.0 {
+            return Err(FlowError::InvalidProbability {
+                what: "MH acceptance probability",
+                value: accept_prob,
+            });
+        }
 
         if accept_prob < 1.0 && rng.random::<f64>() > accept_prob {
-            return false;
+            return Ok(false);
         }
 
         // Condition indicator on the proposed state (p_ratio = 0 on
@@ -300,20 +373,23 @@ impl<'a> PseudoStateSampler<'a> {
             let ok = self.conditions_hold_scratch();
             if !ok {
                 self.state.flip(e);
-                return false;
+                return Ok(false);
             }
         } else {
             self.state.flip(e);
         }
 
-        self.tree.update(i, w_new);
+        self.tree.try_update(i, w_new).inspect_err(|_| {
+            // Roll the flip back so the caller sees a consistent state.
+            self.state.flip(e);
+        })?;
         self.accepted += 1;
         self.updates_since_rebuild += 1;
         if self.updates_since_rebuild >= self.rebuild_every {
             self.tree.rebuild();
             self.updates_since_rebuild = 0;
         }
-        true
+        Ok(true)
     }
 
     /// Performs `n` chain updates.
@@ -321,6 +397,18 @@ impl<'a> PseudoStateSampler<'a> {
         for _ in 0..n {
             self.step(rng);
         }
+    }
+
+    /// Performs up to `n` fallible chain updates, stopping at the first
+    /// error. Returns the number of accepted proposals.
+    pub fn try_run<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> FlowResult<usize> {
+        let mut accepted = 0;
+        for _ in 0..n {
+            if self.try_step(rng)? {
+                accepted += 1;
+            }
+        }
+        Ok(accepted)
     }
 
     /// True iff the current state carries the flow `source ~> sink`.
@@ -401,8 +489,7 @@ mod tests {
     use super::*;
     use flow_graph::graph::graph_from_edges;
     use flow_icm::exact::{
-        enumerate_conditional_probability, enumerate_event_probability,
-        enumerate_flow_probability,
+        enumerate_conditional_probability, enumerate_event_probability, enumerate_flow_probability,
     };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -451,7 +538,10 @@ mod tests {
     fn marginal_flow_estimate_matches_enumeration() {
         let icm = diamond_icm();
         let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
-        for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+        for kind in [
+            ProposalKind::ResultingActivity,
+            ProposalKind::CurrentActivity,
+        ] {
             let mut rng = StdRng::seed_from_u64(200);
             let mut sampler = PseudoStateSampler::new(&icm, kind, &mut rng);
             sampler.run(500, &mut rng);
@@ -628,8 +718,7 @@ mod tests {
     fn acceptance_rate_is_tracked() {
         let icm = diamond_icm();
         let mut rng = StdRng::seed_from_u64(7);
-        let mut sampler =
-            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
         assert_eq!(sampler.acceptance_rate(), 0.0);
         sampler.run(5_000, &mut rng);
         let rate = sampler.acceptance_rate();
@@ -657,8 +746,7 @@ mod tests {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         let icm = Icm::new(g, vec![0.0, 1.0]);
         let mut rng = StdRng::seed_from_u64(8);
-        let mut sampler =
-            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
         sampler.run(500, &mut rng);
         assert!(!sampler.state().is_active(EdgeId(0)));
         assert!(sampler.state().is_active(EdgeId(1)));
@@ -668,8 +756,7 @@ mod tests {
     fn reach_set_matches_carries_flow() {
         let icm = diamond_icm();
         let mut rng = StdRng::seed_from_u64(9);
-        let mut sampler =
-            PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+        let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
         for _ in 0..100 {
             sampler.run(3, &mut rng);
             let flows: Vec<bool> = (0..4)

@@ -151,8 +151,7 @@ impl<'a> TimedFlowEstimator<'a> {
             "need one delay model per edge"
         );
         for (i, d) in delays.iter().enumerate() {
-            d.validate()
-                .unwrap_or_else(|e| panic!("edge {i}: {e}"));
+            d.validate().unwrap_or_else(|e| panic!("edge {i}: {e}"));
         }
         TimedFlowEstimator {
             icm,
@@ -286,11 +285,8 @@ mod tests {
     #[test]
     fn exponential_delays_have_expected_mean() {
         let icm = line_icm(1.0); // deterministic structure, random time
-        let est = TimedFlowEstimator::with_uniform_delay(
-            &icm,
-            DelayModel::Exponential(2.0),
-            cfg(4_000),
-        );
+        let est =
+            TimedFlowEstimator::with_uniform_delay(&icm, DelayModel::Exponential(2.0), cfg(4_000));
         let mut rng = StdRng::seed_from_u64(2);
         let at = est.arrival_times(NodeId(0), NodeId(2), &mut rng);
         assert!((at.flow_probability() - 1.0).abs() < 1e-9);
@@ -337,8 +333,7 @@ mod tests {
     fn timed_impact_grows_with_deadline() {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let icm = Icm::with_uniform_probability(g, 0.9);
-        let est =
-            TimedFlowEstimator::with_uniform_delay(&icm, DelayModel::Fixed(1.0), cfg(1_500));
+        let est = TimedFlowEstimator::with_uniform_delay(&icm, DelayModel::Fixed(1.0), cfg(1_500));
         let mut rng = StdRng::seed_from_u64(5);
         let short = est.expected_reach_within(NodeId(0), 1.5, &mut rng);
         let long = est.expected_reach_within(NodeId(0), 3.5, &mut rng);

@@ -43,7 +43,10 @@ fn half_probability_even_thinning_explicit() {
     use flow_mcmc::sampler::ProposalKind;
     let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
     let icm = Icm::with_uniform_probability(g, 0.5);
-    for kind in [ProposalKind::ResultingActivity, ProposalKind::CurrentActivity] {
+    for kind in [
+        ProposalKind::ResultingActivity,
+        ProposalKind::CurrentActivity,
+    ] {
         for seed in 0..4u64 {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let est = FlowEstimator::new(

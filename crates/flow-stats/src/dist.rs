@@ -39,11 +39,31 @@ impl Beta {
     /// Creates a Beta distribution. Panics unless both parameters are
     /// positive and finite.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(
-            alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite(),
-            "invalid Beta parameters ({alpha}, {beta})"
-        );
-        Beta { alpha, beta }
+        match Self::try_new(alpha, beta) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid Beta parameters: {e}"),
+        }
+    }
+
+    /// Fallible construction: returns a typed error when either
+    /// parameter is non-positive or non-finite instead of panicking.
+    /// Learners updating posteriors from untrusted counts go through
+    /// this path.
+    pub fn try_new(alpha: f64, beta: f64) -> flow_core::FlowResult<Self> {
+        let alpha = flow_core::fault::poison("learn.beta_params", alpha);
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(flow_core::FlowError::InvalidProbability {
+                what: "Beta alpha parameter",
+                value: alpha,
+            });
+        }
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(flow_core::FlowError::InvalidProbability {
+                what: "Beta beta parameter",
+                value: beta,
+            });
+        }
+        Ok(Beta { alpha, beta })
     }
 
     /// The uniform prior Beta(1, 1) the paper initializes every edge with.
@@ -338,9 +358,7 @@ impl Binomial {
         if self.p == 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// Probability mass at `k`.
@@ -482,7 +500,11 @@ mod tests {
         assert_close(n.cdf(-1.0), 0.158_655_253_931_457_07, 1e-9);
         let shifted = Normal::new(2.0, 3.0);
         assert_close(shifted.cdf(2.0), 0.5, 1e-12);
-        assert_close(shifted.pdf(2.0), 1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-12);
+        assert_close(
+            shifted.pdf(2.0),
+            1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-12,
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! the prefix sums can be rebuilt in `O(m)` via [`WeightTree::rebuild`];
 //! long-running samplers call this periodically.
 
+use flow_core::{fault, FlowError, FlowResult};
 use rand::Rng;
 
 /// Weighted-sampling Fenwick tree.
@@ -40,21 +41,36 @@ pub struct WeightTree {
 impl WeightTree {
     /// Builds a tree over the given weights. All weights must be
     /// nonnegative and finite.
+    ///
+    /// Panics on a bad weight; use [`WeightTree::try_new`] at
+    /// boundaries where corrupt weights are survivable.
     pub fn new(weights: &[f64]) -> Self {
-        for (i, &w) in weights.iter().enumerate() {
-            assert!(
-                w >= 0.0 && w.is_finite(),
-                "weight {i} must be nonnegative and finite, got {w}"
-            );
+        match Self::try_new(weights) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible construction: returns
+    /// [`FlowError::NonFiniteWeight`] naming the first offending index
+    /// instead of panicking.
+    pub fn try_new(weights: &[f64]) -> FlowResult<Self> {
         let n = weights.len();
+        let mut copy = Vec::with_capacity(n);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = fault::poison("weight_tree.new", w);
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(FlowError::NonFiniteWeight { index: i, value: w });
+            }
+            copy.push(w);
+        }
         let mut t = WeightTree {
             tree: vec![0.0; n + 1],
-            weights: weights.to_vec(),
+            weights: copy,
             mask: n.next_power_of_two(),
         };
         t.rebuild();
-        t
+        Ok(t)
     }
 
     /// Number of leaves.
@@ -79,11 +95,31 @@ impl WeightTree {
     }
 
     /// Sets leaf `i` to weight `w` in `O(log m)`.
+    ///
+    /// Panics on a bad weight; use [`WeightTree::try_update`] at
+    /// boundaries where corrupt weights are survivable.
     pub fn update(&mut self, i: usize, w: f64) {
-        assert!(
-            w >= 0.0 && w.is_finite(),
-            "weight must be nonnegative and finite, got {w}"
-        );
+        if let Err(e) = self.try_update(i, w) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible point update: rejects NaN/infinite/negative weights
+    /// and out-of-range indices with a typed error, leaving the tree
+    /// unchanged.
+    pub fn try_update(&mut self, i: usize, w: f64) -> FlowResult<()> {
+        let w = fault::poison("weight_tree.update", w);
+        if !(w >= 0.0 && w.is_finite()) {
+            return Err(FlowError::NonFiniteWeight { index: i, value: w });
+        }
+        if i >= self.weights.len() {
+            return Err(FlowError::GraphInconsistency {
+                detail: format!(
+                    "weight index {i} out of range for tree of {} leaves",
+                    self.weights.len()
+                ),
+            });
+        }
         let delta = w - self.weights[i];
         self.weights[i] = w;
         let mut idx = i + 1;
@@ -91,6 +127,7 @@ impl WeightTree {
             self.tree[idx] += delta;
             idx += idx & idx.wrapping_neg();
         }
+        Ok(())
     }
 
     /// Sum of weights `0..i`.
@@ -259,9 +296,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonnegative")]
+    #[should_panic(expected = "finite")]
     fn rejects_negative_weight() {
         let _ = WeightTree::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn try_new_reports_offending_index() {
+        use flow_core::FlowError;
+        for (weights, bad) in [
+            (vec![1.0, f64::NAN, 2.0], 1),
+            (vec![f64::INFINITY], 0),
+            (vec![0.5, 1.0, -0.25], 2),
+        ] {
+            match WeightTree::try_new(&weights) {
+                Err(FlowError::NonFiniteWeight { index, .. }) => assert_eq!(index, bad),
+                other => panic!("expected NonFiniteWeight, got {other:?}"),
+            }
+        }
+        assert!(WeightTree::try_new(&[0.0, 1.5]).is_ok());
+    }
+
+    #[test]
+    fn try_update_rejects_and_preserves_state() {
+        use flow_core::FlowError;
+        let mut t = WeightTree::new(&[1.0, 2.0, 3.0]);
+        assert!(matches!(
+            t.try_update(1, f64::NAN),
+            Err(FlowError::NonFiniteWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            t.try_update(5, 1.0),
+            Err(FlowError::GraphInconsistency { .. })
+        ));
+        // Rejected updates leave weights and totals untouched.
+        assert_eq!(t.get(1), 2.0);
+        assert!((t.total() - 6.0).abs() < 1e-12);
+        t.try_update(1, 4.0).unwrap();
+        assert!((t.total() - 8.0).abs() < 1e-12);
     }
 
     #[test]

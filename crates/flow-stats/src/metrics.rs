@@ -189,8 +189,6 @@ mod tests {
         let sharp = pairs(&[(0.9, true), (0.9, true), (0.1, false), (0.1, false)]);
         let vague = pairs(&[(0.5, true), (0.5, true), (0.5, false), (0.5, false)]);
         assert!(brier_score(&sharp).unwrap() < brier_score(&vague).unwrap());
-        assert!(
-            normalized_likelihood(&sharp).unwrap() > normalized_likelihood(&vague).unwrap()
-        );
+        assert!(normalized_likelihood(&sharp).unwrap() > normalized_likelihood(&vague).unwrap());
     }
 }

@@ -246,7 +246,7 @@ mod tests {
         assert_close(ln_gamma(0.5), 0.572_364_942_924_700_1, 1e-12); // ln sqrt(pi)
         assert_close(ln_gamma(3.5), 1.200_973_602_347_074_3, 1e-12);
         assert_close(ln_gamma(10.0), 12.801_827_480_081_469, 1e-12); // ln 9!
-        // Large argument (Stirling regime): ln Γ(100) = ln 99!
+                                                                     // Large argument (Stirling regime): ln Γ(100) = ln 99!
         assert_close(ln_gamma(100.0), 359.134_205_369_575_4, 1e-12);
     }
 
@@ -299,7 +299,13 @@ mod tests {
 
     #[test]
     fn betainc_inv_roundtrip() {
-        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (16.0, 4.0), (0.5, 0.5), (30.0, 70.0)] {
+        for &(a, b) in &[
+            (1.0, 1.0),
+            (2.0, 5.0),
+            (16.0, 4.0),
+            (0.5, 0.5),
+            (30.0, 70.0),
+        ] {
             for &p in &[0.01, 0.1, 0.5, 0.9, 0.975, 0.999] {
                 let x = betainc_inv(a, b, p);
                 assert_close(betainc_reg(a, b, x), p, 1e-9);
@@ -342,8 +348,8 @@ mod tests {
         let p = 0.37f64;
         let mut cdf = 0.0;
         for i in 0..=k {
-            cdf += (ln_choose(n, i) + (i as f64) * p.ln() + ((n - i) as f64) * (1.0 - p).ln())
-                .exp();
+            cdf +=
+                (ln_choose(n, i) + (i as f64) * p.ln() + ((n - i) as f64) * (1.0 - p).ln()).exp();
         }
         let via_beta = betainc_reg((k + 1) as f64, (n - k) as f64, p);
         assert_close(via_beta, 1.0 - cdf, 1e-11);

@@ -159,8 +159,12 @@ fn skewed_edge_prob<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Generates a corpus.
 pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &CorpusConfig) -> Corpus {
     assert!(cfg.users >= 2, "need at least two users");
-    let graph =
-        flow_graph::generate::preferential_attachment(rng, cfg.users, cfg.attachment, cfg.reciprocity);
+    let graph = flow_graph::generate::preferential_attachment(
+        rng,
+        cfg.users,
+        cfg.attachment,
+        cfg.reciprocity,
+    );
     // Retweet probabilities are moderate (people forward selectively);
     // hashtag/URL adoption uses the skewed mixture.
     let retweet_truth = Icm::new(
@@ -171,11 +175,15 @@ pub fn generate<R: Rng + ?Sized>(rng: &mut R, cfg: &CorpusConfig) -> Corpus {
     );
     let hashtag_truth = Icm::new(
         graph.clone(),
-        (0..graph.edge_count()).map(|_| skewed_edge_prob(rng)).collect(),
+        (0..graph.edge_count())
+            .map(|_| skewed_edge_prob(rng))
+            .collect(),
     );
     let url_truth = Icm::new(
         graph.clone(),
-        (0..graph.edge_count()).map(|_| skewed_edge_prob(rng)).collect(),
+        (0..graph.edge_count())
+            .map(|_| skewed_edge_prob(rng))
+            .collect(),
     );
 
     let mut tweets: Vec<Tweet> = Vec::new();
@@ -318,9 +326,8 @@ fn propagate_object<R: Rng + ?Sized>(
     }
     // Multi-source cascade: every exogenous adopter seeds the spread.
     let state = simulate_cascade(truth, &exogenous, rng);
-    let reach = flow_graph::traverse::reachable_filtered(graph, &exogenous, |e| {
-        state.is_edge_active(e)
-    });
+    let reach =
+        flow_graph::traverse::reachable_filtered(graph, &exogenous, |e| state.is_edge_active(e));
     // Times: exogenous adopters at 0, others at BFS depth.
     let mut depth = vec![u32::MAX; n];
     let mut adoptions = Vec::new();
@@ -407,7 +414,8 @@ mod tests {
                 assert_eq!(parent.true_root, t.true_root);
                 assert_eq!(t.time, parent.time + 1);
                 assert!(
-                    t.text.starts_with(&format!("RT @{}:", Corpus::handle(parent.author))),
+                    t.text
+                        .starts_with(&format!("RT @{}:", Corpus::handle(parent.author))),
                     "retweet syntax: {}",
                     t.text
                 );

@@ -93,8 +93,7 @@ mod tests {
         let top = interesting_users(&c, 10);
         assert!(top.len() <= 10);
         assert!(!top.is_empty());
-        let score =
-            |v: NodeId| acts[v.index()].originals * (1 + acts[v.index()].retweets_received);
+        let score = |v: NodeId| acts[v.index()].originals * (1 + acts[v.index()].retweets_received);
         for w in top.windows(2) {
             assert!(score(w[0]) >= score(w[1]), "sorted descending");
         }

@@ -12,6 +12,7 @@
 //! provided for interchange; any loader producing `RawTweet`s works.
 
 use crate::parse::parse_tweet;
+use flow_core::{fault, FlowError, FlowResult};
 use flow_graph::{DiGraph, GraphBuilder, NodeId};
 use flow_icm::{AttributedEvidence, AttributedRecord};
 use flow_learn::Episode;
@@ -55,8 +56,45 @@ impl From<std::io::Error> for TsvError {
     }
 }
 
+impl From<TsvError> for FlowError {
+    fn from(e: TsvError) -> Self {
+        match e {
+            TsvError::Io(io) => FlowError::from(io),
+            TsvError::Malformed { line } => FlowError::Parse {
+                line,
+                detail: "malformed TSV line".into(),
+            },
+        }
+    }
+}
+
+/// Parses one non-empty TSV line (1-based `lineno` for error reports).
+fn parse_tsv_line(line: &str, lineno: usize) -> FlowResult<RawTweet> {
+    let mut parts = line.splitn(3, '\t');
+    let missing = |what: &str| FlowError::Parse {
+        line: lineno,
+        detail: format!("missing {what} field"),
+    };
+    let author = parts.next().ok_or_else(|| missing("author"))?;
+    let time_field = parts.next().ok_or_else(|| missing("timestamp"))?;
+    let time = time_field.parse::<u32>().map_err(|_| FlowError::Parse {
+        line: lineno,
+        detail: format!("bad timestamp {time_field:?}"),
+    })?;
+    let text = parts.next().ok_or_else(|| missing("text"))?;
+    Ok(RawTweet {
+        author: author.to_string(),
+        time,
+        text: text.to_string(),
+    })
+}
+
 /// Reads `author \t time \t text` lines. Text may contain further tabs;
 /// only the first two are separators. Empty lines are skipped.
+///
+/// This is the *strict* reader: the first malformed line aborts the
+/// load. Real crawls are messy — see [`read_tsv_lossy`] for the
+/// harvest-what-you-can variant.
 pub fn read_tsv(reader: impl BufRead) -> Result<Vec<RawTweet>, TsvError> {
     let mut out = Vec::new();
     for (i, line) in reader.lines().enumerate() {
@@ -64,20 +102,68 @@ pub fn read_tsv(reader: impl BufRead) -> Result<Vec<RawTweet>, TsvError> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut parts = line.splitn(3, '\t');
-        let author = parts.next().ok_or(TsvError::Malformed { line: i + 1 })?;
-        let time = parts
-            .next()
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or(TsvError::Malformed { line: i + 1 })?;
-        let text = parts.next().ok_or(TsvError::Malformed { line: i + 1 })?;
-        out.push(RawTweet {
-            author: author.to_string(),
-            time,
-            text: text.to_string(),
-        });
+        match parse_tsv_line(&line, i + 1) {
+            Ok(t) => out.push(t),
+            Err(_) => return Err(TsvError::Malformed { line: i + 1 }),
+        }
     }
     Ok(out)
+}
+
+/// The outcome of a lossy TSV load: every parseable tweet, plus one
+/// typed [`FlowError::Parse`] record per malformed line.
+#[derive(Debug, Default)]
+pub struct TsvReport {
+    /// Tweets from the well-formed lines, in file order.
+    pub tweets: Vec<RawTweet>,
+    /// One [`FlowError::Parse`] per malformed line, in file order.
+    pub errors: Vec<FlowError>,
+    /// Count of well-formed (non-empty) lines.
+    pub good_lines: usize,
+    /// Count of malformed lines.
+    pub bad_lines: usize,
+}
+
+impl TsvReport {
+    /// One-line summary for logs: `"42 lines ok, 3 malformed"`.
+    pub fn summary(&self) -> String {
+        format!("{} lines ok, {} malformed", self.good_lines, self.bad_lines)
+    }
+
+    /// True if every non-empty line parsed.
+    pub fn is_clean(&self) -> bool {
+        self.bad_lines == 0
+    }
+}
+
+/// Reads the TSV format like [`read_tsv`], but per-line failures become
+/// [`FlowError::Parse`] records in the returned [`TsvReport`] instead
+/// of aborting the whole load. Only I/O errors abort.
+///
+/// In fault-injection builds the `twitter.truncate_line` fault point
+/// chops lines in half before parsing, simulating a crawl cut mid-write.
+pub fn read_tsv_lossy(reader: impl BufRead) -> FlowResult<TsvReport> {
+    let mut report = TsvReport::default();
+    for (i, line) in reader.lines().enumerate() {
+        let mut line = line?;
+        if fault::fires("twitter.truncate_line") {
+            line.truncate(line.len() / 2);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_tsv_line(&line, i + 1) {
+            Ok(t) => {
+                report.tweets.push(t);
+                report.good_lines += 1;
+            }
+            Err(e) => {
+                report.errors.push(e);
+                report.bad_lines += 1;
+            }
+        }
+    }
+    Ok(report)
 }
 
 /// Writes tweets in the TSV interchange format.
@@ -248,7 +334,11 @@ pub fn episodes_from_raw(
             crate::tags::ObjectKind::Url => parsed.urls.clone(),
         };
         for token in tokens {
-            let slot = mentions.entry(token).or_default().entry(author).or_insert(u32::MAX);
+            let slot = mentions
+                .entry(token)
+                .or_default()
+                .entry(author)
+                .or_insert(u32::MAX);
             *slot = (*slot).min(t.time);
         }
     }
@@ -281,7 +371,11 @@ mod tests {
         vec![
             raw("alice", 0, "big news #launch http://bit.ly/abc"),
             raw("bob", 1, "RT @alice: big news #launch http://bit.ly/abc"),
-            raw("carol", 2, "RT @bob: RT @alice: big news #launch http://bit.ly/abc"),
+            raw(
+                "carol",
+                2,
+                "RT @bob: RT @alice: big news #launch http://bit.ly/abc",
+            ),
             raw("dave", 1, "RT @alice: big news #launch http://bit.ly/abc"),
             raw("bob", 3, "unrelated musings"),
         ]
@@ -312,6 +406,58 @@ mod tests {
         let tabby = "alice\t3\thello\tworld\n";
         let ok = read_tsv(std::io::Cursor::new(tabby)).unwrap();
         assert_eq!(ok[0].text, "hello\tworld");
+    }
+
+    #[test]
+    fn lossy_reader_harvests_good_lines_from_corrupt_fixture() {
+        // A crawl with interleaved garbage: field-starved lines, a bad
+        // timestamp, binary junk, and a line cut mid-field.
+        let fixture = "alice\t0\tbig news #launch\n\
+                       totally-not-tsv\n\
+                       bob\t1\tRT @alice: big news #launch\n\
+                       carol\tyesterday\tRT @alice: big news #launch\n\
+                       \n\
+                       dave\t2\n\
+                       eve\t3\tlate to the party\n\
+                       \u{1}\u{2}\u{3}\t\u{4}\n";
+        let report = read_tsv_lossy(std::io::Cursor::new(fixture)).unwrap();
+        assert_eq!(report.good_lines, 3);
+        assert_eq!(report.bad_lines, 4);
+        assert!(!report.is_clean());
+        assert_eq!(report.summary(), "3 lines ok, 4 malformed");
+        assert_eq!(report.tweets.len(), 3);
+        assert_eq!(report.tweets[0].author, "alice");
+        assert_eq!(report.tweets[2].author, "eve");
+        // Every error is a typed Parse record naming its 1-based line.
+        let lines: Vec<usize> = report
+            .errors
+            .iter()
+            .map(|e| match e {
+                flow_core::FlowError::Parse { line, .. } => *line,
+                other => panic!("expected Parse, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(lines, vec![2, 4, 6, 8]);
+        // The same fixture aborts the strict reader at the first bad line.
+        assert!(matches!(
+            read_tsv(std::io::Cursor::new(fixture)),
+            Err(TsvError::Malformed { line: 2 })
+        ));
+        // The harvested tweets feed the normal pipeline.
+        let rec = reconstruct_from_raw(&report.tweets);
+        assert!(rec.users.id("alice").is_some());
+        assert!(rec.users.id("carol").is_none(), "bad line dropped");
+    }
+
+    #[test]
+    fn tsv_error_converts_to_flow_error() {
+        let e: flow_core::FlowError = TsvError::Malformed { line: 7 }.into();
+        assert!(matches!(e, flow_core::FlowError::Parse { line: 7, .. }));
+        let io = TsvError::Io(std::io::Error::other("boom"));
+        assert!(matches!(
+            flow_core::FlowError::from(io),
+            flow_core::FlowError::Io { .. }
+        ));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod retweets;
 pub mod tags;
 
 pub use corpus::{Corpus, CorpusConfig, Tweet, TweetId};
-pub use io::{episodes_from_raw, read_tsv, reconstruct_from_raw, write_tsv, RawTweet, UserIndex};
+pub use io::{
+    episodes_from_raw, read_tsv, read_tsv_lossy, reconstruct_from_raw, write_tsv, RawTweet,
+    TsvReport, UserIndex,
+};
 pub use parse::ParsedTweet;
 pub use retweets::{reconstruct_attributed, ReconstructedEvidence};
 pub use tags::{episodes_for_objects, with_omnipotent_user, ObjectEpisodes, ObjectKind};

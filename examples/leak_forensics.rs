@@ -78,10 +78,8 @@ fn main() {
     }
 
     // Joint exposure: probability BOTH auditors' departments received it.
-    let joint = estimator.estimate_joint_flow(
-        &[(source, NodeId(8)), (source, NodeId(9))],
-        &mut rng,
-    );
+    let joint =
+        estimator.estimate_joint_flow(&[(source, NodeId(8)), (source, NodeId(9))], &mut rng);
     println!("\nP(both departments 8 and 9 exposed)                 = {joint:.4}");
 
     // Timed forensics (the paper's Discussion extension): if each hop

@@ -79,14 +79,17 @@ fn main() {
     }
     println!("\nimpact distribution for user {winner}:");
     for (k, &c) in buckets.iter().enumerate() {
-        let label = if k == 6 { "6+".to_string() } else { k.to_string() };
+        let label = if k == 6 {
+            "6+".to_string()
+        } else {
+            k.to_string()
+        };
         let pct = 100.0 * c as f64 / impacts.len() as f64;
         println!("  reach {label:>2}: {pct:5.1}%");
     }
 
     // Source-to-community flow: will the campaign reach this audience?
-    let community: Vec<infoflow::graph::NodeId> =
-        corpus.graph.successors(winner).take(5).collect();
+    let community: Vec<infoflow::graph::NodeId> = corpus.graph.successors(winner).take(5).collect();
     if !community.is_empty() {
         let cf = estimator.estimate_community_flow(winner, &community, &mut rng);
         println!(

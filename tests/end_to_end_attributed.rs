@@ -158,7 +158,11 @@ fn dropped_crawl_still_yields_consistent_training() {
             diffs.push((a.mean() - b.mean()).abs());
         }
     }
-    assert!(diffs.len() > 10, "need comparable edges, got {}", diffs.len());
+    assert!(
+        diffs.len() > 10,
+        "need comparable edges, got {}",
+        diffs.len()
+    );
     let mad = diffs.iter().sum::<f64>() / diffs.len() as f64;
     assert!(mad < 0.12, "training under drops drifted too far: {mad}");
 }

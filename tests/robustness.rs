@@ -1,0 +1,260 @@
+//! Fault-injection robustness suite.
+//!
+//! Arms every fault point wired through the workspace (see
+//! `flow_core::fault` for the full table) and asserts that each injected
+//! fault surfaces as a typed [`FlowError`] or a flagged
+//! [`PartialEstimate`] — never a panic, never silent corruption.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test --features fault-inject --test robustness
+//! ```
+//!
+//! Without the feature the whole file compiles away (the hooks are
+//! inlined passthroughs in normal builds).
+#![cfg(feature = "fault-inject")]
+
+use std::sync::{Mutex, MutexGuard};
+
+use flow_core::fault::{self, FaultSpec};
+use flow_core::FlowError;
+use flow_graph::graph::graph_from_edges;
+use flow_graph::NodeId;
+use flow_icm::Icm;
+use flow_mcmc::{
+    multi_chain_flow_guarded, DegradationReason, FlowEstimator, McmcConfig, ProposalKind,
+    PseudoStateSampler, RunBudget,
+};
+use flow_stats::{Beta, WeightTree};
+use flow_twitter::read_tsv_lossy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fault registry is process-global, so tests that arm points must
+/// not interleave. Each test takes this lock for its whole body and
+/// starts from a clean registry.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn armed() -> MutexGuard<'static, ()> {
+    // A previous test that failed while holding the lock poisons it;
+    // the registry is still in a defined state, so continue.
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear_all();
+    guard
+}
+
+fn diamond_icm() -> Icm {
+    let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+    Icm::new(g, vec![0.6, 0.7, 0.8, 0.5])
+}
+
+#[test]
+fn poisoned_weight_tree_construction_is_a_typed_error() {
+    let _guard = armed();
+    fault::arm("weight_tree.new", FaultSpec::always(f64::NAN));
+    let err = WeightTree::try_new(&[1.0, 2.0, 3.0]).unwrap_err();
+    match err {
+        FlowError::NonFiniteWeight { index, value } => {
+            assert_eq!(index, 0);
+            assert!(value.is_nan());
+        }
+        other => panic!("expected NonFiniteWeight, got {other:?}"),
+    }
+    assert_eq!(fault::fired_count("weight_tree.new"), 1);
+}
+
+#[test]
+fn poisoned_weight_tree_update_leaves_tree_usable() {
+    let _guard = armed();
+    let mut tree = WeightTree::try_new(&[1.0, 2.0, 3.0]).unwrap();
+    fault::arm("weight_tree.update", FaultSpec::always(-2.0));
+    let err = tree.try_update(1, 0.9).unwrap_err();
+    assert!(matches!(
+        err,
+        FlowError::NonFiniteWeight { index: 1, value } if value == -2.0
+    ));
+    assert_eq!(fault::fired_count("weight_tree.update"), 1);
+    // The rejected update must not have corrupted the tree.
+    fault::clear_all();
+    tree.try_update(1, 0.9).unwrap();
+}
+
+#[test]
+fn poisoned_edge_probability_is_a_typed_error() {
+    let _guard = armed();
+    fault::arm("icm.edge_probability", FaultSpec::always(1.5));
+    let g = graph_from_edges(2, &[(0, 1)]);
+    let err = Icm::try_new(g, vec![0.5]).unwrap_err();
+    assert!(matches!(
+        err,
+        FlowError::InvalidProbability {
+            what: "edge activation probability",
+            value,
+        } if value == 1.5
+    ));
+    assert_eq!(fault::fired_count("icm.edge_probability"), 1);
+}
+
+#[test]
+fn poisoned_beta_posterior_is_a_typed_error() {
+    let _guard = armed();
+    fault::arm("learn.beta_params", FaultSpec::always(-1.0));
+    let err = Beta::try_new(3.0, 4.0).unwrap_err();
+    assert!(matches!(
+        err,
+        FlowError::InvalidProbability {
+            what: "Beta alpha parameter",
+            value,
+        } if value == -1.0
+    ));
+    assert_eq!(fault::fired_count("learn.beta_params"), 1);
+}
+
+#[test]
+fn nan_acceptance_probability_stops_the_chain() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sampler = PseudoStateSampler::new(&icm, ProposalKind::ResultingActivity, &mut rng);
+    // Let a few proposals through, then poison one acceptance ratio.
+    // NaN is the nastiest case: `rng.random() > NaN` is false, so an
+    // unguarded chain would silently accept every proposal.
+    fault::arm("sampler.acceptance", FaultSpec::once_after(10, f64::NAN));
+    let err = sampler.try_run(10_000, &mut rng).unwrap_err();
+    assert!(matches!(
+        err,
+        FlowError::InvalidProbability {
+            what: "MH acceptance probability",
+            value,
+        } if value.is_nan()
+    ));
+    assert_eq!(fault::fired_count("sampler.acceptance"), 1);
+}
+
+#[test]
+fn killed_chain_is_restarted_and_the_estimate_survives() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let config = McmcConfig {
+        samples: 300,
+        ..Default::default()
+    };
+    // Kill one chain mid-burn-in; the watchdog restarts it with a
+    // fresh seed and the pooled estimate comes out clean.
+    fault::arm("sampler.kill_chain", FaultSpec::once_after(1_000, 0.0));
+    let est = multi_chain_flow_guarded(
+        &icm,
+        NodeId(0),
+        NodeId(3),
+        config,
+        2,
+        42,
+        RunBudget::unlimited(),
+        3,
+        false,
+    );
+    assert_eq!(fault::fired_count("sampler.kill_chain"), 1);
+    assert!(est
+        .degradation
+        .iter()
+        .any(|d| matches!(d, DegradationReason::ChainRestarted { .. })));
+    assert!((0.0..=1.0).contains(&est.value));
+    assert_eq!(est.diagnostics.included_chains.len(), 2);
+}
+
+#[test]
+fn persistently_dying_chains_degrade_to_a_flagged_estimate() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let config = McmcConfig {
+        samples: 100,
+        ..Default::default()
+    };
+    // Every step dies: restarts are exhausted and each chain is
+    // reported as failed — flagged degradation, not a panic.
+    fault::arm("sampler.kill_chain", FaultSpec::always(0.0));
+    let est = multi_chain_flow_guarded(
+        &icm,
+        NodeId(0),
+        NodeId(3),
+        config,
+        2,
+        42,
+        RunBudget::unlimited(),
+        1,
+        false,
+    );
+    let failed = est
+        .degradation
+        .iter()
+        .filter(|d| matches!(d, DegradationReason::ChainFailed { .. }))
+        .count();
+    assert_eq!(failed, 2, "both chains should be reported failed");
+    assert!(est.is_degraded());
+    assert!(est.diagnostics.included_chains.is_empty());
+    assert_eq!(est.value, 0.0);
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_on_resume() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let config = McmcConfig {
+        samples: 200,
+        ..Default::default()
+    };
+    let estimator = FlowEstimator::new(&icm, config);
+    let mut ckpt = None;
+    estimator
+        .estimate_flow_checkpointed(NodeId(0), NodeId(3), 9, 50, |c| {
+            ckpt.get_or_insert_with(|| c.clone());
+        })
+        .unwrap();
+    let ckpt = ckpt.expect("at least one checkpoint captured");
+
+    fault::arm("checkpoint.corrupt", FaultSpec::always(0.0));
+    let err = estimator.resume_from(&ckpt).unwrap_err();
+    assert!(matches!(err, FlowError::Checkpoint { .. }));
+    assert_eq!(fault::fired_count("checkpoint.corrupt"), 1);
+
+    // Disarmed, the same checkpoint resumes fine.
+    fault::clear_all();
+    let run = estimator.resume_from(&ckpt).unwrap();
+    assert_eq!(run.series.len(), 200);
+}
+
+#[test]
+fn truncated_ingest_lines_are_recorded_not_fatal() {
+    let _guard = armed();
+    // Lines 2 and 3 are shaped so cutting them in half lands before
+    // the text separator: one loses its timestamp field, the other
+    // keeps a half-digit timestamp that no longer parses.
+    let tsv = "alice\t10\thello world\n\
+               bob_the_builder\t11\tRT\n\
+               carol\t1200\tz\n\
+               dave\t13\tRT @bob hello world\n";
+    // Chop lines 2 and 3 in half mid-record, as a crawl cut would.
+    fault::arm(
+        "twitter.truncate_line",
+        FaultSpec {
+            skip: 1,
+            times: 2,
+            value: 0.0,
+        },
+    );
+    let report = read_tsv_lossy(tsv.as_bytes()).unwrap();
+    assert_eq!(fault::fired_count("twitter.truncate_line"), 2);
+    assert_eq!(report.good_lines, 2);
+    assert_eq!(report.bad_lines, 2);
+    assert_eq!(report.tweets.len(), 2);
+    let lines: Vec<usize> = report
+        .errors
+        .iter()
+        .map(|e| match e {
+            FlowError::Parse { line, .. } => *line,
+            other => panic!("expected Parse error, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(lines, vec![2, 3]);
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition surface this workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`) over a simple
+//! wall-clock timer. There is no statistical analysis or HTML report;
+//! each benchmark runs `sample_size` timed samples (auto-calibrated
+//! iteration counts) and prints mean time per iteration. This keeps
+//! `cargo bench` and bench compilation under `cargo test` working
+//! without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter: None,
+            list_only: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Reads CLI args the way cargo-bench invokes harnesses: a positional
+    /// filter string, `--bench` (ignored), and `--list`/`--test` (run
+    /// nothing / one iteration respectively — both map to list/quick here).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--list" => self.list_only = true,
+                "--test" | "--profile-time" => {
+                    // Quick mode: single sample, minimal time.
+                    self.sample_size = 2;
+                    self.measurement_time = Duration::from_millis(50);
+                    self.warm_up_time = Duration::ZERO;
+                    if a == "--profile-time" {
+                        let _ = args.next();
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(secs) = v.parse::<f64>() {
+                            self.measurement_time = Duration::from_secs_f64(secs);
+                        }
+                    }
+                }
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse::<usize>() {
+                            self.sample_size = n.max(2);
+                        }
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown flags (e.g. --save-baseline x): skip a value
+                    // if one follows and doesn't look like a flag.
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let name = id.to_string();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        };
+        group.run_one(String::new(), &mut f);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Units used to report throughput alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.function_name {
+            Some(f) => format!("{}/{}", f, self.parameter),
+            None => self.parameter.clone(),
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<S: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.into_benchmark_id().render(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into_benchmark_id().render(), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, suffix: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_name = if suffix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, suffix)
+        };
+        if self.criterion.list_only {
+            println!("{full_name}: benchmark");
+            return;
+        }
+        if !self.criterion.matches_filter(&full_name) {
+            return;
+        }
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        let warm_up = self.criterion.warm_up_time;
+
+        // Warm-up: run until the warm-up budget elapses, and use the
+        // observed rate to pick an iteration count per sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        let mut time_spent = Duration::ZERO;
+        while warm_start.elapsed() < warm_up || iters_done == 0 {
+            bencher.iters = 1;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            iters_done += bencher.iters;
+            time_spent += bencher.elapsed;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = if iters_done > 0 {
+            time_spent.as_secs_f64() / iters_done as f64
+        } else {
+            1e-6
+        };
+        let budget_per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+        let iters_per_sample = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut total_time = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let mut best = f64::INFINITY;
+        for _ in 0..sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total_time += bencher.elapsed;
+            total_iters += bencher.iters;
+            let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+            if mean < best {
+                best = mean;
+            }
+        }
+        let mean = if total_iters > 0 {
+            total_time.as_secs_f64() / total_iters as f64
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "{full_name}: mean {} / iter (best {}) over {} samples x {} iters",
+            format_time(mean),
+            format_time(best),
+            sample_size,
+            iters_per_sample
+        );
+        if let Some(t) = self.throughput {
+            let (amount, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (n as f64, "B/s"),
+            };
+            if mean > 0.0 {
+                line.push_str(&format!(", {:.3e} {unit}", amount / mean));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Batch sizing hint for `iter_batched`; ignored by this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Re-export so `criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+/// Accepts either `&str` or `BenchmarkId` where upstream does.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function_name: None,
+            parameter: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function_name: None,
+            parameter: self,
+        }
+    }
+}
+
+/// Declares a benchmark group: either the simple form
+/// `criterion_group!(benches, f1, f2)` or the configured form
+/// `criterion_group!(name = benches; config = ...; targets = f1, f2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz_never".to_string()),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |_b| panic!("should not run"));
+        group.finish();
+    }
+}

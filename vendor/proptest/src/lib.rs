@@ -1,0 +1,466 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the API surface the workspace's property tests use — the
+//! [`proptest!`] macro, range / `any` / tuple / collection strategies,
+//! `prop_map` / `prop_flat_map`, and the `prop_assert*` family — backed
+//! by plain seeded random generation rather than upstream's
+//! shrinking-capable runner. Failures therefore don't shrink, but they
+//! do print the failing case (every generated binding is formatted into
+//! the panic message), and runs are deterministic per test name.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Alias module so `prop::collection::vec(...)` paths work.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner configuration. Only `cases` is meaningful here; the other
+/// fields exist so `..ProptestConfig::default()` update syntax from
+/// upstream-style configs compiles.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Upstream defaults to 256; 64 keeps the statistical tests
+            // in this workspace fast while still exploring the domain.
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// The per-test random source handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner: the seed is derived from the test name so
+    /// each property explores a stable, distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values — the stand-in for proptest's
+/// `Strategy` (no shrinking, so a strategy is just a sampler).
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with `self`, then generates from the strategy `f`
+    /// builds from that value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Filters generated values (retrying up to a fixed budget).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1024 consecutive draws",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing one fixed (cloned) value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform draw over a type's full natural domain (`any::<u64>()`…).
+pub fn any<T: rand::UniformSample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::UniformSample> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        runner.rng().random()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (`prop::collection::vec`, `hash_set`).
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Lengths may be given as a fixed size or a (half-open) range.
+    pub trait SizeRange {
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _runner: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().random_range(self.clone())
+        }
+    }
+
+    /// A `Vec` of values drawn from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// A `HashSet` of values drawn from `element`. The requested size
+    /// is a target; duplicates shrink the set as in upstream.
+    pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        Z: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        Z: SizeRange,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` that draws `cases` random tuples and runs the
+/// body; failures report the generated bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($binding:tt in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused)]
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::deterministic(::core::concat!(
+                    ::core::module_path!(), "::", ::core::stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    let __guard = $crate::CaseGuard::new(::core::stringify!($name), __case);
+                    $(let $binding = $crate::Strategy::generate(&($strat), &mut runner);)+
+                    // A fresh FnOnce per case: bodies may move their
+                    // bindings, and `prop_assume!`'s early `return`
+                    // skips just this case.
+                    (move || $body)();
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Prints which case was running if the body panics. Runs are
+/// deterministic per test name, so the failing case reproduces on
+/// re-run.
+#[doc(hidden)]
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest `{}` failed on case {} (deterministic; re-run reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+/// Asserts inside a property body (no shrinking, so this is `assert!`
+/// with the case context printed by the runner on unwind).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::core::assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic("bounds");
+        for _ in 0..200 {
+            let x = (3usize..10).generate(&mut runner);
+            assert!((3..10).contains(&x));
+            let (a, b) = (0u64..5, 0.0f64..=1.0).generate(&mut runner);
+            assert!(a < 5 && (0.0..=1.0).contains(&b));
+            let v = collection::vec(0u32..100, 2..6).generate(&mut runner);
+            assert!((2..6).contains(&v.len()));
+            let s = collection::hash_set(0usize..50, 0..10).generate(&mut runner);
+            assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut runner = TestRunner::deterministic("compose");
+        let strat = (1usize..4)
+            .prop_flat_map(|k| collection::vec(0u64..10, k..k + 1).prop_map(move |v| (k, v)));
+        for _ in 0..100 {
+            let (k, v) = strat.generate(&mut runner);
+            assert_eq!(v.len(), k);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_draws_and_asserts(x in 0u64..100, y in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assume!(x > 0);
+            prop_assert!(x >= 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(v in collection::vec(any::<u64>(), 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides just enough of a serialization framework for the
+//! workspace: a self-describing [`Value`] model, [`Serialize`] /
+//! [`Deserialize`] traits over it, and re-exported derive macros
+//! (hand-rolled in `serde_derive`, no `syn`/`quote`). The only
+//! consumer of these traits is the vendored `serde_json`, so the
+//! traits are deliberately value-based rather than visitor-based —
+//! far simpler, and sufficient for model persistence and checkpoints.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON data model, with integers
+/// kept exact — bitset words are `u64` patterns that must not round
+/// through `f64`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (duplicate keys are not expected).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Reads field `name` of an object value — used by derived
+/// `Deserialize` impls.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner).map_err(|e| Error(format!("field `{name}`: {}", e.0))),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => return Err(Error(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) if *u <= i64::MAX as u64 => *u as i64,
+                    other => return Err(Error(format!(
+                        "expected signed integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            // JSON cannot distinguish 1 from 1.0; accept integers.
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(Error(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        if items.len() != N {
+            return Err(Error(format!("expected {N} elements, got {}", items.len())));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&items);
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error(format!("expected 2-element array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(f64::from_value(&Value::U64(3)), Ok(3.0));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let word = 0xDEAD_BEEF_F00D_D00Du64;
+        assert_eq!(u64::from_value(&word.to_value()), Ok(word));
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(field::<u64>(&obj, "a"), Ok(1));
+        assert!(field::<u64>(&obj, "b").is_err());
+    }
+}

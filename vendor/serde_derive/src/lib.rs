@@ -1,0 +1,488 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! value-based serde, written against raw `proc_macro` token trees
+//! (the build environment has no `syn`/`quote`).
+//!
+//! Supported shapes — everything the workspace derives on:
+//! * structs with named fields,
+//! * tuple structs (single-field ones serialize as newtypes),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged:
+//!   unit variants as a string, others as a one-entry object).
+//!
+//! Not supported (compile error): generics, `where` clauses, union
+//! types, and field types containing `->` outside angle brackets.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading outer attributes (`#[...]`, including expanded doc
+/// comments).
+fn skip_attributes(iter: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if let Some(TokenTree::Punct(bang)) = iter.peek() {
+            if bang.as_char() == '!' {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            _ => return,
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(...)`, or nothing.
+fn skip_visibility(iter: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes one type, stopping before a top-level `,` (angle-bracket
+/// depth tracked; groups are atomic token trees so parens/brackets need
+/// no tracking).
+fn skip_type(iter: &mut Tokens) -> Result<(), String> {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err("unbalanced angle brackets in field type".into());
+                    }
+                }
+                ',' if depth == 0 => return Ok(()),
+                '-' => {
+                    return Err("field types containing `->` are not supported".into());
+                }
+                _ => {}
+            },
+            TokenTree::Ident(_) | TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+        iter.next();
+    }
+    Ok(())
+}
+
+/// Parses `name: Type` pairs from a brace-group body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&mut iter)?;
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the comma-separated entries of a paren-group body (tuple
+/// struct / tuple variant fields).
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let mut iter: Tokens = body.into_iter().peekable();
+    let mut arity = 0usize;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type(&mut iter)?;
+        arity += 1;
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    Ok(arity)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+        };
+        let variant = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream())?;
+                iter.next();
+                Variant::Tuple(name, arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip an explicit discriminant, then the trailing comma.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '=' {
+                iter.next();
+                while let Some(tt) = iter.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    iter.next();
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got `{other:?}`")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got `{other:?}`")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                    ),
+                    Variant::Tuple(vn, 1) => format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({vn:?}), \
+                          ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Value::Array(::std::vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binders = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Value::Object(::std::vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let reads: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}({reads})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected {arity}-element array for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, 1) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let reads: String = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => match payload {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{vn}({reads})),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                     \"bad payload for variant {vn}\")),\n\
+                             }},"
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(payload, {f:?})?,"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok(\
+                             {name}::{vn} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
