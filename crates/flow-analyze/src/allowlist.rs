@@ -1,0 +1,185 @@
+//! The allowlist file: per-file, per-lint suppressions with mandatory
+//! justifications, capped at a fixed budget so the list stays a short
+//! ledger of debts rather than a dumping ground.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! L1 crates/flow-graph/src/generate.rs -- builders insert freshly checked unique pairs
+//! ```
+//!
+//! An entry suppresses findings of its lint in every file whose
+//! workspace-relative path starts with the given prefix. Unused entries
+//! are reported so the ledger shrinks as debts are paid.
+
+use crate::lints::Finding;
+
+/// Hard cap on entries: past this the allowlist stops being a ledger.
+pub const MAX_ENTRIES: usize = 30;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint id ("L1".."L4").
+    pub lint: String,
+    /// Workspace-relative path prefix.
+    pub path_prefix: String,
+    /// Why this suppression is sound.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+/// Parse failure (malformed line or budget overflow).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowlistError(pub String);
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+/// Parses allowlist text.
+pub fn parse(text: &str) -> Result<Vec<Entry>, AllowlistError> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, justification) = line.split_once("--").ok_or_else(|| {
+            AllowlistError(format!(
+                "line {}: missing `-- justification` (every entry must say why)",
+                i + 1
+            ))
+        })?;
+        let mut parts = head.split_whitespace();
+        let lint = parts.next().unwrap_or_default().to_owned();
+        let path_prefix = parts.next().unwrap_or_default().to_owned();
+        if !matches!(lint.as_str(), "L1" | "L2" | "L3" | "L4") {
+            return Err(AllowlistError(format!(
+                "line {}: unknown lint id {lint:?} (expected L1..L4)",
+                i + 1
+            )));
+        }
+        if path_prefix.is_empty() || parts.next().is_some() {
+            return Err(AllowlistError(format!(
+                "line {}: expected `<lint> <path-prefix> -- <justification>`",
+                i + 1
+            )));
+        }
+        let justification = justification.trim().to_owned();
+        if justification.is_empty() {
+            return Err(AllowlistError(format!(
+                "line {}: empty justification",
+                i + 1
+            )));
+        }
+        entries.push(Entry {
+            lint,
+            path_prefix,
+            justification,
+            line: i + 1,
+        });
+    }
+    if entries.len() > MAX_ENTRIES {
+        return Err(AllowlistError(format!(
+            "{} entries exceed the budget of {MAX_ENTRIES}; pay down existing debts before adding more",
+            entries.len()
+        )));
+    }
+    Ok(entries)
+}
+
+/// Splits findings into (kept, suppressed) and reports which entries
+/// never matched anything.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[Entry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<Entry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.lint == f.lint && f.rel.starts_with(&e.path_prefix));
+        match hit {
+            Some(k) => {
+                used[k] = true;
+                suppressed.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+    let unused = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Finding;
+
+    fn finding(lint: &'static str, rel: &str) -> Finding {
+        Finding {
+            lint,
+            rel: rel.into(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let text = "# header\nL1 crates/a/src/x.rs -- documented panicking wrapper\n\nL2 crates/b/ -- wall-clock budget enforcement\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lint, "L1");
+        assert_eq!(entries[1].path_prefix, "crates/b/");
+    }
+
+    #[test]
+    fn rejects_missing_justification_and_bad_lints() {
+        assert!(parse("L1 crates/a/src/x.rs\n").is_err());
+        assert!(parse("L9 crates/a/src/x.rs -- hm\n").is_err());
+        assert!(parse("L1 crates/a.rs extra -- hm\n").is_err());
+        assert!(parse("L1 crates/a.rs -- \n").is_err());
+    }
+
+    #[test]
+    fn enforces_budget() {
+        let mut text = String::new();
+        for i in 0..=MAX_ENTRIES {
+            text.push_str(&format!("L1 crates/f{i}.rs -- reason\n"));
+        }
+        let err = parse(&text).unwrap_err();
+        assert!(err.0.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn apply_suppresses_by_prefix_and_reports_unused() {
+        let entries = parse("L1 crates/a/ -- reason\nL3 crates/never/ -- reason\n").unwrap();
+        let (kept, suppressed, unused) = apply(
+            vec![
+                finding("L1", "crates/a/src/x.rs"),
+                finding("L1", "crates/b/src/y.rs"),
+            ],
+            &entries,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rel, "crates/b/src/y.rs");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].lint, "L3");
+    }
+}

@@ -1,0 +1,133 @@
+//! `flow-analyze`: the workspace's correctness tooling.
+//!
+//! Two subsystems, both dependency-free beyond the workspace itself:
+//!
+//! * **`check`** — a token-level static-analysis pass (no `syn`; the
+//!   vendor directory is the only dependency source) enforcing the
+//!   lint contract L1–L4 over the core crates, with a justified
+//!   allowlist (`crates/flow-analyze/allowlist.txt`, budget-capped)
+//!   and `// flow-analyze: allow(Lx: why)` escape comments.
+//! * **`replay`** — a runtime determinism audit: the parallel
+//!   multi-chain estimator is run twice with identical seeds and the
+//!   retained trajectories are diffed step-by-step; any divergence is
+//!   a scheduling/nondeterminism bug.
+//!
+//! See DESIGN.md §9 for the full contract.
+
+pub mod allowlist;
+pub mod lints;
+pub mod replay;
+pub mod source;
+
+use lints::{Finding, LintScope};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a `check` run.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Findings that survived escapes and the allowlist: failures.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by the allowlist (shown in verbose mode).
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale debts).
+    pub unused_entries: Vec<allowlist::Entry>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// True when the workspace passes the contract.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scans every `.rs` file under the workspace's `crates/` tree and
+/// applies the workspace lint policy plus the allowlist at
+/// `crates/flow-analyze/allowlist.txt` (if present).
+pub fn check_workspace(root: &Path) -> Result<CheckReport, String> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+    let allowlist_path = root.join("crates/flow-analyze/allowlist.txt");
+    let entries = if allowlist_path.exists() {
+        let text = std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| format!("reading {}: {e}", allowlist_path.display()))?;
+        allowlist::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Vec::new()
+    };
+    let mut all = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let file = SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?;
+        let scope = LintScope::for_path(&file.rel);
+        if !(scope.l1 || scope.l2 || scope.l3 || scope.l4) {
+            continue;
+        }
+        scanned += 1;
+        all.extend(lints::lint_file(&file, scope));
+    }
+    let (findings, suppressed, unused_entries) = allowlist::apply(all, &entries);
+    Ok(CheckReport {
+        findings,
+        suppressed,
+        unused_entries,
+        files_scanned: scanned,
+    })
+}
+
+/// Lints explicit files with *every* lint enabled (used by the
+/// self-test fixtures and `check --paths`). No allowlist applies;
+/// escape comments still do.
+pub fn check_paths(root: &Path, paths: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for path in paths {
+        let file = SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?;
+        findings.extend(lints::lint_file(&file, LintScope::all()));
+    }
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` files, skipping `target/` and the
+/// lint fixtures (which are deliberate violations).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory holding a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

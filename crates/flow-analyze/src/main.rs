@@ -1,0 +1,172 @@
+//! CLI driver: `cargo run -p flow-analyze -- <check|replay> [..]`.
+//!
+//! Exit codes: 0 clean, 1 contract violation (lint findings or replay
+//! divergence), 2 usage or I/O error.
+
+use flow_analyze::replay::{run_replay, ReplayConfig};
+use flow_analyze::{check_paths, check_workspace, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flow-analyze — workspace static analysis + determinism audit
+
+USAGE:
+    flow-analyze check [--root DIR] [--verbose] [--paths FILE..]
+    flow-analyze replay [--seed N] [--chains N] [--samples N]
+                        [--nodes N] [--edges N]
+
+check   runs lints L1-L4 over the core crates, honouring
+        crates/flow-analyze/allowlist.txt and
+        `// flow-analyze: allow(Lx: why)` escape comments.
+        With --paths, lints exactly the given files with every
+        lint enabled and no allowlist (self-test mode).
+replay  runs the parallel multi-chain estimator twice with one
+        seed and diffs the trajectories step-by-step; any
+        divergence is a determinism bug.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--paths" => {
+                paths.extend(it.by_ref().map(PathBuf::from));
+            }
+            other => return usage_error(&format!("unknown check flag {other:?}")),
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage_error("could not locate the workspace root; pass --root"),
+    };
+
+    if !paths.is_empty() {
+        return match check_paths(&root, &paths) {
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!(
+                    "flow-analyze check (paths mode): {} finding(s) in {} file(s)",
+                    findings.len(),
+                    paths.len()
+                );
+                exit_findings(findings.len())
+            }
+            Err(e) => io_error(&e),
+        };
+    }
+
+    match check_workspace(&root) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if verbose {
+                for f in &report.suppressed {
+                    println!("(allowlisted) {f}");
+                }
+            }
+            for e in &report.unused_entries {
+                println!(
+                    "warning: allowlist entry is stale (matched nothing): line {}: {} {} -- {}",
+                    e.line, e.lint, e.path_prefix, e.justification
+                );
+            }
+            println!(
+                "flow-analyze check: {} file(s) scanned, {} finding(s), {} allowlisted",
+                report.files_scanned,
+                report.findings.len(),
+                report.suppressed.len()
+            );
+            exit_findings(report.findings.len())
+        }
+        Err(e) => io_error(&e),
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let mut cfg = ReplayConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse_num = |v: Option<&String>, what: &str| -> Result<u64, String> {
+            v.ok_or_else(|| format!("{what} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{what} needs an integer"))
+        };
+        let r = match a.as_str() {
+            "--seed" => parse_num(it.next(), "--seed").map(|v| cfg.seed = v),
+            "--chains" => parse_num(it.next(), "--chains").map(|v| cfg.chains = v as usize),
+            "--samples" => parse_num(it.next(), "--samples").map(|v| cfg.samples = v as usize),
+            "--nodes" => parse_num(it.next(), "--nodes").map(|v| cfg.nodes = v as usize),
+            "--edges" => parse_num(it.next(), "--edges").map(|v| cfg.edges = v as usize),
+            other => Err(format!("unknown replay flag {other:?}")),
+        };
+        if let Err(e) = r {
+            return usage_error(&e);
+        }
+    }
+    if cfg.chains == 0 || cfg.samples == 0 || cfg.nodes < 2 {
+        return usage_error("replay needs chains >= 1, samples >= 1, nodes >= 2");
+    }
+    let report = run_replay(&cfg);
+    for d in &report.divergences {
+        println!("DIVERGENCE {d}");
+    }
+    println!(
+        "flow-analyze replay: seed {} · {} chain(s) × {} sample(s) · estimate {:.4} · {}",
+        cfg.seed,
+        report.chains,
+        report.samples,
+        report.estimate,
+        if report.deterministic() {
+            "bit-identical across runs and threading modes"
+        } else {
+            "NOT deterministic"
+        }
+    );
+    exit_findings(report.divergences.len())
+}
+
+fn exit_findings(n: usize) -> ExitCode {
+    ExitCode::from(if n == 0 { 0 } else { 1 })
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

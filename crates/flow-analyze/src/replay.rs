@@ -1,0 +1,216 @@
+//! Replay-determinism harness: run the parallel multi-chain estimator
+//! twice with identical seeds and diff the retained trajectories
+//! step-by-step.
+//!
+//! Bit-identical checkpoint/resume (PR 1) only holds if the sampler
+//! stack is free of scheduling-dependent state: no ambient RNG, no
+//! wall-clock coupling into the chains, no iteration-order leaks. The
+//! static pass (L2) forbids the constructs; this harness *measures* the
+//! resulting guarantee — two same-seed runs of the threaded estimator
+//! must agree on every retained sample of every chain, and the threaded
+//! run must agree with the sequential one (per-chain RNG streams are
+//! derived from the chain index, never from scheduling).
+
+use flow_graph::generate::uniform_edges;
+use flow_graph::NodeId;
+use flow_icm::Icm;
+use flow_mcmc::{multi_chain_flow, McmcConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replay parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayConfig {
+    /// Master seed for the model and every chain stream.
+    pub seed: u64,
+    /// Number of parallel chains.
+    pub chains: usize,
+    /// Retained samples per chain.
+    pub samples: usize,
+    /// Nodes in the generated benchmark model.
+    pub nodes: usize,
+    /// Edges in the generated benchmark model.
+    pub edges: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            seed: 7,
+            chains: 4,
+            samples: 2_000,
+            nodes: 24,
+            edges: 72,
+        }
+    }
+}
+
+/// A detected divergence between two same-seed trajectories.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// Which comparison diverged ("replay" or "threaded-vs-sequential").
+    pub comparison: &'static str,
+    /// Chain index.
+    pub chain: usize,
+    /// Retained-sample index of the first disagreement (`None` when
+    /// the series *lengths* differ).
+    pub sample: Option<usize>,
+    /// First run's value (or series length, for a length mismatch).
+    pub a: f64,
+    /// Second run's value (or series length).
+    pub b: f64,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.sample {
+            Some(k) => write!(
+                f,
+                "{}: chain {} diverges at retained sample {}: {} vs {}",
+                self.comparison, self.chain, k, self.a, self.b
+            ),
+            None => write!(
+                f,
+                "{}: chain {} series lengths differ: {} vs {}",
+                self.comparison, self.chain, self.a, self.b
+            ),
+        }
+    }
+}
+
+/// The outcome of one replay audit.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Pooled estimate of the first run (for the log line).
+    pub estimate: f64,
+    /// Retained samples per chain actually compared.
+    pub samples: usize,
+    /// Chains compared.
+    pub chains: usize,
+    /// Every divergence found (empty = deterministic).
+    pub divergences: Vec<Divergence>,
+}
+
+impl ReplayReport {
+    /// True when both runs were bit-identical.
+    pub fn deterministic(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Builds the benchmark model deterministically from the seed: a
+/// random digraph with per-edge probabilities drawn from the same
+/// seeded stream, so every invocation with one seed audits one model.
+fn benchmark_icm(cfg: &ReplayConfig) -> Icm {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let graph = uniform_edges(&mut rng, cfg.nodes, cfg.edges);
+    let probs: Vec<f64> = (0..graph.edge_count())
+        .map(|_| 0.05 + 0.9 * rng.random::<f64>())
+        .collect();
+    Icm::new(graph, probs)
+}
+
+/// Diffs two multi-chain trajectory sets step-by-step.
+fn diff_chains(
+    comparison: &'static str,
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    out: &mut Vec<Divergence>,
+) {
+    for (i, (ca, cb)) in a.iter().zip(b).enumerate() {
+        if ca.len() != cb.len() {
+            out.push(Divergence {
+                comparison,
+                chain: i,
+                sample: None,
+                a: ca.len() as f64,
+                b: cb.len() as f64,
+            });
+            continue;
+        }
+        // The retained series is a 0/1 indicator, so exact comparison
+        // is the *point*: any deviation is a determinism bug, not
+        // floating-point noise.
+        // flow-analyze: allow(L3: bit-identity audit compares exactly by design)
+        if let Some(k) = ca.iter().zip(cb).position(|(x, y)| x != y) {
+            out.push(Divergence {
+                comparison,
+                chain: i,
+                sample: Some(k),
+                a: ca[k],
+                b: cb[k],
+            });
+        }
+    }
+}
+
+/// Runs the audit: threaded run twice (same seed), plus threaded vs
+/// sequential.
+pub fn run_replay(cfg: &ReplayConfig) -> ReplayReport {
+    let icm = benchmark_icm(cfg);
+    let (source, sink) = (NodeId(0), NodeId((cfg.nodes - 1) as u32));
+    let mcmc = McmcConfig {
+        samples: cfg.samples,
+        ..Default::default()
+    };
+    let first = multi_chain_flow(&icm, source, sink, mcmc, cfg.chains, cfg.seed, true);
+    let second = multi_chain_flow(&icm, source, sink, mcmc, cfg.chains, cfg.seed, true);
+    let sequential = multi_chain_flow(&icm, source, sink, mcmc, cfg.chains, cfg.seed, false);
+    let mut divergences = Vec::new();
+    diff_chains("replay", &first.chains, &second.chains, &mut divergences);
+    diff_chains(
+        "threaded-vs-sequential",
+        &first.chains,
+        &sequential.chains,
+        &mut divergences,
+    );
+    ReplayReport {
+        estimate: first.estimate(),
+        samples: cfg.samples,
+        chains: cfg.chains,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_replay_is_deterministic() {
+        let report = run_replay(&ReplayConfig {
+            seed: 3,
+            chains: 3,
+            samples: 200,
+            nodes: 10,
+            edges: 24,
+        });
+        assert!(
+            report.deterministic(),
+            "divergences: {:?}",
+            report.divergences
+        );
+        assert!(report.estimate >= 0.0 && report.estimate <= 1.0);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = vec![vec![0.0, 1.0, 1.0]];
+        let b = vec![vec![0.0, 0.0, 1.0]];
+        let mut out = Vec::new();
+        diff_chains("replay", &a, &b, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].chain, 0);
+        assert_eq!(out[0].sample, Some(1));
+    }
+
+    #[test]
+    fn diff_reports_length_mismatch() {
+        let a = vec![vec![0.0, 1.0]];
+        let b = vec![vec![0.0]];
+        let mut out = Vec::new();
+        diff_chains("replay", &a, &b, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sample, None);
+    }
+}

@@ -1,0 +1,24 @@
+// Remediated counterpart: the same shapes as the seeded fixtures,
+// written to pass every lint.
+
+pub fn pick(v: &[f64]) -> Option<f64> {
+    let first = v.first()?;
+    let last = v.last()?;
+    let tail = v.get(v.len().wrapping_sub(1))?;
+    Some(first + last + tail)
+}
+
+pub fn degenerate(var: f64, w: f64) -> bool {
+    var <= 0.0 || (w - 1.0).abs() > f64::EPSILON
+}
+
+pub fn combine(prob_a: f64, prob_b: f64) -> f64 {
+    let mix_prob = (prob_a + prob_b * 0.5).clamp(0.0, 1.0);
+    mix_prob
+}
+
+pub fn escaped(x: f64) -> bool {
+    // Exact-constancy sentinel, deliberately exact.
+    // flow-analyze: allow(L3: constancy sentinel compares exactly by design)
+    x == 0.0
+}

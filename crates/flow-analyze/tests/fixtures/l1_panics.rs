@@ -1,0 +1,10 @@
+// Seeded L1 violations: panic paths in non-test code.
+
+pub fn pick(v: &[f64]) -> f64 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    if v.len() > 3 {
+        panic!("too long");
+    }
+    first + last + v[v.len() - 1]
+}

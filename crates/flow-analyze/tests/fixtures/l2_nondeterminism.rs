@@ -1,0 +1,12 @@
+// Seeded L2 violations: scheduling- and entropy-dependent constructs.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn jitter() -> f64 {
+    let t0 = Instant::now();
+    let mut rng = rand::thread_rng();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(1, 1);
+    t0.elapsed().as_secs_f64()
+}

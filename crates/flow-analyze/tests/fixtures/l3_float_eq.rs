@@ -1,0 +1,8 @@
+// Seeded L3 violations: bare float equality.
+
+pub fn degenerate(var: f64, w: f64) -> bool {
+    if var == 0.0 {
+        return true;
+    }
+    w != 1.0
+}

@@ -1,0 +1,6 @@
+// Seeded L4 violation: probability arithmetic with no domain guard.
+
+pub fn combine(prob_a: f64, prob_b: f64) -> f64 {
+    let accept_prob = prob_a + prob_b * 0.5;
+    accept_prob
+}

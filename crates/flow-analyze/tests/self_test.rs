@@ -1,0 +1,139 @@
+//! Self-test: the lint engine must fire on each seeded fixture, stay
+//! quiet on the remediated fixture, and pass the real workspace with a
+//! within-budget allowlist. Also drives the compiled binary end-to-end
+//! to pin the exit-code contract.
+
+use flow_analyze::{allowlist, check_paths, check_workspace, find_workspace_root};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(here).expect("flow-analyze lives inside the workspace")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lints_fired(name: &str) -> Vec<&'static str> {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture(name)]).expect("fixture readable");
+    let mut lints: Vec<&'static str> = findings.iter().map(|f| f.lint).collect();
+    lints.dedup();
+    lints
+}
+
+#[test]
+fn l1_fixture_trips_panic_lint() {
+    let fired = lints_fired("l1_panics.rs");
+    assert!(fired.contains(&"L1"), "expected L1, got {fired:?}");
+}
+
+#[test]
+fn l2_fixture_trips_determinism_lint() {
+    let fired = lints_fired("l2_nondeterminism.rs");
+    assert!(fired.contains(&"L2"), "expected L2, got {fired:?}");
+}
+
+#[test]
+fn l3_fixture_trips_float_eq_lint() {
+    let fired = lints_fired("l3_float_eq.rs");
+    assert!(fired.contains(&"L3"), "expected L3, got {fired:?}");
+}
+
+#[test]
+fn l4_fixture_trips_probability_domain_lint() {
+    let fired = lints_fired("l4_prob_domain.rs");
+    assert!(fired.contains(&"L4"), "expected L4, got {fired:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean_under_every_lint() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("clean.rs")]).expect("fixture readable");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn workspace_passes_the_contract() {
+    let report = check_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.clean(),
+        "workspace has {} unallowed finding(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.files_scanned > 10,
+        "scan saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.unused_entries.is_empty(),
+        "stale allowlist entries: {:#?}",
+        report.unused_entries
+    );
+}
+
+#[test]
+fn allowlist_stays_within_budget() {
+    let path = workspace_root().join("crates/flow-analyze/allowlist.txt");
+    let text = std::fs::read_to_string(&path).expect("allowlist.txt exists");
+    let entries = allowlist::parse(&text).expect("allowlist parses");
+    assert!(
+        entries.len() <= allowlist::MAX_ENTRIES,
+        "{} entries over budget {}",
+        entries.len(),
+        allowlist::MAX_ENTRIES
+    );
+}
+
+#[test]
+fn binary_exit_codes_match_contract() {
+    let root = workspace_root();
+    let bin = env!("CARGO_BIN_EXE_flow-analyze");
+
+    // Seeded violation => exit 1.
+    let bad = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .arg("--paths")
+        .arg(fixture("l1_panics.rs"))
+        .output()
+        .expect("spawn flow-analyze");
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+
+    // Remediated workspace => exit 0.
+    let good = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("spawn flow-analyze");
+    assert_eq!(
+        good.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&good.stdout),
+        String::from_utf8_lossy(&good.stderr)
+    );
+
+    // Usage error => exit 2.
+    let usage = Command::new(bin)
+        .arg("frobnicate")
+        .output()
+        .expect("spawn flow-analyze");
+    assert_eq!(usage.status.code(), Some(2));
+}

@@ -14,38 +14,67 @@ pub type FlowResult<T> = Result<T, FlowError>;
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
     /// A parameter that must lie in `[0, 1]` does not (or is not finite).
-    InvalidProbability { what: &'static str, value: f64 },
+    InvalidProbability {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The out-of-domain value.
+        value: f64,
+    },
 
-    /// A sampling weight is negative, NaN, or infinite. `index` is the
-    /// position in the weight vector where the guard tripped.
-    NonFiniteWeight { index: usize, value: f64 },
+    /// A sampling weight is negative, NaN, or infinite.
+    NonFiniteWeight {
+        /// Position in the weight vector where the guard tripped.
+        index: usize,
+        /// The offending weight.
+        value: f64,
+    },
 
     /// Graph/model shape invariants are violated (edge references a
     /// node outside the graph, probability vector length mismatch, …).
-    GraphInconsistency { detail: String },
+    GraphInconsistency {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 
     /// A Markov chain made no usable progress: acceptance collapsed to
     /// (near) zero or the conditioned indicator series froze.
     ChainStalled {
+        /// Index of the stalled chain.
         chain: usize,
+        /// Steps taken before the stall was declared.
         steps: u64,
+        /// Observed Metropolis–Hastings acceptance rate.
         acceptance_rate: f64,
     },
 
     /// A run budget (steps, wall-clock, or precision target) ran out
     /// before the requested quality was reached. The partial result is
     /// still available to callers that opted into degradation.
-    BudgetExhausted { detail: String },
+    BudgetExhausted {
+        /// Which budget ran out, and by how much.
+        detail: String,
+    },
 
     /// A checkpoint could not be written, read, or applied.
-    Checkpoint { detail: String },
+    Checkpoint {
+        /// What went wrong with the checkpoint.
+        detail: String,
+    },
 
-    /// An input record could not be parsed. `line` is 1-based.
-    Parse { line: usize, detail: String },
+    /// An input record could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// What was malformed about it.
+        detail: String,
+    },
 
     /// An underlying I/O failure (stringified; `std::io::Error` is not
     /// `Clone`/`PartialEq`, and callers only need the message).
-    Io { detail: String },
+    Io {
+        /// The stringified I/O error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FlowError {

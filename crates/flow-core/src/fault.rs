@@ -74,33 +74,41 @@ mod armed {
 
     /// Arms `point` with `spec`, replacing any previous arming.
     pub fn arm(point: &'static str, spec: FaultSpec) {
-        registry().lock().unwrap().insert(
-            point,
-            Entry {
-                spec,
-                calls: 0,
-                fired: 0,
-            },
-        );
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(
+                point,
+                Entry {
+                    spec,
+                    calls: 0,
+                    fired: 0,
+                },
+            );
     }
 
     /// Disarms every fault point. Call between tests.
     pub fn clear_all() {
-        registry().lock().unwrap().clear();
+        registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// Number of times `point` has actually fired.
     pub fn fired_count(point: &'static str) -> u64 {
         registry()
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(point)
             .map(|e| e.fired)
             .unwrap_or(0)
     }
 
     fn check(point: &'static str) -> Option<f64> {
-        let mut map = registry().lock().unwrap();
+        let mut map = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = map.get_mut(point)?;
         let call = entry.calls;
         entry.calls += 1;

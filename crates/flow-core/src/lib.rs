@@ -12,10 +12,39 @@
 //!   to prove that injected faults surface as typed errors or flagged
 //!   partial results — never panics.
 
+//! * The [`debug_invariant!`] runtime-check macro behind each crate's
+//!   `debug-invariants` cargo feature: free in release builds, a
+//!   panicking tripwire in checked builds.
+
 pub mod error;
 pub mod fault;
 
 pub use error::{FlowError, FlowResult};
+
+/// Asserts a structural invariant in `debug-invariants` builds.
+///
+/// `cfg!(feature = "debug-invariants")` is evaluated **at the expansion
+/// site**, so every crate that uses this macro declares its own
+/// `debug-invariants` feature (forwarding to its dependencies' features
+/// as appropriate); with the feature off the condition is never
+/// evaluated and the branch folds away.
+///
+/// Unlike `debug_assert!`, this is independent of `cfg(debug_assertions)`:
+/// release binaries can run with invariants armed
+/// (`cargo test --release --features debug-invariants`) and debug
+/// binaries can run without them.
+#[macro_export]
+macro_rules! debug_invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        if cfg!(feature = "debug-invariants") && !($cond) {
+            // flow-analyze: allow(L1: panicking is this macro's contract in checked builds)
+            panic!("invariant violated: {}", format_args!($($arg)+));
+        }
+    };
+    ($cond:expr) => {
+        $crate::debug_invariant!($cond, "{}", stringify!($cond));
+    };
+}
 
 /// Validates that `p` is a probability in `[0, 1]`.
 ///

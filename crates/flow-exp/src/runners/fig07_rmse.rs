@@ -105,7 +105,7 @@ pub fn rmse_point(
             .iter()
             .map(|s| rmse(s, truths).expect("non-empty"))
             .collect();
-        sample_rmses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sample_rmses.sort_by(f64::total_cmp);
         let q = |p: f64| sample_rmses[((sample_rmses.len() - 1) as f64 * p).round() as usize];
         acc.ours_band.0 += q(0.025);
         acc.ours_band.1 += q(0.975);

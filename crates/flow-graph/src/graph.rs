@@ -127,6 +127,9 @@ impl DiGraph {
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
         let lo = self.out_offsets[v.index()] as usize;
+        // CSR invariant: offsets has node_count()+1 entries, so index()+1
+        // is in bounds for every valid NodeId of this graph.
+        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction)
         let hi = self.out_offsets[v.index() + 1] as usize;
         &self.out_edges[lo..hi]
     }
@@ -135,6 +138,7 @@ impl DiGraph {
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
         let lo = self.in_offsets[v.index()] as usize;
+        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction)
         let hi = self.in_offsets[v.index() + 1] as usize;
         &self.in_edges[lo..hi]
     }
@@ -177,6 +181,20 @@ impl DiGraph {
         self.find_edge(u, v).is_some()
     }
 
+    /// Like [`Self::find_edge`] but an absent edge is a typed
+    /// [`FlowError::GraphInconsistency`] instead of `None` — for
+    /// callers (fixtures, learners mapping summaries back onto a
+    /// graph) where the edge's absence means corrupt input, not a
+    /// normal miss.
+    ///
+    /// [`FlowError::GraphInconsistency`]: flow_core::FlowError::GraphInconsistency
+    pub fn require_edge(&self, u: NodeId, v: NodeId) -> flow_core::FlowResult<EdgeId> {
+        self.find_edge(u, v)
+            .ok_or_else(|| flow_core::FlowError::GraphInconsistency {
+                detail: format!("required edge {} -> {} is missing", u.0, v.0),
+            })
+    }
+
     /// Renders the graph in Graphviz DOT format, with an optional label
     /// per edge (e.g. activation probabilities).
     pub fn to_dot(&self, edge_label: impl Fn(EdgeId) -> Option<String>) -> String {
@@ -205,11 +223,24 @@ impl DiGraph {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GraphError {
     /// An edge endpoint referenced a node id `>= node_count`.
-    NodeOutOfRange { node: NodeId, node_count: usize },
+    NodeOutOfRange {
+        /// The out-of-range node id.
+        node: NodeId,
+        /// Number of nodes the graph actually has.
+        node_count: usize,
+    },
     /// The same `(src, dst)` pair was added twice.
-    DuplicateEdge { src: NodeId, dst: NodeId },
+    DuplicateEdge {
+        /// Source endpoint of the duplicate edge.
+        src: NodeId,
+        /// Destination endpoint of the duplicate edge.
+        dst: NodeId,
+    },
     /// An edge with `src == dst` was added.
-    SelfLoop { node: NodeId },
+    SelfLoop {
+        /// The node carrying the self-loop.
+        node: NodeId,
+    },
     /// More than `u32::MAX` nodes or edges.
     TooLarge,
 }
@@ -230,6 +261,14 @@ impl std::fmt::Display for GraphError {
 }
 
 impl std::error::Error for GraphError {}
+
+impl From<GraphError> for flow_core::FlowError {
+    fn from(e: GraphError) -> Self {
+        flow_core::FlowError::GraphInconsistency {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Incremental builder for [`DiGraph`].
 ///
@@ -269,6 +308,7 @@ impl GraphBuilder {
         let mut b = GraphBuilder::new(graph.node_count());
         for e in graph.edges() {
             let (u, v) = graph.endpoints(e);
+            // flow-analyze: allow(L1: source DiGraph cannot hold duplicate or out-of-range edges)
             b.add_edge(u, v).expect("source graph is valid");
         }
         b
@@ -340,9 +380,11 @@ impl GraphBuilder {
         let csr = |keys: &dyn Fn(usize) -> usize| -> (Vec<u32>, Vec<EdgeId>) {
             let mut counts = vec![0u32; n + 1];
             for e in 0..m {
+                // flow-analyze: allow(L1: keys(e) < n is the builder's add_edge invariant)
                 counts[keys(e) + 1] += 1;
             }
             for i in 0..n {
+                // flow-analyze: allow(L1: i + 1 <= n and counts has n + 1 slots)
                 counts[i + 1] += counts[i];
             }
             let offsets = counts.clone();
@@ -380,6 +422,7 @@ pub fn graph_from_edges(node_count: usize, edges: &[(u32, u32)]) -> DiGraph {
     let mut b = GraphBuilder::new(node_count);
     for &(u, v) in edges {
         b.add_edge(NodeId(u), NodeId(v))
+            // flow-analyze: allow(L1: documented panicking fixture constructor)
             .unwrap_or_else(|e| panic!("invalid fixture edge ({u},{v}): {e}"));
     }
     b.build()

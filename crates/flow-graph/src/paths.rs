@@ -22,11 +22,11 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap; distances are finite and non-NaN.
+        // Reverse for min-heap; total_cmp gives NaN a fixed order so
+        // the heap stays consistent even on corrupt inputs.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }

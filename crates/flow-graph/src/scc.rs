@@ -99,8 +99,9 @@ pub fn strongly_connected_components(graph: &DiGraph) -> Condensation {
                     // v roots a component.
                     let cid = members.len();
                     let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("stack holds the component");
+                    // Tarjan guarantees v is on the stack; if the
+                    // invariant were ever broken the loop just drains.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         component[w] = cid;
                         comp.push(NodeId(w as u32));

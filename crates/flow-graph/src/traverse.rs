@@ -249,6 +249,7 @@ pub fn ego_subgraph(
             let v = graph.dst(e);
             if local_of[v.index()] != u32::MAX {
                 b.add_edge(NodeId(local_of[u.index()]), NodeId(local_of[v.index()]))
+                    // flow-analyze: allow(L1: parent graph has no duplicate edges, so neither does the ego net)
                     .expect("parent graph has no duplicates, so neither does the ego net");
                 original_edges.push(e);
             }

@@ -164,11 +164,24 @@ impl BetaIcm {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExtendError {
     /// The new graph has fewer nodes than the model's.
-    FewerNodes { had: usize, got: usize },
+    FewerNodes {
+        /// Node count of the existing model.
+        had: usize,
+        /// Node count of the proposed replacement graph.
+        got: usize,
+    },
     /// The new graph has fewer edges than the model's.
-    FewerEdges { had: usize, got: usize },
+    FewerEdges {
+        /// Edge count of the existing model.
+        had: usize,
+        /// Edge count of the proposed replacement graph.
+        got: usize,
+    },
     /// An existing edge id maps to different endpoints in the new graph.
-    EdgeMismatch { edge: EdgeId },
+    EdgeMismatch {
+        /// The edge whose endpoints changed.
+        edge: EdgeId,
+    },
 }
 
 impl std::fmt::Display for ExtendError {
@@ -188,6 +201,14 @@ impl std::fmt::Display for ExtendError {
 }
 
 impl std::error::Error for ExtendError {}
+
+impl From<ExtendError> for flow_core::FlowError {
+    fn from(e: ExtendError) -> Self {
+        flow_core::FlowError::GraphInconsistency {
+            detail: e.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -214,12 +235,12 @@ mod tests {
     }
 
     #[test]
-    fn training_counts_match_paper_rule() {
+    fn training_counts_match_paper_rule() -> flow_core::FlowResult<()> {
         let g = diamond();
-        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
-        let e02 = g.find_edge(NodeId(0), NodeId(2)).unwrap();
-        let e13 = g.find_edge(NodeId(1), NodeId(3)).unwrap();
-        let e23 = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let e01 = g.require_edge(NodeId(0), NodeId(1))?;
+        let e02 = g.require_edge(NodeId(0), NodeId(2))?;
+        let e13 = g.require_edge(NodeId(1), NodeId(3))?;
+        let e23 = g.require_edge(NodeId(2), NodeId(3))?;
         // Object: source 0, flows 0->1->3; node 2 never active.
         let r =
             AttributedRecord::from_lists(&g, vec![NodeId(0)], &[NodeId(1), NodeId(3)], &[e01, e13]);
@@ -234,10 +255,11 @@ mod tests {
         assert_eq!(model.edge_beta(e13), Beta::new(2.0, 1.0));
         // e23's parent was never active: untouched prior (1, 1).
         assert_eq!(model.edge_beta(e23), Beta::uniform());
+        Ok(())
     }
 
     #[test]
-    fn training_recovers_ground_truth_probabilities() {
+    fn training_recovers_ground_truth_probabilities() -> flow_core::FlowResult<()> {
         // Generate many cascades from a known ICM and check the trained
         // means approach the truth.
         let g = diamond();
@@ -261,9 +283,10 @@ mod tests {
         // Edges whose parent activates more often carry tighter (higher
         // pseudo-count) posteriors: edges out of the source have seen
         // every object.
-        let e01 = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e01 = g.require_edge(NodeId(0), NodeId(1))?;
         let b = model.edge_beta(e01);
         assert_eq!(b.alpha() + b.beta(), 2.0 + 4000.0);
+        Ok(())
     }
 
     #[test]
@@ -291,7 +314,7 @@ mod tests {
     }
 
     #[test]
-    fn extended_keeps_posteriors_and_adds_priors() {
+    fn extended_keeps_posteriors_and_adds_priors() -> flow_core::FlowResult<()> {
         let g = diamond();
         let trained = {
             let mut rng = StdRng::seed_from_u64(70);
@@ -307,10 +330,10 @@ mod tests {
         // Grow the graph: one new node, two new edges.
         let mut b = flow_graph::GraphBuilder::from_graph(&g);
         let v4 = b.add_node();
-        b.add_edge(NodeId(3), v4).unwrap();
-        b.add_edge(v4, NodeId(0)).unwrap();
+        b.add_edge(NodeId(3), v4)?;
+        b.add_edge(v4, NodeId(0))?;
         let bigger = b.build();
-        let grown = trained.extended(bigger, Beta::uniform()).unwrap();
+        let grown = trained.extended(bigger, Beta::uniform())?;
         assert_eq!(grown.edge_count(), 6);
         assert_eq!(grown.edge_beta(EdgeId(0)), old_beta, "posterior kept");
         assert_eq!(
@@ -337,6 +360,7 @@ mod tests {
             grown.extended(remapped, Beta::uniform()),
             Err(ExtendError::EdgeMismatch { edge }) if edge == EdgeId(0)
         ));
+        Ok(())
     }
 
     #[test]

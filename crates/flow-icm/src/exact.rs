@@ -130,7 +130,7 @@ fn flow_ex(
         }
         let upstream = flow_ex(icm, source, parent, child_exclude, memo);
         product *= 1.0 - upstream * icm.probability(e);
-        if product == 0.0 {
+        if product <= 0.0 {
             break;
         }
     }
@@ -149,31 +149,33 @@ mod tests {
 
     /// The paper's worked example (§II): acyclic triangle with
     /// Pr[v1 ~> v3] = 1 − (1 − p12·p23)(1 − p13)   (Eq. 1).
-    fn triangle(p12: f64, p13: f64, p23: f64) -> Icm {
+    fn triangle(p12: f64, p13: f64, p23: f64) -> flow_core::FlowResult<Icm> {
         let g = graph_from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
         let mut icm = Icm::with_uniform_probability(g, 0.0);
         let g = icm.graph().clone();
-        icm.set_probability(g.find_edge(NodeId(0), NodeId(1)).unwrap(), p12);
-        icm.set_probability(g.find_edge(NodeId(0), NodeId(2)).unwrap(), p13);
-        icm.set_probability(g.find_edge(NodeId(1), NodeId(2)).unwrap(), p23);
-        icm
+        icm.set_probability(g.require_edge(NodeId(0), NodeId(1))?, p12);
+        icm.set_probability(g.require_edge(NodeId(0), NodeId(2))?, p13);
+        icm.set_probability(g.require_edge(NodeId(1), NodeId(2))?, p23);
+        Ok(icm)
     }
 
     #[test]
-    fn enumeration_matches_eq1_on_triangle() {
+    fn enumeration_matches_eq1_on_triangle() -> flow_core::FlowResult<()> {
         let (p12, p13, p23) = (0.6, 0.3, 0.8);
-        let icm = triangle(p12, p13, p23);
+        let icm = triangle(p12, p13, p23)?;
         let want = 1.0 - (1.0 - p12 * p23) * (1.0 - p13);
         let got = enumerate_flow_probability(&icm, NodeId(0), NodeId(2));
         assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        Ok(())
     }
 
     #[test]
-    fn recursion_matches_enumeration_on_triangle() {
-        let icm = triangle(0.6, 0.3, 0.8);
+    fn recursion_matches_enumeration_on_triangle() -> flow_core::FlowResult<()> {
+        let icm = triangle(0.6, 0.3, 0.8)?;
         let want = enumerate_flow_probability(&icm, NodeId(0), NodeId(2));
         let got = recursive_flow_probability(&icm, NodeId(0), NodeId(2));
         assert!((got - want).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
@@ -259,8 +261,8 @@ mod tests {
     }
 
     #[test]
-    fn conditional_enumeration_bayes_consistency() {
-        let icm = triangle(0.6, 0.3, 0.8);
+    fn conditional_enumeration_bayes_consistency() -> flow_core::FlowResult<()> {
+        let icm = triangle(0.6, 0.3, 0.8)?;
         let graph = icm.graph().clone();
         // P(0~>2 | 0~>1) should exceed the marginal P(0~>2): knowing the
         // first hop fired can only help.
@@ -270,7 +272,9 @@ mod tests {
             |x| x.carries_flow(&graph, NodeId(0), NodeId(2)),
             |x| x.carries_flow(&graph, NodeId(0), NodeId(1)),
         )
-        .unwrap();
+        .ok_or(flow_core::FlowError::GraphInconsistency {
+            detail: "conditioning event 0 ~> 1 has zero probability".into(),
+        })?;
         assert!(cond > marginal, "cond {cond} vs marginal {marginal}");
         // Conditioning on an impossible event yields None.
         let g2 = graph_from_edges(2, &[(0, 1)]);
@@ -284,13 +288,14 @@ mod tests {
             ),
             None
         );
+        Ok(())
     }
 
     #[test]
-    fn law_of_total_probability_over_first_edge() {
-        let icm = triangle(0.6, 0.3, 0.8);
+    fn law_of_total_probability_over_first_edge() -> flow_core::FlowResult<()> {
+        let icm = triangle(0.6, 0.3, 0.8)?;
         let graph = icm.graph().clone();
-        let e01 = graph.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e01 = graph.require_edge(NodeId(0), NodeId(1))?;
         let p_a = enumerate_event_probability(&icm, |x| {
             x.is_active(e01) && x.carries_flow(&graph, NodeId(0), NodeId(2))
         });
@@ -299,6 +304,7 @@ mod tests {
         });
         let total = enumerate_flow_probability(&icm, NodeId(0), NodeId(2));
         assert!((p_a + p_b - total).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
@@ -306,7 +312,7 @@ mod tests {
     fn enumeration_guards_large_models() {
         let mut b = GraphBuilder::new(30);
         for i in 0..25u32 {
-            b.add_edge(NodeId(i), NodeId(i + 1)).unwrap();
+            assert!(b.add_edge(NodeId(i), NodeId(i + 1)).is_ok());
         }
         let icm = Icm::with_uniform_probability(b.build(), 0.5);
         let _ = enumerate_flow_probability(&icm, NodeId(0), NodeId(25));

@@ -23,6 +23,7 @@ impl Icm {
     pub fn new(graph: DiGraph, probs: Vec<f64>) -> Self {
         match Self::try_new(graph, probs) {
             Ok(icm) => icm,
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
             Err(e) => panic!("{e}"),
         }
     }

@@ -96,7 +96,7 @@ impl PseudoState {
         for e in icm.graph().edges() {
             let p = icm.probability(e);
             let q = if self.is_active(e) { p } else { 1.0 - p };
-            if q == 0.0 {
+            if q <= 0.0 {
                 return f64::NEG_INFINITY;
             }
             acc += q.ln();

@@ -126,6 +126,7 @@ pub fn train_graph<R: Rng + ?Sized>(
         let edge_ids: Vec<EdgeId> = summary
             .parents
             .iter()
+            // flow-analyze: allow(L1: summaries are built from this graph, so every parent has its edge)
             .map(|&p| graph.find_edge(p, k).expect("parent implies edge"))
             .collect();
         let (mu, sigma): (Vec<f64>, Vec<f64>) = match learner {

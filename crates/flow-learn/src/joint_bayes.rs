@@ -83,10 +83,11 @@ impl EdgePosterior {
         (0..k)
             .map(|j| {
                 let mut col: Vec<f64> = self.samples.iter().map(|s| s[j]).collect();
-                col.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                let lo = col[((col.len() - 1) as f64 * tail).round() as usize];
-                let hi = col[((col.len() - 1) as f64 * (1.0 - tail)).round() as usize];
-                (lo, hi)
+                col.sort_by(|a, b| a.total_cmp(b));
+                (
+                    flow_stats::empirical_quantile(&col, tail),
+                    flow_stats::empirical_quantile(&col, 1.0 - tail),
+                )
             })
             .collect()
     }
@@ -106,7 +107,7 @@ impl EdgePosterior {
             va += (s[a] - ma) * (s[a] - ma);
             vb += (s[b] - mb) * (s[b] - mb);
         }
-        if va == 0.0 || vb == 0.0 {
+        if va <= 0.0 || vb <= 0.0 {
             return 0.0;
         }
         cov / (va.sqrt() * vb.sqrt())

@@ -250,6 +250,7 @@ impl SinkSummary {
             let p = self.characteristic_probability(row, probs);
             acc += ln_choose(row.count, row.leaks);
             acc += ln_term(row.leaks, p) + ln_term(row.count - row.leaks, 1.0 - p);
+            // flow-analyze: allow(L3: -inf is an exact absorbing sentinel from ln_term)
             if acc == f64::NEG_INFINITY {
                 return acc;
             }
@@ -268,6 +269,7 @@ impl SinkSummary {
             let p = self.characteristic_probability(row, probs);
             acc += ln_choose(row.count, row.leaks);
             acc += ln_term(row.leaks, p) + ln_term(row.count - row.leaks, 1.0 - p);
+            // flow-analyze: allow(L3: -inf is an exact absorbing sentinel from ln_term)
             if acc == f64::NEG_INFINITY {
                 return acc;
             }
@@ -302,11 +304,11 @@ pub fn filtered_betas(summary: &SinkSummary) -> Vec<Beta> {
     let mut alpha = vec![1.0f64; summary.parents.len()];
     let mut beta = vec![1.0f64; summary.parents.len()];
     for row in summary.rows.iter().filter(|r| r.is_unambiguous()) {
-        let b = row
-            .characteristic
-            .iter_ones()
-            .next()
-            .expect("unambiguous row has one bit");
+        // An unambiguous row has exactly one characteristic bit; a row
+        // without one contributes nothing rather than panicking.
+        let Some(b) = row.characteristic.iter_ones().next() else {
+            continue;
+        };
         alpha[b] += row.leaks as f64;
         beta[b] += (row.count - row.leaks) as f64;
     }

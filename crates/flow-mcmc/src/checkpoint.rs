@@ -58,6 +58,12 @@ impl ChainCheckpoint {
     /// continuing the live chain (see module docs).
     pub fn capture(sampler: &mut PseudoStateSampler<'_>, rng: &StdRng) -> Self {
         sampler.rebuild_tree();
+        flow_core::debug_invariant!(
+            sampler.accepted() <= sampler.steps(),
+            "chain counters incoherent at capture: {} accepted of {} steps",
+            sampler.accepted(),
+            sampler.steps()
+        );
         ChainCheckpoint {
             edge_count: sampler.state().edge_count(),
             active_edges: sampler
@@ -127,6 +133,18 @@ impl ChainCheckpoint {
         for &i in &self.active_edges {
             bits.set(i as usize, true);
         }
+        flow_core::debug_invariant!(
+            self.accepted <= self.steps,
+            "checkpoint counters incoherent: {} accepted of {} steps",
+            self.accepted,
+            self.steps
+        );
+        flow_core::debug_invariant!(
+            bits.len() == icm.edge_count(),
+            "restored state covers {} edges but the model has {}",
+            bits.len(),
+            icm.edge_count()
+        );
         let sampler = PseudoStateSampler::from_checkpoint_parts(
             icm,
             self.proposal,

@@ -27,15 +27,17 @@ pub fn effective_sample_size(series: &[f64]) -> f64 {
     }
     let mean = series.iter().sum::<f64>() / n as f64;
     let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-    if var == 0.0 {
+    if var <= 0.0 {
         return 0.0;
     }
     let max_lag = n / 2;
     let autocov = |lag: usize| -> f64 {
-        let mut acc = 0.0;
-        for i in 0..n - lag {
-            acc += (series[i] - mean) * (series[i + lag] - mean);
-        }
+        // Iterator pairing sidesteps the `series[i + lag]` bound proof.
+        let acc: f64 = series
+            .iter()
+            .zip(&series[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum();
         acc / n as f64
     };
     let mut sum_rho = 0.0;
@@ -96,8 +98,8 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Option<f64> {
         .map(|(c, mu)| c.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
-    if w == 0.0 {
-        return Some(if b == 0.0 { 1.0 } else { f64::INFINITY });
+    if w <= 0.0 {
+        return Some(if b <= 0.0 { 1.0 } else { f64::INFINITY });
     }
     let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
     Some((var_plus / w).sqrt())

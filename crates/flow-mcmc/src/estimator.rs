@@ -426,7 +426,7 @@ mod tests {
     }
 
     #[test]
-    fn conditional_flow_matches_enumeration() {
+    fn conditional_flow_matches_enumeration() -> flow_core::FlowResult<()> {
         let icm = diamond_icm();
         let graph = icm.graph().clone();
         let conditions = vec![FlowCondition::requires(NodeId(0), NodeId(1))];
@@ -435,12 +435,18 @@ mod tests {
             |x| x.carries_flow(&graph, NodeId(0), NodeId(3)),
             |x| x.carries_flow(&graph, NodeId(0), NodeId(1)),
         )
-        .unwrap();
+        .ok_or(flow_core::FlowError::GraphInconsistency {
+            detail: "conditioning event 0 ~> 1 has zero probability".into(),
+        })?;
         let mut rng = StdRng::seed_from_u64(4);
-        let est = FlowEstimator::new(&icm, test_config())
-            .estimate_conditional_flow(NodeId(0), NodeId(3), &conditions, &mut rng)
-            .unwrap();
+        let est = FlowEstimator::new(&icm, test_config()).estimate_conditional_flow(
+            NodeId(0),
+            NodeId(3),
+            &conditions,
+            &mut rng,
+        )?;
         assert!((est - exact).abs() < 0.012, "est {est}, exact {exact}");
+        Ok(())
     }
 
     #[test]
@@ -519,7 +525,7 @@ mod tests {
     }
 
     #[test]
-    fn kill_and_resume_is_bit_identical() {
+    fn kill_and_resume_is_bit_identical() -> flow_core::FlowResult<()> {
         // The acceptance-criterion test: an uninterrupted checkpointed
         // run vs a run killed at a checkpoint and resumed must produce
         // identical retained-sample series.
@@ -530,16 +536,14 @@ mod tests {
         };
         let est = FlowEstimator::new(&icm, config);
         let mut checkpoints = Vec::new();
-        let full = est
-            .estimate_flow_checkpointed(NodeId(0), NodeId(3), 77, 100, |c| {
-                checkpoints.push(c.clone())
-            })
-            .unwrap();
+        let full = est.estimate_flow_checkpointed(NodeId(0), NodeId(3), 77, 100, |c| {
+            checkpoints.push(c.clone())
+        })?;
         assert_eq!(full.series.len(), 400);
         assert_eq!(checkpoints.len(), 3, "400 samples / every 100, last elided");
         // "Kill" at each checkpoint in turn and resume.
         for ckpt in &checkpoints {
-            let resumed = est.resume_from(ckpt).unwrap();
+            let resumed = est.resume_from(ckpt)?;
             assert_eq!(
                 resumed.series, full.series,
                 "diverged after sample {}",
@@ -548,15 +552,16 @@ mod tests {
             assert_eq!(resumed.value(), full.value());
         }
         // The text round-trip preserves resumability too.
-        let reloaded = FlowCheckpoint::from_text(&checkpoints[1].to_text()).unwrap();
-        assert_eq!(est.resume_from(&reloaded).unwrap().series, full.series);
+        let reloaded = FlowCheckpoint::from_text(&checkpoints[1].to_text())?;
+        assert_eq!(est.resume_from(&reloaded)?.series, full.series);
         // And the estimate is statistically sane.
         let exact = flow_icm::exact::enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
         assert!((full.value() - exact).abs() < 0.1);
+        Ok(())
     }
 
     #[test]
-    fn resume_rejects_mismatched_configuration() {
+    fn resume_rejects_mismatched_configuration() -> flow_core::FlowResult<()> {
         let icm = diamond_icm();
         let big = FlowEstimator::new(
             &icm,
@@ -568,8 +573,7 @@ mod tests {
         let mut checkpoints = Vec::new();
         big.estimate_flow_checkpointed(NodeId(0), NodeId(3), 5, 100, |c| {
             checkpoints.push(c.clone())
-        })
-        .unwrap();
+        })?;
         let small = FlowEstimator::new(
             &icm,
             McmcConfig {
@@ -581,6 +585,7 @@ mod tests {
             small.resume_from(&checkpoints[0]),
             Err(flow_core::FlowError::Checkpoint { .. })
         ));
+        Ok(())
     }
 
     #[test]

@@ -88,14 +88,14 @@ pub fn greedy_seeds<R: Rng + ?Sized>(
     let mut trace = Vec::with_capacity(k);
     let mut current_spread = 0.0;
     for round in 1..=k {
-        // Find the best candidate, refreshing stale gains lazily.
-        loop {
-            // Max by stale gain.
-            let (best_idx, _) = gains
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("gains are finite"))
-                .expect("candidates remain");
+        // Find the best candidate, refreshing stale gains lazily. k is
+        // clamped to the candidate count, so the pool cannot actually
+        // drain; bailing out of the while-let avoids panicking anyway.
+        while let Some((best_idx, _)) = gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+        {
             let (gain, node, computed_round) = gains[best_idx];
             if computed_round == round {
                 // Fresh evaluation already this round: take it.

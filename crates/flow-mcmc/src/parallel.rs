@@ -100,6 +100,7 @@ pub fn multi_chain_flow(
                 .collect();
             handles
                 .into_iter()
+                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic)
                 .map(|h| h.join().expect("chain thread panicked"))
                 .collect()
         })
@@ -162,6 +163,8 @@ fn run_chain_guarded(
     let mut rng = StdRng::seed_from_u64(chain_seed(seed, chain_idx, attempt));
     let m = icm.edge_count();
     let mut sampler = PseudoStateSampler::new(icm, config.proposal, &mut rng);
+    // Wall clock bounds the run budget only; it never feeds the chain.
+    #[allow(clippy::disallowed_methods)]
     let start = Instant::now();
     let mut steps_used: u64 = 0;
     let mut degradation = Vec::new();
@@ -296,6 +299,7 @@ pub fn multi_chain_flow_guarded(
                 .collect();
             handles
                 .into_iter()
+                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic)
                 .map(|h| h.join().expect("chain thread panicked"))
                 .collect()
         })
@@ -382,7 +386,15 @@ pub fn multi_chain_flow_guarded(
         .filter(|(_, r)| r.as_ref().is_some_and(|run| !run.series.is_empty()))
         .map(|(i, _)| i)
         .collect();
-    let series_of = |i: usize| -> &[f64] { &runs[i].as_ref().unwrap().series };
+    let series_of = |i: usize| -> &[f64] {
+        // `included` only ever holds indices whose run is Some with a
+        // non-empty series (the filter above); treat a broken invariant
+        // as an empty series rather than a panic.
+        runs.get(i)
+            .and_then(|r| r.as_ref())
+            .map(|run| run.series.as_slice())
+            .unwrap_or(&[])
+    };
     let pooled_rhat = |included: &[usize]| -> Option<f64> {
         let chains: Vec<Vec<f64>> = included.iter().map(|&i| series_of(i).to_vec()).collect();
         gelman_rubin(&chains)
@@ -404,16 +416,13 @@ pub fn multi_chain_flow_guarded(
                 })
                 .collect();
             let grand = means.iter().sum::<f64>() / means.len() as f64;
-            let (worst_pos, _) = means
+            let Some((worst_pos, _)) = means
                 .iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    (a.1 - grand)
-                        .abs()
-                        .partial_cmp(&(b.1 - grand).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("non-empty");
+                .max_by(|a, b| (a.1 - grand).abs().total_cmp(&(b.1 - grand).abs()))
+            else {
+                break;
+            };
             let chain = included.remove(worst_pos);
             degradation.push(DegradationReason::ChainExcluded {
                 chain,

@@ -90,9 +90,19 @@ impl ProposalKind {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConditionInitError {
     /// The same flow is both required and forbidden.
-    Contradictory { source: NodeId, sink: NodeId },
+    Contradictory {
+        /// Source of the contradictory flow condition.
+        source: NodeId,
+        /// Sink of the contradictory flow condition.
+        sink: NodeId,
+    },
     /// A required flow has no path at all in the graph.
-    NoPath { source: NodeId, sink: NodeId },
+    NoPath {
+        /// Source of the unsatisfiable required flow.
+        source: NodeId,
+        /// Sink of the unsatisfiable required flow.
+        sink: NodeId,
+    },
     /// No satisfying state was found within the attempt budget (the
     /// required paths kept inducing forbidden flows).
     SearchExhausted,
@@ -118,6 +128,14 @@ impl std::fmt::Display for ConditionInitError {
 }
 
 impl std::error::Error for ConditionInitError {}
+
+impl From<ConditionInitError> for flow_core::FlowError {
+    fn from(e: ConditionInitError) -> Self {
+        flow_core::FlowError::GraphInconsistency {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// A Metropolis–Hastings chain over the pseudo-states of one ICM.
 #[derive(Clone, Debug)]
@@ -302,6 +320,7 @@ impl<'a> PseudoStateSampler<'a> {
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         match self.try_step(rng) {
             Ok(accepted) => accepted,
+            // flow-analyze: allow(L1: documented panicking wrapper over try_step)
             Err(e) => panic!("{e}"),
         }
     }
@@ -352,6 +371,14 @@ impl<'a> PseudoStateSampler<'a> {
             }
         };
         let accept_prob = fault::poison("sampler.acceptance", accept_prob);
+        // +inf is legitimate (flip away from a zero-weight
+        // configuration); NaN and negatives never are — the typed error
+        // below is the production path, this trips loudly in checked
+        // builds so the corruption is caught where it happens.
+        flow_core::debug_invariant!(
+            !accept_prob.is_nan() && accept_prob >= 0.0,
+            "MH acceptance ratio {accept_prob} left [0, +inf] (Z = {z}, Z' = {z_new})"
+        );
         // NaN would silently reject below (`NaN < 1.0` is false but so is
         // `rng > NaN`, accepting every proposal); +inf is a legitimate
         // "certain accept" (flip away from a zero-weight configuration).
@@ -389,6 +416,14 @@ impl<'a> PseudoStateSampler<'a> {
             self.tree.rebuild();
             self.updates_since_rebuild = 0;
         }
+        // try_update and rebuild each re-audit the whole tree in
+        // debug-invariants builds; here we additionally tie the tree's
+        // total back to the Z' the acceptance ratio was computed from.
+        flow_core::debug_invariant!(
+            (self.tree.total() - z_new).abs() <= 1e-9 * z_new.abs().max(1.0),
+            "weight-tree total {} drifted from predicted Z' {z_new} after update",
+            self.tree.total()
+        );
         Ok(true)
     }
 

@@ -128,8 +128,8 @@ impl ArrivalTimes {
         if arrived.is_empty() {
             return None;
         }
-        arrived.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Some(arrived[((arrived.len() - 1) as f64 * q).round() as usize])
+        arrived.sort_by(|a, b| a.total_cmp(b));
+        Some(flow_stats::empirical_quantile(&arrived, q))
     }
 }
 
@@ -151,6 +151,7 @@ impl<'a> TimedFlowEstimator<'a> {
             "need one delay model per edge"
         );
         for (i, d) in delays.iter().enumerate() {
+            // flow-analyze: allow(L1: documented panicking constructor; validate() is the fallible path)
             d.validate().unwrap_or_else(|e| panic!("edge {i}: {e}"));
         }
         TimedFlowEstimator {

@@ -46,7 +46,7 @@ pub fn bootstrap_interval<T: Clone, R: Rng + ?Sized>(
     level: f64,
     rng: &mut R,
 ) -> Option<BootstrapInterval> {
-    assert!((0.0..1.0).contains(&level) || level == 1.0);
+    assert!((0.0..=1.0).contains(&level));
     assert!(replicates >= 10, "need a meaningful number of replicates");
     let point = statistic(data)?;
     let n = data.len();
@@ -64,13 +64,12 @@ pub fn bootstrap_interval<T: Clone, R: Rng + ?Sized>(
     if stats.is_empty() {
         return None;
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    stats.sort_by(|a, b| a.total_cmp(b));
     let tail = (1.0 - level) / 2.0;
-    let q = |p: f64| stats[((stats.len() - 1) as f64 * p).round() as usize];
     Some(BootstrapInterval {
         point,
-        lo: q(tail),
-        hi: q(1.0 - tail),
+        lo: crate::summary::empirical_quantile(&stats, tail),
+        hi: crate::summary::empirical_quantile(&stats, 1.0 - tail),
         replicates,
     })
 }

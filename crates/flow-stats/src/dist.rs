@@ -41,6 +41,7 @@ impl Beta {
     pub fn new(alpha: f64, beta: f64) -> Self {
         match Self::try_new(alpha, beta) {
             Ok(b) => b,
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
             Err(e) => panic!("invalid Beta parameters: {e}"),
         }
     }
@@ -127,15 +128,15 @@ impl Beta {
             return f64::NEG_INFINITY;
         }
         // Handle boundary x = 0 / 1 where the density may be 0, finite, or +inf.
-        if x == 0.0 {
-            return match self.alpha.partial_cmp(&1.0).unwrap() {
+        if x <= 0.0 {
+            return match self.alpha.total_cmp(&1.0) {
                 std::cmp::Ordering::Less => f64::INFINITY,
                 std::cmp::Ordering::Equal => -ln_beta(self.alpha, self.beta),
                 std::cmp::Ordering::Greater => f64::NEG_INFINITY,
             };
         }
-        if x == 1.0 {
-            return match self.beta.partial_cmp(&1.0).unwrap() {
+        if x >= 1.0 {
+            return match self.beta.total_cmp(&1.0) {
                 std::cmp::Ordering::Less => f64::INFINITY,
                 std::cmp::Ordering::Equal => -ln_beta(self.alpha, self.beta),
                 std::cmp::Ordering::Greater => f64::NEG_INFINITY,
@@ -164,7 +165,7 @@ impl Beta {
     /// Central credible interval at the given `level` (e.g. `0.95` gives
     /// the 2.5%–97.5% quantile pair used by the bucket experiment).
     pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
-        assert!((0.0..1.0).contains(&level) || level == 1.0);
+        assert!((0.0..=1.0).contains(&level));
         let tail = (1.0 - level) / 2.0;
         (self.quantile(tail), self.quantile(1.0 - tail))
     }
@@ -173,7 +174,7 @@ impl Beta {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let x = Gamma::new(self.alpha, 1.0).sample(rng);
         let y = Gamma::new(self.beta, 1.0).sample(rng);
-        if x + y == 0.0 {
+        if x + y <= 0.0 {
             // Numerically possible only for tiny shape parameters.
             return 0.5;
         }
@@ -275,7 +276,8 @@ impl Normal {
 
     /// Density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
-        if self.std_dev == 0.0 {
+        if self.std_dev <= 0.0 {
+            // flow-analyze: allow(L3: point mass at the exact mean is the degenerate-pdf definition)
             return if x == self.mean { f64::INFINITY } else { 0.0 };
         }
         let z = (x - self.mean) / self.std_dev;
@@ -284,7 +286,7 @@ impl Normal {
 
     /// Cumulative distribution function at `x`.
     pub fn cdf(&self, x: f64) -> f64 {
-        if self.std_dev == 0.0 {
+        if self.std_dev <= 0.0 {
             return if x >= self.mean { 1.0 } else { 0.0 };
         }
         let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
@@ -352,10 +354,10 @@ impl Binomial {
         if k > self.n {
             return f64::NEG_INFINITY;
         }
-        if self.p == 0.0 {
+        if self.p <= 0.0 {
             return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
         }
-        if self.p == 1.0 {
+        if self.p >= 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
         ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()

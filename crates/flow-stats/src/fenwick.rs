@@ -47,6 +47,7 @@ impl WeightTree {
     pub fn new(weights: &[f64]) -> Self {
         match Self::try_new(weights) {
             Ok(t) => t,
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
             Err(e) => panic!("{e}"),
         }
     }
@@ -100,6 +101,7 @@ impl WeightTree {
     /// boundaries where corrupt weights are survivable.
     pub fn update(&mut self, i: usize, w: f64) {
         if let Err(e) = self.try_update(i, w) {
+            // flow-analyze: allow(L1: documented panicking wrapper over try_update)
             panic!("{e}");
         }
     }
@@ -127,7 +129,64 @@ impl WeightTree {
             self.tree[idx] += delta;
             idx += idx & idx.wrapping_neg();
         }
+        self.debug_check();
         Ok(())
+    }
+
+    /// Audits the whole tree against a fresh recomputation from the
+    /// exact leaf weights: every leaf must be finite and non-negative,
+    /// and every Fenwick node must equal the sum of the leaf range it
+    /// covers (up to incremental-update rounding). `O(m log m)`.
+    ///
+    /// Returns [`FlowError::NonFiniteWeight`] for a bad leaf and
+    /// [`FlowError::GraphInconsistency`] for a node/leaf mismatch.
+    pub fn check_consistency(&self) -> FlowResult<()> {
+        for (i, &w) in self.weights.iter().enumerate() {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(FlowError::NonFiniteWeight { index: i, value: w });
+            }
+        }
+        for idx in 1..self.tree.len() {
+            let lo = idx - (idx & idx.wrapping_neg());
+            let expected: f64 = self.weights[lo..idx.min(self.weights.len())].iter().sum();
+            let got = self.tree[idx];
+            let tol = 1e-9 * expected.abs().max(1.0);
+            // A corrupted node may hold NaN/inf even when every leaf is
+            // finite, so the non-finite case is checked explicitly.
+            if !got.is_finite() || (got - expected).abs() > tol {
+                return Err(FlowError::GraphInconsistency {
+                    detail: format!(
+                        "weight-tree node {idx} holds {got} but its leaf range \
+                         [{lo}, {idx}) sums to {expected}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs [`Self::check_consistency`] and panics on violation — but
+    /// only in `debug-invariants` builds; otherwise this is a no-op the
+    /// optimizer removes. Called after every point update and rebuild.
+    #[inline]
+    pub fn debug_check(&self) {
+        if cfg!(feature = "debug-invariants") {
+            if let Err(e) = self.check_consistency() {
+                // flow-analyze: allow(L1: tripwire panic is the debug-invariants contract)
+                panic!("weight-tree invariant violated: {e}");
+            }
+        }
+    }
+
+    /// Test support: corrupts one internal Fenwick node in place so
+    /// invariant-checking tests can prove [`Self::check_consistency`]
+    /// actually detects damage. Hidden from docs; never called by
+    /// library code.
+    #[doc(hidden)]
+    pub fn corrupt_tree_node_for_tests(&mut self, idx: usize, delta: f64) {
+        if let Some(node) = self.tree.get_mut(idx) {
+            *node += delta;
+        }
     }
 
     /// Sum of weights `0..i`.
@@ -170,6 +229,7 @@ impl WeightTree {
         // `pos` is the count of leaves whose cumulative weight is <= target.
         // Guard against FP edge cases at the top end and zero-weight leaves.
         let mut i = pos.min(self.weights.len().saturating_sub(1));
+        // flow-analyze: allow(L3: zero weights are assigned exactly; skipping them is exact by design)
         while i + 1 < self.weights.len() && self.weights[i] == 0.0 {
             i += 1;
         }
@@ -192,6 +252,7 @@ impl WeightTree {
                 idx += idx & idx.wrapping_neg();
             }
         }
+        self.debug_check();
     }
 }
 

@@ -34,4 +34,4 @@ pub use bootstrap::{bootstrap_interval, BootstrapInterval};
 pub use dist::{Beta, Binomial, Exponential, Gamma, Normal};
 pub use fenwick::WeightTree;
 pub use metrics::{brier_score, normalized_likelihood, rmse, PredictionOutcome};
-pub use summary::{Histogram, OnlineStats};
+pub use summary::{empirical_quantile, Histogram, OnlineStats};

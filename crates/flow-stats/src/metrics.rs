@@ -81,6 +81,7 @@ pub fn middle_values(pairs: &[PredictionOutcome]) -> Vec<PredictionOutcome> {
     pairs
         .iter()
         .copied()
+        // flow-analyze: allow(L3: saturated predictions are exact 0/1 by assignment and must be excluded exactly)
         .filter(|p| p.prediction != 0.0 && p.prediction != 1.0)
         .collect()
 }

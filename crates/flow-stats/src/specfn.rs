@@ -57,10 +57,10 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 pub fn betainc_reg(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
     assert!((0.0..=1.0).contains(&x), "x must lie in [0,1], got {x}");
-    if x == 0.0 {
+    if x <= 0.0 {
         return 0.0;
     }
-    if x == 1.0 {
+    if x >= 1.0 {
         return 1.0;
     }
     // Prefactor x^a (1-x)^b / (a B(a,b)), computed in logs.
@@ -128,10 +128,10 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 /// `I_x(a, b) = p`. Bisection-safeguarded Newton iteration.
 pub fn betainc_inv(a: f64, b: f64, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must lie in [0,1], got {p}");
-    if p == 0.0 {
+    if p <= 0.0 {
         return 0.0;
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return 1.0;
     }
     let ln_b = ln_beta(a, b);
@@ -168,6 +168,7 @@ pub fn betainc_inv(a: f64, b: f64, p: f64) -> f64 {
 /// Error function `erf(x)`, via the regularized incomplete gamma
 /// relationship, accurate to ~1e-13.
 pub fn erf(x: f64) -> f64 {
+    // flow-analyze: allow(L3: erf(±0) = ±0 is an exact identity shortcut)
     if x == 0.0 {
         return 0.0;
     }
@@ -181,7 +182,7 @@ pub fn erf(x: f64) -> f64 {
 /// Series expansion for `x < a + 1`, continued fraction otherwise.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0);
-    if x == 0.0 {
+    if x <= 0.0 {
         return 0.0;
     }
     if x < a + 1.0 {

@@ -100,6 +100,21 @@ impl OnlineStats {
     }
 }
 
+/// Nearest-rank empirical quantile of an ascending-sorted sample.
+///
+/// Panic-free by construction: returns `NaN` for an empty sample, and
+/// clamps both the level and the resulting rank into range. Shared by
+/// the bootstrap, credible-interval, and arrival-time code so the
+/// rounding convention stays identical everywhere.
+pub fn empirical_quantile(sorted: &[f64], level: f64) -> f64 {
+    let Some(&last_value) = sorted.last() else {
+        return f64::NAN;
+    };
+    let last = sorted.len() - 1;
+    let idx = (last as f64 * level.clamp(0.0, 1.0)).round() as usize;
+    sorted.get(idx.min(last)).copied().unwrap_or(last_value)
+}
+
 /// Fixed-width histogram over `[lo, hi)` with `bins` equal-width bins.
 ///
 /// Out-of-range observations are counted in saturating edge bins so no

@@ -36,7 +36,10 @@ pub enum TsvError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A malformed line (fewer than 3 fields or a bad timestamp).
-    Malformed { line: usize },
+    Malformed {
+        /// 1-based line number of the malformed record.
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for TsvError {
