@@ -4,7 +4,7 @@
 //!
 //! * **`check`** — a token-level static-analysis pass (no `syn`; the
 //!   vendor directory is the only dependency source) enforcing the
-//!   lint contract L1–L4 over the core crates, with a justified
+//!   lint contract L1–L5 over the core crates, with a justified
 //!   allowlist (`crates/flow-analyze/allowlist.txt`, budget-capped)
 //!   and `// flow-analyze: allow(Lx: why)` escape comments.
 //! * **`replay`** — a runtime determinism audit: the parallel
@@ -64,7 +64,7 @@ pub fn check_workspace(root: &Path) -> Result<CheckReport, String> {
     for path in &files {
         let file = SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?;
         let scope = LintScope::for_path(&file.rel);
-        if !(scope.l1 || scope.l2 || scope.l3 || scope.l4) {
+        if !(scope.l1 || scope.l2 || scope.l3 || scope.l4 || scope.l5) {
             continue;
         }
         scanned += 1;

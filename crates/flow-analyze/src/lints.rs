@@ -1,4 +1,4 @@
-//! The lint vocabulary: four token-level passes over cleaned source.
+//! The lint vocabulary: five token-level passes over cleaned source.
 //!
 //! * **L1** — no panic-prone constructs (`unwrap`/`expect`/`panic!`/
 //!   arithmetic slice indexing) in non-test code of the core crates;
@@ -11,6 +11,11 @@
 //! * **L4** — probability-domain hygiene: arithmetic assigned to a
 //!   probability-named variable needs a clamp, a guard, or a
 //!   `debug_assert!` within reach.
+//! * **L5** — no bare `println!`/`eprintln!` in non-test core-crate
+//!   code: diagnostics route through the `flow-obs` recorder (events,
+//!   counters, the stderr summary sink), so console output stays a
+//!   sink/CLI concern. The flow-obs sink module and the `flow-exp` CLI
+//!   are the sanctioned printers and sit outside the lint's scope.
 //!
 //! Each lint honours the `// flow-analyze: allow(Lx: reason)` escape
 //! comment and the allowlist file (see [`crate::allowlist`]).
@@ -20,7 +25,7 @@ use crate::source::SourceFile;
 /// One lint hit, pre-allowlist.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint id: "L1".."L4".
+    /// Lint id: "L1".."L5".
     pub lint: &'static str,
     /// Workspace-relative path.
     pub rel: String,
@@ -53,6 +58,8 @@ pub struct LintScope {
     pub l3: bool,
     /// L4: probability-domain hygiene.
     pub l4: bool,
+    /// L5: no bare console printing outside sinks and the CLI.
+    pub l5: bool,
 }
 
 impl LintScope {
@@ -63,6 +70,7 @@ impl LintScope {
             l2: true,
             l3: true,
             l4: true,
+            l5: true,
         }
     }
 
@@ -73,33 +81,44 @@ impl LintScope {
             l2: false,
             l3: false,
             l4: false,
+            l5: false,
         }
     }
 
     /// The workspace policy. L1/L3/L4 cover the core crates' library
     /// code; L2 covers the sampler/checkpoint/learn paths where
     /// bit-identical resume and seed-reproducibility are contractual.
+    /// L5 covers the core crates too, carving out the flow-obs sink
+    /// module — the one core-library file whose *job* is console
+    /// output. (The flow-exp CLI is not a core crate and so is exempt
+    /// by construction.)
     pub fn for_path(rel: &str) -> Self {
-        const CORE: [&str; 6] = [
+        const CORE: [&str; 7] = [
             "crates/flow-stats/src/",
             "crates/flow-icm/src/",
             "crates/flow-mcmc/src/",
             "crates/flow-learn/src/",
             "crates/flow-graph/src/",
             "crates/flow-core/src/",
+            "crates/flow-obs/src/",
         ];
         const DETERMINISM: [&str; 3] = [
             "crates/flow-mcmc/src/",
             "crates/flow-learn/src/",
             "crates/flow-stats/src/fenwick.rs",
         ];
+        /// The sanctioned printer: the flow-obs sink module renders
+        /// operator summaries to stderr by design.
+        const PRINT_EXEMPT: [&str; 1] = ["crates/flow-obs/src/sink.rs"];
         let core = CORE.iter().any(|p| rel.starts_with(p));
         let det = DETERMINISM.iter().any(|p| rel.starts_with(p));
+        let print_exempt = PRINT_EXEMPT.iter().any(|p| rel.starts_with(p));
         LintScope {
             l1: core,
             l2: det,
             l3: core,
             l4: core,
+            l5: core && !print_exempt,
         }
     }
 }
@@ -119,6 +138,9 @@ pub fn lint_file(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
     }
     if scope.l4 {
         l4_probability_domain(file, &mut findings);
+    }
+    if scope.l5 {
+        l5_print_sites(file, &mut findings);
     }
     findings.retain(|f| !file.is_allowed(f.line, f.lint));
     findings
@@ -305,6 +327,35 @@ fn l2_determinism(file: &SourceFile, findings: &mut Vec<Finding>) {
         for (tok, why) in HAZARDS {
             for _pos in token_positions(code, tok) {
                 push(findings, file, i + 1, "L2", format!("`{tok}`: {why}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L5
+
+/// Bare console printing in non-test core-crate code. Library crates
+/// report through the flow-obs recorder (events, counters, spans); the
+/// only sanctioned printers are the flow-obs sink module and the
+/// flow-exp CLI, both outside this lint's scope.
+fn l5_print_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const PRINTS: [(&str, &str); 2] = [
+        (
+            "println!",
+            "bare stdout printing in library code; emit a flow-obs event/counter or route through a sink",
+        ),
+        (
+            "eprintln!",
+            "bare stderr printing in library code; emit a flow-obs event/counter or route through a sink",
+        ),
+    ];
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for (tok, why) in PRINTS {
+            for _pos in token_positions(code, tok) {
+                push(findings, file, i + 1, "L5", format!("`{tok}`: {why}"));
             }
         }
     }
@@ -703,6 +754,43 @@ mod tests {
             lints_of("let prob = p / z;\n").is_empty(),
             "plain ratios are not flagged"
         );
+    }
+
+    #[test]
+    fn l5_catches_bare_prints() {
+        assert_eq!(lints_of("println!(\"progress: {x}\");\n"), ["L5"]);
+        assert_eq!(lints_of("eprintln!(\"warning: {e}\");\n"), ["L5"]);
+        // `print` tokens inside tests, comments, and strings are fine.
+        assert!(lints_of("#[cfg(test)]\nmod t {\n fn f() { println!(\"x\"); }\n}\n").is_empty());
+        assert!(lints_of("// println!(\"commented out\")\n").is_empty());
+        assert!(lints_of("let s = \"eprintln!\";\n").is_empty());
+        // `println!` never double-counts inside `eprintln!`.
+        assert_eq!(lints_of("eprintln!(\"one finding only\");\n").len(), 1);
+        // The escape comment works for L5 like every other lint.
+        assert!(lints_of(
+            "eprintln!(\"boot\"); // flow-analyze: allow(L5: pre-recorder startup warning)\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l5_scope_carves_out_sinks_and_cli() {
+        assert!(LintScope::for_path("crates/flow-mcmc/src/sampler.rs").l5);
+        assert!(LintScope::for_path("crates/flow-obs/src/recorder.rs").l5);
+        assert!(
+            !LintScope::for_path("crates/flow-obs/src/sink.rs").l5,
+            "the sink module is the sanctioned printer"
+        );
+        assert!(
+            !LintScope::for_path("crates/flow-exp/src/output.rs").l5,
+            "the CLI crate is not core"
+        );
+        // flow-obs joins the core set for the panic/float/probability
+        // lints but stays out of the L2 determinism set (its timing
+        // channel is wall-clock by design).
+        let obs = LintScope::for_path("crates/flow-obs/src/span.rs");
+        assert!(obs.l1 && obs.l3 && obs.l4 && obs.l5);
+        assert!(!obs.l2);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+// Seeded L5 violations: bare print macros in non-test core code.
+
+pub fn noisy(step: u64, rate: f64) {
+    println!("step {step}");
+    eprintln!("rate {rate}");
+}
+
+pub fn escaped(step: u64) {
+    // flow-analyze: allow(L5: operator-facing progress line, gated by --verbose)
+    eprintln!("step {step}");
+}

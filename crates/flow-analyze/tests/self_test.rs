@@ -51,6 +51,15 @@ fn l4_fixture_trips_probability_domain_lint() {
 }
 
 #[test]
+fn l5_fixture_trips_print_lint() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("l5_prints.rs")]).expect("fixture readable");
+    let l5: Vec<_> = findings.iter().filter(|f| f.lint == "L5").collect();
+    // Two bare prints fire; the escape-commented one does not.
+    assert_eq!(l5.len(), 2, "expected 2 L5 findings, got {l5:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean_under_every_lint() {
     let root = workspace_root();
     let findings = check_paths(&root, &[fixture("clean.rs")]).expect("fixture readable");

@@ -1,0 +1,183 @@
+//! `bench_sampler` — the observability overhead baseline.
+//!
+//! Produces `BENCH_sampler.json` (path overridable as the first CLI
+//! argument): sampler steps/sec and parallel-estimator wall time with
+//! the flow-obs recorder disabled vs enabled, plus a micro-benchmark
+//! of the disabled fast path (one relaxed atomic load per call). The
+//! acceptance criterion is that the disabled-recorder overhead stays
+//! under 5% of sampler step time; the JSON records the measured value
+//! so CI can archive it next to the trace artifacts.
+//!
+//! Wall-clock timing is the entire point of this binary.
+#![allow(clippy::disallowed_methods)]
+
+use flow_bench::scaling_icm;
+use flow_graph::NodeId;
+use flow_icm::Icm;
+use flow_mcmc::{
+    multi_chain_flow_guarded, McmcConfig, ProposalKind, PseudoStateSampler, RunBudget,
+};
+use flow_obs::{MemorySink, ScopedRecorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Edges in the throughput model (Fenwick depth ~11).
+const THROUGHPUT_EDGES: usize = 2_000;
+/// Edges in the (smaller) parallel-estimator model, so four full
+/// burn-in + thinning schedules finish in seconds.
+const PARALLEL_EDGES: usize = 200;
+/// Retained samples per chain in the parallel benchmark.
+const PARALLEL_SAMPLES: usize = 300;
+/// Chains in the parallel benchmark.
+const PARALLEL_CHAINS: usize = 4;
+/// Minimum timed window per throughput measurement.
+const MIN_WINDOW_SECS: f64 = 1.5;
+/// Iterations for the disabled-call micro-benchmark.
+const MICRO_CALLS: u64 = 20_000_000;
+
+/// Runs sampler steps in batches until the timed window is long enough
+/// to trust, returning (steps/sec, total steps run).
+fn sampler_throughput(icm: &Icm, seed: u64) -> (f64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = PseudoStateSampler::new(icm, ProposalKind::ResultingActivity, &mut rng);
+    sampler.run(20_000, &mut rng); // warm-up: tree caches, branch predictors
+    let start = Instant::now();
+    let mut steps: u64 = 0;
+    loop {
+        sampler.run(10_000, &mut rng);
+        steps += 10_000;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_WINDOW_SECS {
+            return (steps as f64 / elapsed, steps);
+        }
+    }
+}
+
+/// Times one guarded multi-chain run, returning wall milliseconds.
+fn parallel_wall_ms(icm: &Icm, sink_node: NodeId) -> f64 {
+    let start = Instant::now();
+    let est = multi_chain_flow_guarded(
+        icm,
+        NodeId(0),
+        sink_node,
+        McmcConfig {
+            samples: PARALLEL_SAMPLES,
+            ..Default::default()
+        },
+        PARALLEL_CHAINS,
+        7,
+        RunBudget::unlimited(),
+        1,
+        true,
+    );
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    // Keep the estimate observable so the whole run cannot fold away.
+    assert!(est.value.is_finite());
+    ms
+}
+
+/// Micro-benchmarks the disabled recorder path: ns per counter call
+/// when no recorder is installed (a relaxed atomic load + branch).
+fn disabled_ns_per_call() -> f64 {
+    assert!(!flow_obs::enabled(), "micro-bench needs the recorder off");
+    let start = Instant::now();
+    for _ in 0..MICRO_CALLS {
+        flow_obs::counter("bench.disabled_probe", 1);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / MICRO_CALLS as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sampler.json".to_string());
+
+    let throughput_icm = scaling_icm(THROUGHPUT_EDGES, 42);
+    let parallel_icm = scaling_icm(PARALLEL_EDGES, 42);
+    let parallel_sink = NodeId((parallel_icm.node_count() - 1) as u32);
+
+    eprintln!("[1/5] sampler throughput, recorder disabled ...");
+    let (sps_disabled, steps_disabled) = sampler_throughput(&throughput_icm, 1);
+
+    eprintln!("[2/5] sampler throughput, recorder enabled (memory sink) ...");
+    let sink = Arc::new(MemorySink::new());
+    let (sps_enabled, steps_enabled, obs_calls_per_step) = {
+        let _r = ScopedRecorder::install(sink.clone());
+        let (sps, steps) = sampler_throughput(&throughput_icm, 1);
+        // Empirical obs calls per step: every terminal counter the hot
+        // loop can hit, summed from the sink's registry.
+        let total: u64 = [
+            "sampler.steps",
+            "sampler.lazy_loops",
+            "sampler.empty_proposals",
+            "sampler.mh_rejects",
+            "sampler.condition_rejects",
+            "sampler.accepts",
+            "sampler.tree_rebuilds",
+        ]
+        .iter()
+        .map(|n| sink.counter_value(n))
+        .sum();
+        (
+            sps,
+            steps,
+            total as f64 / sink.counter_value("sampler.steps").max(1) as f64,
+        )
+    };
+
+    eprintln!("[3/5] parallel estimator, recorder disabled ...");
+    let par_disabled_ms = parallel_wall_ms(&parallel_icm, parallel_sink);
+
+    eprintln!("[4/5] parallel estimator, recorder enabled ...");
+    let par_enabled_ms = {
+        let _r = ScopedRecorder::install(Arc::new(MemorySink::new()));
+        parallel_wall_ms(&parallel_icm, parallel_sink)
+    };
+
+    eprintln!("[5/5] disabled fast-path micro-benchmark ...");
+    let ns_per_call = disabled_ns_per_call();
+
+    // The honest disabled-overhead number: measured cost of one
+    // disabled call, times how often the hot loop makes one, as a
+    // fraction of the measured step time.
+    let step_ns_disabled = 1e9 / sps_disabled;
+    let disabled_overhead_pct = 100.0 * ns_per_call * obs_calls_per_step / step_ns_disabled;
+    let enabled_slowdown_pct = 100.0 * (1.0 - sps_enabled / sps_disabled);
+
+    let json = format!(
+        "{{\n  \"bench\": \"sampler\",\n  \"throughput_edges\": {te},\n  \"sampler\": {{\n    \"steps_per_sec_disabled\": {sd:.0},\n    \"steps_per_sec_enabled\": {se:.0},\n    \"steps_timed_disabled\": {std},\n    \"steps_timed_enabled\": {ste},\n    \"enabled_slowdown_pct\": {esp:.2}\n  }},\n  \"parallel_estimator\": {{\n    \"edges\": {pe},\n    \"chains\": {pc},\n    \"samples_per_chain\": {ps},\n    \"wall_ms_disabled\": {pd:.1},\n    \"wall_ms_enabled\": {pen:.1}\n  }},\n  \"disabled_path\": {{\n    \"ns_per_call\": {nc:.3},\n    \"obs_calls_per_step\": {ocs:.3},\n    \"overhead_pct\": {dop:.3},\n    \"budget_pct\": 5.0,\n    \"within_budget\": {wb}\n  }}\n}}\n",
+        te = THROUGHPUT_EDGES,
+        sd = sps_disabled,
+        se = sps_enabled,
+        std = steps_disabled,
+        ste = steps_enabled,
+        esp = enabled_slowdown_pct,
+        pe = PARALLEL_EDGES,
+        pc = PARALLEL_CHAINS,
+        ps = PARALLEL_SAMPLES,
+        pd = par_disabled_ms,
+        pen = par_enabled_ms,
+        nc = ns_per_call,
+        ocs = obs_calls_per_step,
+        dop = disabled_overhead_pct,
+        wb = disabled_overhead_pct <= 5.0,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {out_path}");
+            print!("{json}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if disabled_overhead_pct > 5.0 {
+        eprintln!(
+            "error: disabled-recorder overhead {disabled_overhead_pct:.2}% exceeds the 5% budget"
+        );
+        std::process::exit(1);
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]
+//!                    [--trace PATH] [--metrics]
+//! repro report <trace.jsonl>
 //!
 //! subcommands:
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//!   table1 table3 ablation appendix flow all
+//!   table1 table3 ablation appendix flow all report
 //! ```
 //!
 //! `--scale` multiplies replication counts (default 1.0; ~5 approaches
@@ -16,14 +18,21 @@
 //! checkpoints under `<out>/checkpoints/`; `--resume` continues a
 //! killed run from its latest checkpoint (bit-identical to an
 //! uninterrupted run).
+//!
+//! `--trace PATH` records the run's structured event stream to a
+//! deterministic JSONL file (same seed → byte-identical trace);
+//! `--metrics` prints a counter/timing summary to stderr on exit.
+//! `report` renders a recorded trace back into ascii tables.
 
 use flow_exp::runners::{self, ExpConfig};
 use flow_exp::{CheckpointStore, Output};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|flow|all> \
-         [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]"
+         [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume] [--trace PATH] [--metrics]\n\
+         repro report <trace.jsonl>"
     );
     std::process::exit(2);
 }
@@ -34,9 +43,21 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
+    if command == "report" {
+        let Some(path) = args.get(1) else { usage() };
+        match runners::trace_report::run_report(path, &Output::stdout_only()) {
+            Ok(_) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut cfg = ExpConfig::default();
     let mut out_dir = Some("results".to_string());
     let mut resume = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -60,6 +81,11 @@ fn main() {
             }
             "--no-csv" => out_dir = None,
             "--resume" => resume = true,
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics" => metrics = true,
             _ => usage(),
         }
         i += 1;
@@ -68,6 +94,26 @@ fn main() {
         Some(d) => Output::to_dir(d),
         None => Output::stdout_only(),
     };
+    // Telemetry: a deterministic JSONL sink for --trace, a stderr
+    // summary sink for --metrics, both behind one global recorder.
+    let jsonl = trace_path
+        .as_ref()
+        .map(|_| Arc::new(flow_obs::JsonlSink::new()));
+    let summary = metrics.then(|| Arc::new(flow_obs::StderrSummarySink::new()));
+    {
+        let mut sinks: Vec<Arc<dyn flow_obs::Recorder>> = Vec::new();
+        if let Some(j) = &jsonl {
+            sinks.push(j.clone());
+        }
+        if let Some(s) = &summary {
+            sinks.push(s.clone());
+        }
+        match sinks.len() {
+            0 => {}
+            1 => flow_obs::set_global(sinks.pop()),
+            _ => flow_obs::set_global(Some(Arc::new(flow_obs::MultiSink::new(sinks)))),
+        }
+    }
     // Checkpoints live next to the CSVs; without an output directory
     // the flow runner still works, it just cannot persist or resume.
     let store = out_dir.as_ref().and_then(|d| {
@@ -83,6 +129,18 @@ fn main() {
     #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
     run(&command, &cfg, &out, store.as_ref(), resume);
+    // Flush telemetry before the done line so operator output reads in
+    // order: trace file first, then metrics, then the runtime summary.
+    flow_obs::set_global(None);
+    if let (Some(path), Some(sink)) = (&trace_path, &jsonl) {
+        match sink.write_to(std::path::Path::new(path)) {
+            Ok(()) => println!("  [wrote {} ({} events)]", path, sink.len()),
+            Err(e) => eprintln!("warning: cannot write trace {path}: {e}"),
+        }
+    }
+    if let Some(sink) = &summary {
+        sink.print();
+    }
     println!(
         "\ndone ({}) in {:.1}s  [seed {}, scale {}]",
         command,

@@ -63,6 +63,8 @@ pub fn run_ablation(cfg: &ExpConfig, out: &Output) -> Vec<AblationPoint> {
                 });
             }
             let elapsed = started.elapsed().as_secs_f64();
+            // Constant indicator series hit the documented 0 sentinel,
+            // so a frozen configuration reports ess 0, not ess = n.
             let ess = effective_sample_size(&series);
             points.push(AblationPoint {
                 proposal,

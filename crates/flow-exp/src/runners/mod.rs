@@ -18,6 +18,7 @@ pub mod fig11_multimodal;
 pub mod flow_query;
 pub mod table1;
 pub mod table3;
+pub mod trace_report;
 
 /// Common runner configuration.
 #[derive(Clone, Copy, Debug)]

@@ -184,6 +184,7 @@ impl JointBayes {
             .map(|i| row_ln_likelihood(summary, i, &p))
             .collect();
 
+        let _sweep = flow_obs::span("joint_bayes.sweep");
         let mut samples = Vec::with_capacity(self.config.samples);
         let mut proposals = 0u64;
         let mut accepts = 0u64;
@@ -233,6 +234,24 @@ impl JointBayes {
         while samples.len() < self.config.samples {
             samples.push(p.clone());
         }
+        // Bulk counters once per run (not per proposal) keep the hot
+        // coordinate loop free of recorder dispatch.
+        flow_obs::counter("joint_bayes.proposals", proposals);
+        flow_obs::counter("joint_bayes.accepts", accepts);
+        flow_obs::event(|| {
+            flow_obs::Event::new("joint_bayes.done")
+                .step(sweeps_done as u64)
+                .u64("parents", k as u64)
+                .u64("samples", samples.len() as u64)
+                .f64(
+                    "acceptance_rate",
+                    if proposals == 0 {
+                        0.0
+                    } else {
+                        accepts as f64 / proposals as f64
+                    },
+                )
+        });
         EdgePosterior {
             parents: summary.parents.clone(),
             samples,

@@ -210,6 +210,18 @@ impl SinkSummary {
             .collect();
         // Deterministic order: by characteristic bits ascending.
         rows.sort_by_key(|r| r.characteristic.iter_ones().collect::<Vec<_>>());
+        flow_obs::event(|| {
+            flow_obs::Event::new("summary.build")
+                .u64("sink", u64::from(sink.0))
+                .u64("parents", parents.len() as u64)
+                .u64("rows", rows.len() as u64)
+                .u64(
+                    "unambiguous",
+                    rows.iter().filter(|r| r.is_unambiguous()).count() as u64,
+                )
+                .u64("skipped_spontaneous", skipped_spontaneous)
+                .u64("skipped_uninformative", skipped_uninformative)
+        });
         SinkSummary {
             sink,
             parents,

@@ -135,6 +135,70 @@ pub enum DegradationReason {
     },
 }
 
+impl DegradationReason {
+    /// The observability event name this reason maps to (the taxonomy
+    /// is specified in DESIGN.md §10).
+    pub fn obs_name(&self) -> &'static str {
+        match self {
+            DegradationReason::StepBudgetExhausted { .. } => "budget.steps_exhausted",
+            DegradationReason::WallClockExhausted { .. } => "budget.wall_exhausted",
+            DegradationReason::ChainRestarted { .. } => "watchdog.restart",
+            DegradationReason::ChainStalled { .. } => "watchdog.stall",
+            DegradationReason::ChainFailed { .. } => "chain.failed",
+            DegradationReason::ChainExcluded { .. } => "chain.excluded",
+            DegradationReason::RhatAboveTarget { .. } => "budget.rhat_above_target",
+            DegradationReason::EssBelowTarget { .. } => "budget.ess_below_target",
+        }
+    }
+
+    /// Renders this reason as a structured [`flow_obs::Event`] carrying
+    /// the same coordinates the variant records. The caller may attach
+    /// a `step` coordinate where one is known (e.g. chain step count at
+    /// stall detection); the reason itself only knows logical indices.
+    pub fn to_obs_event(&self) -> flow_obs::Event {
+        let e = flow_obs::Event::new(self.obs_name());
+        match self {
+            DegradationReason::StepBudgetExhausted {
+                chain,
+                samples_collected,
+                samples_requested,
+            }
+            | DegradationReason::WallClockExhausted {
+                chain,
+                samples_collected,
+                samples_requested,
+            } => e
+                .chain(*chain as u64)
+                .u64("samples_collected", *samples_collected as u64)
+                .u64("samples_requested", *samples_requested as u64),
+            DegradationReason::ChainRestarted {
+                chain,
+                attempt,
+                acceptance_rate,
+            } => e
+                .chain(*chain as u64)
+                .u64("attempt", *attempt as u64)
+                .f64("acceptance_rate", *acceptance_rate),
+            DegradationReason::ChainStalled {
+                chain,
+                acceptance_rate,
+            } => e
+                .chain(*chain as u64)
+                .f64("acceptance_rate", *acceptance_rate),
+            DegradationReason::ChainFailed { chain, error } => {
+                e.chain(*chain as u64).str("error", error.clone())
+            }
+            DegradationReason::ChainExcluded { chain, chain_mean } => {
+                e.chain(*chain as u64).f64("chain_mean", *chain_mean)
+            }
+            DegradationReason::RhatAboveTarget { achieved, target }
+            | DegradationReason::EssBelowTarget { achieved, target } => {
+                e.f64("achieved", *achieved).f64("target", *target)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for DegradationReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -57,6 +57,7 @@ impl ChainCheckpoint {
     /// first so that resuming from this checkpoint is bit-identical to
     /// continuing the live chain (see module docs).
     pub fn capture(sampler: &mut PseudoStateSampler<'_>, rng: &StdRng) -> Self {
+        flow_obs::counter("checkpoint.captures", 1);
         sampler.rebuild_tree();
         flow_core::debug_invariant!(
             sampler.accepted() <= sampler.steps(),
@@ -129,6 +130,7 @@ impl ChainCheckpoint {
         conditions: Vec<flow_icm::FlowCondition>,
     ) -> FlowResult<(PseudoStateSampler<'a>, StdRng)> {
         self.validate(icm)?;
+        flow_obs::counter("checkpoint.restores", 1);
         let mut bits = BitSet::new(self.edge_count);
         for &i in &self.active_edges {
             bits.set(i as usize, true);

@@ -10,9 +10,21 @@
 /// autocorrelation time: `ESS = n / (1 + 2 Σ ρ_k)` with the sum
 /// truncated at the first non-positive pair of autocorrelations.
 ///
-/// Returns `n` for i.i.d.-looking series and values near 1 for a stuck
-/// chain. A constant series has undefined autocorrelation; we return 0
-/// to flag it.
+/// Sentinel contract (pinned by `ess_sentinel_contract`):
+///
+/// * i.i.d.-looking series return values *near* `n` (capped at exactly
+///   `n`, never above);
+/// * a heavily autocorrelated chain returns values near 1;
+/// * a **constant** series returns **0** — its autocorrelation is
+///   undefined, and 0 flags "no usable information" rather than the
+///   `n` a naive reading of the i.i.d. case would suggest;
+/// * series shorter than 2 return `n` (0 or 1): too short to estimate
+///   autocorrelation at all.
+///
+/// Callers that sum or average ESS across chains (e.g. the multi-chain
+/// pooling in `parallel.rs`) therefore count a stuck-constant chain as
+/// contributing zero effective samples, which is the conservative
+/// choice.
 pub fn effective_sample_size(series: &[f64]) -> f64 {
     let n = series.len();
     if n < 2 {
@@ -208,6 +220,27 @@ mod tests {
         let ess = effective_sample_size(&series);
         assert!(ess < 500.0, "ess {ess}");
         assert!(ess > 10.0, "ess {ess}");
+    }
+
+    /// Pins the documented sentinel contract: i.i.d.-looking series
+    /// approach (but never exceed) `n`, while constant series return
+    /// the 0 sentinel — *not* `n`, even though a constant series is
+    /// trivially "i.i.d.-looking".
+    #[test]
+    fn ess_sentinel_contract() {
+        // i.i.d. noise: close to n from below.
+        let mut rng = StdRng::seed_from_u64(9);
+        let iid: Vec<f64> = (0..1000).map(|_| rng.random::<f64>()).collect();
+        let ess = effective_sample_size(&iid);
+        assert!(ess > 700.0, "iid ess should be near n, got {ess}");
+        assert!(ess <= 1000.0, "ess is capped at n, got {ess}");
+        // Constant series: 0 sentinel regardless of length or value.
+        for len in [2usize, 10, 1000] {
+            assert_eq!(effective_sample_size(&vec![0.25; len]), 0.0);
+        }
+        // Sub-autocorrelation lengths: ESS = n.
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[7.5]), 1.0);
     }
 
     #[test]

@@ -181,9 +181,13 @@ impl<'a> FlowEstimator<'a> {
         rng: &mut R,
     ) -> Vec<f64> {
         let m = self.icm.edge_count();
-        sampler.run(self.config.burn_in_steps(m), rng);
+        {
+            let _burn = flow_obs::span("mcmc.burn_in");
+            sampler.run(self.config.burn_in_steps(m), rng);
+        }
         let thin = self.config.thin_steps(m);
         let mut hits = vec![0u64; sinks.len()];
+        let _sampling = flow_obs::span("mcmc.sampling");
         for _ in 0..self.config.samples {
             sampler.run(thin, rng);
             let reach = sampler.reach_set(&[source]);
@@ -219,16 +223,28 @@ impl<'a> FlowEstimator<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = self.icm.edge_count();
         let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, &mut rng);
-        sampler.try_run(self.config.burn_in_steps(m), &mut rng)?;
+        {
+            let _burn = flow_obs::span("mcmc.burn_in");
+            sampler.try_run(self.config.burn_in_steps(m), &mut rng)?;
+        }
         let thin = self.config.thin_steps(m);
         let mut series: Vec<u8> = Vec::with_capacity(self.config.samples);
+        let _sampling = flow_obs::span("mcmc.sampling");
         for k in 0..self.config.samples {
             sampler.try_run(thin, &mut rng)?;
-            series.push(u8::from(sampler.carries_flow(source, sink)));
+            let flow = sampler.carries_flow(source, sink);
+            series.push(u8::from(flow));
+            flow_obs::event(|| {
+                flow_obs::Event::new("sample")
+                    .step(sampler.steps())
+                    .u64("index", k as u64)
+                    .u64("flow", u64::from(flow))
+            });
             if (k + 1) % every == 0 && k + 1 < self.config.samples {
                 // `capture` rebuilds the weight tree, keeping this run
                 // on the exact same floating-point trajectory as any
                 // resumed continuation (which rebuilds from scratch).
+                let _capture = flow_obs::span("checkpoint.capture");
                 let ckpt = FlowCheckpoint {
                     chain: ChainCheckpoint::capture(&mut sampler, &rng),
                     source: source.0,
@@ -237,6 +253,11 @@ impl<'a> FlowEstimator<'a> {
                     every,
                     series: series.clone(),
                 };
+                flow_obs::event(|| {
+                    flow_obs::Event::new("checkpoint.capture")
+                        .step(sampler.steps())
+                        .u64("samples_done", (k + 1) as u64)
+                });
                 on_checkpoint(&ckpt);
             }
         }
@@ -264,8 +285,14 @@ impl<'a> FlowEstimator<'a> {
         }
         let (mut sampler, mut rng) = ckpt.chain.restore(self.icm)?;
         let (source, sink) = (NodeId(ckpt.source), NodeId(ckpt.sink));
+        flow_obs::event(|| {
+            flow_obs::Event::new("checkpoint.resume")
+                .step(sampler.steps())
+                .u64("samples_done", ckpt.samples_done as u64)
+        });
         let thin = self.config.thin_steps(self.icm.edge_count());
         let mut series = ckpt.series.clone();
+        let _sampling = flow_obs::span("mcmc.sampling");
         for k in ckpt.samples_done..self.config.samples {
             sampler.try_run(thin, &mut rng)?;
             series.push(u8::from(sampler.carries_flow(source, sink)));

@@ -115,11 +115,13 @@ impl<'a> NestedSampler<'a> {
         sink: NodeId,
         rng: &mut R,
     ) -> FlowProbabilityDistribution {
+        let _outer = flow_obs::span("nested.outer_loop");
         let mut samples = Vec::with_capacity(self.config.outer_samples);
         for _ in 0..self.config.outer_samples {
             let icm = self.model.sample_icm(rng);
             let est = FlowEstimator::new(&icm, self.config.inner);
             samples.push(est.estimate_flow(source, sink, rng));
+            flow_obs::counter("nested.outer_samples", 1);
         }
         FlowProbabilityDistribution { samples }
     }

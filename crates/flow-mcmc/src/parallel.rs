@@ -14,6 +14,7 @@ use crate::sampler::PseudoStateSampler;
 use flow_core::{FlowError, FlowResult};
 use flow_graph::NodeId;
 use flow_icm::Icm;
+use flow_obs::Event;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -45,7 +46,9 @@ impl MultiChainEstimate {
     }
 
     /// Total effective sample size (sum of per-chain ESS of the
-    /// indicator series).
+    /// indicator series). A chain whose indicator never changed
+    /// contributes 0 — the [`effective_sample_size`] constant-series
+    /// sentinel — so a frozen chain cannot inflate the pooled ESS.
     pub fn effective_samples(&self) -> f64 {
         self.chains.iter().map(|c| effective_sample_size(c)).sum()
     }
@@ -136,6 +139,9 @@ const STALL_MIN_STEPS: u64 = 200;
 struct ChainRun {
     series: Vec<f64>,
     acceptance_rate: f64,
+    /// Sampler steps this attempt consumed (burn-in plus thinning); the
+    /// logical `step` coordinate for telemetry about this chain.
+    steps: u64,
     degradation: Vec<DegradationReason>,
 }
 
@@ -160,6 +166,15 @@ fn run_chain_guarded(
     attempt: usize,
     seed: u64,
 ) -> FlowResult<ChainRun> {
+    // Everything this attempt emits is stamped with the chain index, so
+    // its trace stream stays separate from sibling chains even when the
+    // attempts run on racing threads.
+    let _obs_ctx = flow_obs::ChainContext::enter(chain_idx as u64);
+    flow_obs::event(|| {
+        Event::new("chain.start")
+            .step(0)
+            .u64("attempt", attempt as u64)
+    });
     let mut rng = StdRng::seed_from_u64(chain_seed(seed, chain_idx, attempt));
     let m = icm.edge_count();
     let mut sampler = PseudoStateSampler::new(icm, config.proposal, &mut rng);
@@ -202,6 +217,7 @@ fn run_chain_guarded(
     'sampling: {
         while burned < burn {
             if let Some(reason) = over_budget(steps_used, 0) {
+                flow_obs::event(|| reason.to_obs_event().step(steps_used));
                 degradation.push(reason);
                 break 'sampling;
             }
@@ -214,6 +230,7 @@ fn run_chain_guarded(
         }
         for _ in 0..config.samples {
             if let Some(reason) = over_budget(steps_used, series.len()) {
+                flow_obs::event(|| reason.to_obs_event().step(steps_used));
                 degradation.push(reason);
                 break 'sampling;
             }
@@ -228,10 +245,17 @@ fn run_chain_guarded(
             });
         }
     }
-    let _ = steps_used;
+    flow_obs::event(|| {
+        Event::new("chain.finish")
+            .step(steps_used)
+            .u64("attempt", attempt as u64)
+            .u64("samples", series.len() as u64)
+            .f64("acceptance_rate", sampler.acceptance_rate())
+    });
     Ok(ChainRun {
         series,
         acceptance_rate: sampler.acceptance_rate(),
+        steps: steps_used,
         degradation,
     })
 }
@@ -346,29 +370,39 @@ pub fn multi_chain_flow_guarded(
                 Ok(run) => run.acceptance_rate,
                 Err(_) => 0.0,
             };
-            degradation.push(DegradationReason::ChainRestarted {
+            let reason = DegradationReason::ChainRestarted {
                 chain: i,
                 attempt,
                 acceptance_rate: rate,
-            });
+            };
+            let prior_steps = match &current {
+                Ok(run) => run.steps,
+                Err(_) => 0,
+            };
+            flow_obs::event(|| reason.to_obs_event().step(prior_steps));
+            degradation.push(reason);
             current = run_chain_guarded(icm, source, sink, &config, &budget, i, attempt, seed);
         }
         match current {
             Ok(run) => {
                 if looks_stuck(&run) {
-                    degradation.push(DegradationReason::ChainStalled {
+                    let reason = DegradationReason::ChainStalled {
                         chain: i,
                         acceptance_rate: run.acceptance_rate,
-                    });
+                    };
+                    flow_obs::event(|| reason.to_obs_event().step(run.steps));
+                    degradation.push(reason);
                 }
                 degradation.extend(run.degradation.iter().cloned());
                 runs.push(Some(run));
             }
             Err(e) => {
-                degradation.push(DegradationReason::ChainFailed {
+                let reason = DegradationReason::ChainFailed {
                     chain: i,
                     error: e.to_string(),
-                });
+                };
+                flow_obs::event(|| reason.to_obs_event());
+                degradation.push(reason);
                 runs.push(None);
             }
         }
@@ -424,19 +458,47 @@ pub fn multi_chain_flow_guarded(
                 break;
             };
             let chain = included.remove(worst_pos);
-            degradation.push(DegradationReason::ChainExcluded {
+            let reason = DegradationReason::ChainExcluded {
                 chain,
                 chain_mean: means[worst_pos],
-            });
+            };
+            flow_obs::event(|| reason.to_obs_event());
+            degradation.push(reason);
         }
         if let Some(r) = pooled_rhat(&included) {
             // NaN compares false either way; treat it as "target not met".
             if r.is_nan() || r > max_rhat {
-                degradation.push(DegradationReason::RhatAboveTarget {
+                let reason = DegradationReason::RhatAboveTarget {
                     achieved: r,
                     target: max_rhat,
-                });
+                };
+                flow_obs::event(|| reason.to_obs_event());
+                degradation.push(reason);
             }
+        }
+    }
+
+    // Per-chain health snapshots (ESS is O(n·lags), so only pay for it
+    // when a recorder is installed).
+    if flow_obs::enabled() {
+        for (i, run) in runs.iter().enumerate() {
+            let Some(run) = run.as_ref() else { continue };
+            let s = &run.series;
+            let mean = if s.is_empty() {
+                0.0
+            } else {
+                s.iter().sum::<f64>() / s.len() as f64
+            };
+            flow_obs::event(|| {
+                Event::new("chain.snapshot")
+                    .chain(i as u64)
+                    .step(run.steps)
+                    .u64("samples", s.len() as u64)
+                    .f64("ess", effective_sample_size(s))
+                    .f64("mean", mean)
+                    .bool("included", included.contains(&i))
+            });
+            flow_obs::histogram("chain.acceptance_rate", run.acceptance_rate);
         }
     }
 
@@ -447,16 +509,20 @@ pub fn multi_chain_flow_guarded(
         let hits: f64 = included.iter().flat_map(|&i| series_of(i)).sum();
         hits / total as f64
     };
+    // Constant (frozen) chains hit the effective_sample_size 0 sentinel
+    // and so add nothing to the pooled ESS.
     let ess: f64 = included
         .iter()
         .map(|&i| effective_sample_size(series_of(i)))
         .sum();
     if let Some(target) = budget.target_ess {
         if ess < target {
-            degradation.push(DegradationReason::EssBelowTarget {
+            let reason = DegradationReason::EssBelowTarget {
                 achieved: ess,
                 target,
-            });
+            };
+            flow_obs::event(|| reason.to_obs_event());
+            degradation.push(reason);
         }
     }
     let standard_error = (value * (1.0 - value) / ess.max(1.0)).sqrt();
@@ -467,6 +533,18 @@ pub fn multi_chain_flow_guarded(
         acceptance_rates,
         included_chains: included,
     };
+    flow_obs::event(|| {
+        let mut e = Event::new("estimate.merge")
+            .u64("chains_included", diagnostics.included_chains.len() as u64)
+            .u64("samples", total as u64)
+            .f64("value", value)
+            .f64("ess", ess)
+            .u64("degradations", degradation.len() as u64);
+        if let Some(r) = diagnostics.r_hat {
+            e = e.f64("r_hat", r);
+        }
+        e
+    });
     PartialEstimate {
         value,
         diagnostics,

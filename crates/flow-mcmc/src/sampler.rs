@@ -258,6 +258,8 @@ impl<'a> PseudoStateSampler<'a> {
     /// capture calls it explicitly so a resumed chain (whose tree is
     /// rebuilt from scratch) stays bit-identical to the original.
     pub fn rebuild_tree(&mut self) {
+        let _rebuild = flow_obs::span("fenwick.rebuild");
+        flow_obs::counter("sampler.tree_rebuilds", 1);
         self.tree.rebuild();
         self.updates_since_rebuild = 0;
     }
@@ -334,6 +336,7 @@ impl<'a> PseudoStateSampler<'a> {
     /// the step counter.
     pub fn try_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> FlowResult<bool> {
         self.steps += 1;
+        flow_obs::counter("sampler.steps", 1);
         if fault::fires("sampler.kill_chain") {
             return Err(FlowError::ChainStalled {
                 chain: 0,
@@ -342,12 +345,14 @@ impl<'a> PseudoStateSampler<'a> {
             });
         }
         if rng.random::<f64>() < Self::LAZINESS {
+            flow_obs::counter("sampler.lazy_loops", 1);
             return Ok(false);
         }
         let Some(i) = self.tree.sample(rng) else {
             // All proposal weights are zero (e.g. every edge has p = 0
             // and is inactive): the chain is already at the target's
             // only mass point.
+            flow_obs::counter("sampler.empty_proposals", 1);
             return Ok(false);
         };
         let e = EdgeId(i as u32);
@@ -390,6 +395,7 @@ impl<'a> PseudoStateSampler<'a> {
         }
 
         if accept_prob < 1.0 && rng.random::<f64>() > accept_prob {
+            flow_obs::counter("sampler.mh_rejects", 1);
             return Ok(false);
         }
 
@@ -400,6 +406,7 @@ impl<'a> PseudoStateSampler<'a> {
             let ok = self.conditions_hold_scratch();
             if !ok {
                 self.state.flip(e);
+                flow_obs::counter("sampler.condition_rejects", 1);
                 return Ok(false);
             }
         } else {
@@ -412,7 +419,10 @@ impl<'a> PseudoStateSampler<'a> {
         })?;
         self.accepted += 1;
         self.updates_since_rebuild += 1;
+        flow_obs::counter("sampler.accepts", 1);
         if self.updates_since_rebuild >= self.rebuild_every {
+            let _rebuild = flow_obs::span("fenwick.rebuild");
+            flow_obs::counter("sampler.tree_rebuilds", 1);
             self.tree.rebuild();
             self.updates_since_rebuild = 0;
         }

@@ -175,11 +175,15 @@ impl<'a> TimedFlowEstimator<'a> {
     ) -> ArrivalTimes {
         let m = self.icm.edge_count();
         let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
-        sampler.run(self.config.burn_in_steps(m), rng);
+        {
+            let _burn = flow_obs::span("timed.burn_in");
+            sampler.run(self.config.burn_in_steps(m), rng);
+        }
         let thin = self.config.thin_steps(m);
         let mut samples = Vec::with_capacity(self.config.samples);
         let graph = self.icm.graph();
         let mut delay_buf = vec![0.0f64; m];
+        let _sampling = flow_obs::span("timed.sampling");
         for _ in 0..self.config.samples {
             sampler.run(thin, rng);
             let state = sampler.state().clone();
@@ -202,6 +206,16 @@ impl<'a> TimedFlowEstimator<'a> {
             );
             samples.push(arrival);
         }
+        drop(_sampling);
+        flow_obs::event(|| {
+            flow_obs::Event::new("timed.arrivals")
+                .step(sampler.steps())
+                .u64("samples", samples.len() as u64)
+                .u64(
+                    "arrived",
+                    samples.iter().filter(|s| s.is_some()).count() as u64,
+                )
+        });
         ArrivalTimes { samples }
     }
 
@@ -217,10 +231,14 @@ impl<'a> TimedFlowEstimator<'a> {
     ) -> f64 {
         let m = self.icm.edge_count();
         let mut sampler = PseudoStateSampler::new(self.icm, self.config.proposal, rng);
-        sampler.run(self.config.burn_in_steps(m), rng);
+        {
+            let _burn = flow_obs::span("timed.burn_in");
+            sampler.run(self.config.burn_in_steps(m), rng);
+        }
         let thin = self.config.thin_steps(m);
         let graph = self.icm.graph();
         let mut delay_buf = vec![0.0f64; m];
+        let _sampling = flow_obs::span("timed.sampling");
         let mut total = 0usize;
         for _ in 0..self.config.samples {
             sampler.run(thin, rng);

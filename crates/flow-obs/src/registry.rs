@@ -1,0 +1,377 @@
+//! Aggregating metrics registry: counters, gauges, fixed-bucket
+//! histograms, and wall-clock timing statistics.
+//!
+//! Every map is a `BTreeMap` so snapshots iterate in a stable order —
+//! summaries render identically across runs even though the timing
+//! *values* are nondeterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A histogram with a fixed, pre-declared bucket layout over `[lo, hi)`.
+///
+/// Observations below `lo` or at/above `hi` land in dedicated
+/// underflow/overflow counters rather than distorting edge buckets.
+/// Non-finite observations count toward `overflow` and are excluded
+/// from the running sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    finite: u64,
+    sum: f64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with `buckets` equal-width bins over
+    /// `[lo, hi)`. Degenerate layouts are repaired: at least one
+    /// bucket, and `hi` is nudged above `lo` if needed.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        FixedHistogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets.max(1)],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            finite: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if !value.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        self.finite += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
+        if let Some(b) = self.buckets.get_mut(idx) {
+            *b += 1;
+        }
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the finite observations (0 when none recorded).
+    pub fn mean(&self) -> f64 {
+        if self.finite == 0 {
+            0.0
+        } else {
+            self.sum / self.finite as f64
+        }
+    }
+
+    /// Per-bucket counts, low bin first.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The `[lo, hi)` range the buckets span.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi` (plus non-finite ones).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` sub-range bucket `i` covers (clamped to the last
+    /// bucket for out-of-range `i`).
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let n = self.buckets.len();
+        let i = i.min(n - 1);
+        let w = (self.hi - self.lo) / n as f64;
+        (self.lo + w * i as f64, self.lo + w * (i as f64 + 1.0))
+    }
+}
+
+/// Aggregate wall-clock statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across spans.
+    pub total_nanos: u64,
+    /// Longest single span in nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// Thread-safe registry aggregating every metric channel.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, FixedHistogram>>,
+    timings: Mutex<BTreeMap<&'static str, TimingStat>>,
+    specs: Mutex<BTreeMap<&'static str, (f64, f64, usize)>>,
+}
+
+/// Default histogram layout for undeclared names: rates in `[0, 1)`
+/// split into 20 bins.
+const DEFAULT_HIST: (f64, f64, usize) = (0.0, 1.0, 20);
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the bucket layout a histogram will use. Undeclared
+    /// histograms default to 20 bins over `[0, 1)` (rates). Declaring
+    /// after the first observation has no effect.
+    pub fn declare_histogram(&self, name: &'static str, lo: f64, hi: f64, buckets: usize) {
+        lock(&self.specs).insert(name, (lo, hi, buckets));
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add_counter(&self, name: &'static str, delta: u64) {
+        *lock(&self.counters).entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        lock(&self.gauges).insert(name, value);
+    }
+
+    /// Records one histogram observation.
+    pub fn record_histogram(&self, name: &'static str, value: f64) {
+        let (lo, hi, n) = lock(&self.specs).get(name).copied().unwrap_or(DEFAULT_HIST);
+        lock(&self.histograms)
+            .entry(name)
+            .or_insert_with(|| FixedHistogram::new(lo, hi, n))
+            .record(value);
+    }
+
+    /// Records one wall-clock span duration.
+    pub fn record_timing(&self, name: &'static str, nanos: u64) {
+        let mut t = lock(&self.timings);
+        let s = t.entry(name).or_default();
+        s.count += 1;
+        s.total_nanos = s.total_nanos.saturating_add(nanos);
+        s.max_nanos = s.max_nanos.max(nanos);
+    }
+
+    /// Current value of the named counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        lock(&self.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of the named gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        lock(&self.gauges).get(name).copied()
+    }
+
+    /// Timing statistics for the named span.
+    pub fn timing_stat(&self, name: &str) -> Option<TimingStat> {
+        lock(&self.timings).get(name).copied()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+            timings: lock(&self.timings)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name/value pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name/value pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name/state pairs.
+    pub histograms: Vec<(String, FixedHistogram)>,
+    /// Timing name/statistics pairs.
+    pub timings: Vec<(String, TimingStat)>,
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Human-readable multi-line summary of every channel.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            s.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(s, "  {name:<32} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(s, "  {name:<32} {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            s.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let (lo, hi) = h.bounds();
+                let _ = writeln!(
+                    s,
+                    "  {name:<32} n={} mean={:.4} range=[{lo},{hi}) under={} over={}",
+                    h.count(),
+                    h.mean(),
+                    h.underflow(),
+                    h.overflow()
+                );
+                let peak = h.bucket_counts().iter().copied().max().unwrap_or(0);
+                if peak > 0 {
+                    for (i, &c) in h.bucket_counts().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        let (blo, bhi) = h.bucket_bounds(i);
+                        let bar = "#".repeat(((c * 24).div_ceil(peak.max(1))) as usize);
+                        let _ = writeln!(s, "    [{blo:.3},{bhi:.3}) {c:>8} {bar}");
+                    }
+                }
+            }
+        }
+        if !self.timings.is_empty() {
+            s.push_str("timings (wall-clock, nondeterministic):\n");
+            for (name, t) in &self.timings {
+                let mean = t.total_nanos.checked_div(t.count).unwrap_or(0);
+                let _ = writeln!(
+                    s,
+                    "  {name:<32} n={} total={} mean={} max={}",
+                    t.count,
+                    fmt_nanos(t.total_nanos),
+                    fmt_nanos(mean),
+                    fmt_nanos(t.max_nanos)
+                );
+            }
+        }
+        if s.is_empty() {
+            s.push_str("(no metrics recorded)\n");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_places_observations_in_declared_buckets() {
+        let mut h = FixedHistogram::new(0.0, 1.0, 10);
+        h.record(0.05); // bucket 0
+        h.record(0.95); // bucket 9
+        h.record(-0.1); // underflow
+        h.record(1.0); // overflow (hi is exclusive)
+        h.record(f64::NAN); // overflow, excluded from mean
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[9], 1);
+        let expected_mean = (0.05 + 0.95 - 0.1 + 1.0) / 4.0;
+        assert!((h.mean() - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_repairs_degenerate_layouts() {
+        let mut h = FixedHistogram::new(2.0, 2.0, 0);
+        h.record(2.5);
+        assert_eq!(h.bucket_counts().len(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_aggregates_all_channels() {
+        let r = MetricsRegistry::new();
+        r.add_counter("sampler.steps", 5);
+        r.add_counter("sampler.steps", 7);
+        r.set_gauge("estimate.value", 0.25);
+        r.set_gauge("estimate.value", 0.5);
+        r.declare_histogram("latency", 0.0, 100.0, 4);
+        r.record_histogram("latency", 30.0);
+        r.record_timing("mcmc.burn_in", 1_000);
+        r.record_timing("mcmc.burn_in", 3_000);
+
+        assert_eq!(r.counter_value("sampler.steps"), 12);
+        assert_eq!(r.gauge_value("estimate.value"), Some(0.5));
+        let t = r.timing_stat("mcmc.burn_in").unwrap();
+        assert_eq!((t.count, t.total_nanos, t.max_nanos), (2, 4_000, 3_000));
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("sampler.steps".to_owned(), 12)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.bucket_counts(), &[0, 1, 0, 0]);
+        let rendered = snap.render();
+        assert!(rendered.contains("sampler.steps"));
+        assert!(rendered.contains("timings"));
+    }
+
+    #[test]
+    fn snapshot_render_is_stable_across_insertion_order() {
+        let a = MetricsRegistry::new();
+        a.add_counter("b", 1);
+        a.add_counter("a", 1);
+        let b = MetricsRegistry::new();
+        b.add_counter("a", 1);
+        b.add_counter("b", 1);
+        assert_eq!(a.snapshot().render(), b.snapshot().render());
+    }
+}

@@ -1,0 +1,444 @@
+//! Recorder implementations (sinks): in-memory for tests, a
+//! human-readable stderr summary for operators, a deterministic JSONL
+//! trace for replay comparison, and a tee combinator.
+//!
+//! This file is the one place in the core crates allowed to print
+//! directly (flow-analyze lint L5 exempts it): the stderr summary sink
+//! is *the* sanctioned console output path for library telemetry.
+
+use crate::event::{Event, FieldValue};
+use crate::recorder::Recorder;
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------- MemorySink
+
+/// Buffers everything in memory; the sink tests assert against.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+    registry: MetricsRegistry,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// The recorded events with the given name, in arrival order.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Current value of a counter routed through this sink.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.registry.counter_value(name)
+    }
+
+    /// The metrics registry backing the non-event channels.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl Recorder for MemorySink {
+    fn event(&self, event: &Event) {
+        lock(&self.events).push(event.clone());
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.registry.add_counter(name, delta);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.registry.set_gauge(name, value);
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        self.registry.record_histogram(name, value);
+    }
+
+    fn timing(&self, name: &'static str, nanos: u64) {
+        self.registry.record_timing(name, nanos);
+    }
+}
+
+// --------------------------------------------------- StderrSummarySink
+
+/// Aggregates every channel and renders a human-readable summary on
+/// demand (the `repro --metrics` flag prints it at exit).
+#[derive(Debug, Default)]
+pub struct StderrSummarySink {
+    registry: MetricsRegistry,
+    event_counts: Mutex<BTreeMap<String, u64>>,
+}
+
+impl StderrSummarySink {
+    /// Creates an empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point-in-time copy of the aggregated metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Renders the summary: event counts by name, then every metric
+    /// channel. Deterministic given deterministic inputs (BTreeMap
+    /// ordering), except for the wall-clock timing values.
+    pub fn render(&self) -> String {
+        let mut s = String::from("== flow-obs summary ==\n");
+        let counts = lock(&self.event_counts);
+        if !counts.is_empty() {
+            s.push_str("events:\n");
+            for (name, n) in counts.iter() {
+                let _ = writeln!(s, "  {name:<32} {n}");
+            }
+        }
+        drop(counts);
+        s.push_str(&self.registry.snapshot().render());
+        s
+    }
+
+    /// Prints the summary to stderr.
+    pub fn print(&self) {
+        eprintln!("{}", self.render());
+    }
+}
+
+impl Recorder for StderrSummarySink {
+    fn event(&self, event: &Event) {
+        *lock(&self.event_counts)
+            .entry(event.name.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.registry.add_counter(name, delta);
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.registry.set_gauge(name, value);
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        self.registry.record_histogram(name, value);
+    }
+
+    fn timing(&self, name: &'static str, nanos: u64) {
+        self.registry.record_timing(name, nanos);
+    }
+}
+
+// ------------------------------------------------------------ JsonlSink
+
+/// One buffered trace row: `stream` orders chains (0 = run-level
+/// events, chain c = c+1), `seq` orders rows within a stream.
+#[derive(Debug)]
+struct Row {
+    stream: u64,
+    seq: u64,
+    line: String,
+}
+
+#[derive(Debug, Default)]
+struct JsonlState {
+    rows: Vec<Row>,
+    seqs: BTreeMap<u64, u64>,
+}
+
+/// Deterministic JSONL trace sink.
+///
+/// Events are serialised immediately and buffered per logical stream
+/// (run-level, chain 0, chain 1, ...). [`JsonlSink::render`] sorts by
+/// `(stream, sequence)` so the output is byte-identical across runs of
+/// the same seed no matter how worker threads interleave — each stream
+/// is single-writer by the DESIGN.md §10 determinism rules. Counters,
+/// gauges, histograms, and wall-clock timings are deliberately ignored:
+/// only the deterministic event channel reaches the trace.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    state: Mutex<JsonlState>,
+}
+
+impl JsonlSink {
+    /// Creates an empty trace sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        lock(&self.state).rows.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the trace: one JSON object per line, sorted by
+    /// `(stream, sequence)`, with a trailing newline (empty string when
+    /// no events were recorded).
+    pub fn render(&self) -> String {
+        let mut st = lock(&self.state);
+        st.rows.sort_by_key(|r| (r.stream, r.seq));
+        let mut out = String::new();
+        for row in &st.rows {
+            out.push_str(&row.line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the rendered trace to `path`.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn event(&self, event: &Event) {
+        let line = render_jsonl(event);
+        let stream = event.chain.map(|c| c.saturating_add(1)).unwrap_or(0);
+        let mut guard = lock(&self.state);
+        let st = &mut *guard;
+        let seq = st.seqs.entry(stream).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        st.rows.push(Row {
+            stream,
+            seq: s,
+            line,
+        });
+    }
+}
+
+/// Serialises one event as a single JSON line (no trailing newline).
+/// Key order is fixed (`event`, `chain`, `step`, `fields`) and field
+/// order follows the event builder, so output is deterministic.
+pub fn render_jsonl(event: &Event) -> String {
+    let mut s = String::with_capacity(64);
+    s.push_str("{\"event\":");
+    push_json_str(&mut s, event.name);
+    if let Some(c) = event.chain {
+        let _ = write!(s, ",\"chain\":{c}");
+    }
+    if let Some(st) = event.step {
+        let _ = write!(s, ",\"step\":{st}");
+    }
+    if !event.fields.is_empty() {
+        s.push_str(",\"fields\":{");
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, k);
+            s.push(':');
+            push_json_value(&mut s, v);
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+fn push_json_value(s: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(v) => {
+            let _ = write!(s, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(s, "{v}");
+        }
+        FieldValue::F64(v) => {
+            if v.is_finite() {
+                // `{}` is the shortest round-trip form: deterministic
+                // and parseable as a JSON number.
+                let _ = write!(s, "{v}");
+            } else if v.is_nan() {
+                s.push_str("\"NaN\"");
+            } else if *v > 0.0 {
+                s.push_str("\"inf\"");
+            } else {
+                s.push_str("\"-inf\"");
+            }
+        }
+        FieldValue::Bool(v) => {
+            s.push_str(if *v { "true" } else { "false" });
+        }
+        FieldValue::Str(v) => push_json_str(s, v),
+    }
+}
+
+fn push_json_str(s: &mut String, raw: &str) {
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+// ------------------------------------------------------------ MultiSink
+
+/// Fans every channel out to several sinks (e.g. JSONL trace + stderr
+/// summary in the same run).
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl MultiSink {
+    /// Creates a tee over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Recorder for MultiSink {
+    fn event(&self, event: &Event) {
+        for s in &self.sinks {
+            s.event(event);
+        }
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.gauge(name, value);
+        }
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.histogram(name, value);
+        }
+    }
+
+    fn timing(&self, name: &'static str, nanos: u64) {
+        for s in &self.sinks {
+            s.timing(name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_have_fixed_key_order() {
+        let e = Event::new("watchdog.stall")
+            .chain(2)
+            .step(700)
+            .f64("acceptance_rate", 0.015)
+            .u64("attempt", 1)
+            .str("note", "a\"b\\c\nd");
+        assert_eq!(
+            render_jsonl(&e),
+            "{\"event\":\"watchdog.stall\",\"chain\":2,\"step\":700,\
+             \"fields\":{\"acceptance_rate\":0.015,\"attempt\":1,\
+             \"note\":\"a\\\"b\\\\c\\nd\"}}"
+        );
+    }
+
+    #[test]
+    fn jsonl_renders_nonfinite_floats_as_strings() {
+        let e = Event::new("x").f64("a", f64::NAN).f64("b", f64::INFINITY);
+        let line = render_jsonl(&e);
+        assert!(line.contains("\"a\":\"NaN\""));
+        assert!(line.contains("\"b\":\"inf\""));
+    }
+
+    #[test]
+    fn jsonl_sink_orders_by_stream_then_sequence() {
+        let sink = JsonlSink::new();
+        // Simulate interleaved arrival from two chains plus run-level.
+        sink.event(&Event::new("b").chain(1).step(1));
+        sink.event(&Event::new("run.start"));
+        sink.event(&Event::new("a").chain(0).step(1));
+        sink.event(&Event::new("c").chain(1).step(2));
+        sink.event(&Event::new("d").chain(0).step(2));
+        let out = sink.render();
+        let names: Vec<&str> = out
+            .lines()
+            .map(|l| {
+                let from = l.find(":\"").map(|i| i + 2).unwrap_or(0);
+                let to = l[from..].find('"').map(|i| from + i).unwrap_or(l.len());
+                &l[from..to]
+            })
+            .collect();
+        assert_eq!(names, ["run.start", "a", "d", "b", "c"]);
+    }
+
+    #[test]
+    fn memory_sink_routes_all_channels() {
+        let sink = MemorySink::new();
+        sink.event(&Event::new("e1"));
+        sink.counter("c", 3);
+        sink.gauge("g", 1.5);
+        sink.histogram("h", 0.5);
+        sink.timing("t", 100);
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events_named("e1").len(), 1);
+        assert_eq!(sink.counter_value("c"), 3);
+        assert_eq!(sink.registry().gauge_value("g"), Some(1.5));
+        assert_eq!(sink.registry().timing_stat("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn multi_sink_tees_to_every_target() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = MultiSink::new(vec![a.clone() as Arc<dyn Recorder>, b.clone() as _]);
+        tee.event(&Event::new("x"));
+        tee.counter("c", 2);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.counter_value("c"), 2);
+        assert_eq!(b.counter_value("c"), 2);
+    }
+
+    #[test]
+    fn stderr_summary_renders_event_counts() {
+        let s = StderrSummarySink::new();
+        s.event(&Event::new("chain.finish"));
+        s.event(&Event::new("chain.finish"));
+        s.counter("sampler.steps", 10);
+        let text = s.render();
+        assert!(text.contains("chain.finish"));
+        assert!(text.contains("sampler.steps"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Minimal JSONL trace reader for the `repro report` mode.
+//!
+//! Parses exactly the subset [`crate::sink::render_jsonl`] emits: one
+//! flat JSON object per line with string keys and scalar values, plus
+//! an optional one-level `"fields"` object. Unparseable lines are
+//! skipped rather than failing the whole report — a truncated trace
+//! from a killed run should still render.
+
+/// One scalar value parsed from a trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// Any JSON number (integers are represented exactly up to 2^53).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// A JSON string.
+    Str(String),
+}
+
+impl TraceValue {
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TraceValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The dotted event name.
+    pub name: String,
+    /// Chain coordinate, when present.
+    pub chain: Option<u64>,
+    /// Logical step coordinate, when present.
+    pub step: Option<u64>,
+    /// Field key/value pairs in file order.
+    pub fields: Vec<(String, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&TraceValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field lookup shorthand.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(TraceValue::as_f64)
+    }
+}
+
+/// Parses a whole trace, skipping blank and unparseable lines.
+pub fn parse_trace(text: &str) -> Vec<TraceEvent> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+/// Parses one JSONL trace line; `None` if it is not a trace event.
+pub fn parse_line(line: &str) -> Option<TraceEvent> {
+    let mut cur = Cur {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    cur.skip_ws();
+    let obj = cur.parse_object()?;
+    cur.skip_ws();
+    if !cur.at_end() {
+        return None;
+    }
+    let mut ev = TraceEvent {
+        name: String::new(),
+        chain: None,
+        step: None,
+        fields: Vec::new(),
+    };
+    let mut saw_name = false;
+    for (key, value) in obj {
+        match (key.as_str(), value) {
+            ("event", Json::Str(s)) => {
+                ev.name = s;
+                saw_name = true;
+            }
+            ("chain", Json::Num(n)) => ev.chain = to_u64(n),
+            ("step", Json::Num(n)) => ev.step = to_u64(n),
+            ("fields", Json::Obj(pairs)) => {
+                for (k, v) in pairs {
+                    let tv = match v {
+                        Json::Num(n) => TraceValue::Num(n),
+                        Json::Bool(b) => TraceValue::Bool(b),
+                        Json::Str(s) => TraceValue::Str(s),
+                        Json::Obj(_) | Json::Null => continue,
+                    };
+                    ev.fields.push((k, tv));
+                }
+            }
+            _ => {}
+        }
+    }
+    if saw_name {
+        Some(ev)
+    } else {
+        None
+    }
+}
+
+fn to_u64(n: f64) -> Option<u64> {
+    if (0.0..=u64::MAX as f64).contains(&n) {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+enum Json {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+    Null,
+}
+
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cur<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_object(&mut self) -> Option<Vec<(String, Json)>> {
+        if !self.eat(b'{') {
+            return None;
+        }
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Some(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return None;
+            }
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Some(pairs);
+            }
+            return None;
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'"' => self.parse_string().map(Json::Str),
+            b'{' => self.parse_object().map(Json::Obj),
+            b't' => self.parse_keyword("true").map(|_| Json::Bool(true)),
+            b'f' => self.parse_keyword("false").map(|_| Json::Bool(false)),
+            b'n' => self.parse_keyword("null").map(|_| Json::Null),
+            _ => self.parse_number().map(Json::Num),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str) -> Option<()> {
+        let end = self.i.checked_add(word.len())?;
+        if self.b.get(self.i..end)? == word.as_bytes() {
+            self.i = end;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<f64> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'-') | Some(b'+') | Some(b'.') | Some(b'e') | Some(b'E')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(self.b.get(start..self.i)?).ok()?;
+        text.parse::<f64>().ok()
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let c = self.peek()?;
+            self.bump();
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = self.peek()?;
+                    self.bump();
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let end = self.i.checked_add(4)?;
+                            let hex = std::str::from_utf8(self.b.get(self.i..end)?).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            self.i = end;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return None,
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char in the source.
+                    let tail = self.b.get(self.i.checked_sub(1)?..)?;
+                    let s = std::str::from_utf8(tail).ok()?;
+                    let ch = s.chars().next()?;
+                    out.push(ch);
+                    self.i = self.i.checked_sub(1)?.checked_add(ch.len_utf8())?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::sink::render_jsonl;
+
+    #[test]
+    fn round_trips_rendered_events() {
+        let e = Event::new("watchdog.stall")
+            .chain(2)
+            .step(700)
+            .f64("acceptance_rate", 0.015)
+            .u64("attempt", 1)
+            .bool("restarted", false)
+            .str("note", "quote\" slash\\ nl\n done");
+        let line = render_jsonl(&e);
+        let p = parse_line(&line).unwrap();
+        assert_eq!(p.name, "watchdog.stall");
+        assert_eq!(p.chain, Some(2));
+        assert_eq!(p.step, Some(700));
+        assert_eq!(p.num("acceptance_rate"), Some(0.015));
+        assert_eq!(p.num("attempt"), Some(1.0));
+        assert_eq!(p.field("restarted"), Some(&TraceValue::Bool(false)));
+        assert_eq!(
+            p.field("note"),
+            Some(&TraceValue::Str("quote\" slash\\ nl\n done".to_owned()))
+        );
+    }
+
+    #[test]
+    fn skips_garbage_lines_but_keeps_good_ones() {
+        let text = "\n{\"event\":\"a\"}\nnot json\n{\"event\":\"b\",\"chain\":1}\n{\"nope\":1}\n";
+        let events = parse_trace(text);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(events[1].chain, Some(1));
+    }
+
+    #[test]
+    fn parses_unicode_and_nested_unknown_values() {
+        let p = parse_line("{\"event\":\"τ\",\"fields\":{\"x\":1,\"y\":\"π\"}}").unwrap();
+        assert_eq!(p.name, "τ");
+        assert_eq!(p.num("x"), Some(1.0));
+        assert_eq!(p.field("y"), Some(&TraceValue::Str("π".to_owned())));
+    }
+
+    #[test]
+    fn rejects_truncated_objects() {
+        assert!(parse_line("{\"event\":\"a\"").is_none());
+        assert!(parse_line("{\"event\":\"a\"} trailing").is_none());
+        assert!(parse_line("").is_none());
+    }
+}

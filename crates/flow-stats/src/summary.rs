@@ -3,6 +3,13 @@
 //! The experiment harness accumulates large sample streams (nested-MH
 //! flow-probability draws, impact counts, timing measurements); these
 //! helpers summarize them in O(1) memory.
+//!
+//! These summaries treat every observation as carrying full weight;
+//! autocorrelation-aware sample counting (effective sample size) lives
+//! in `flow-mcmc::diagnostics`, whose `effective_sample_size` returns a
+//! **0 sentinel for constant series** — callers summarising MCMC output
+//! with [`OnlineStats`] should consult that contract before equating
+//! `count()` with information content.
 
 /// Welford online mean/variance accumulator.
 #[derive(Clone, Copy, Debug, Default)]
