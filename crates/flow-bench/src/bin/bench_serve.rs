@@ -1,0 +1,185 @@
+//! `bench_serve` — serving-layer speedup and warm-cache cost.
+//!
+//! Produces `BENCH_serve.json` (path overridable as the first CLI
+//! argument) comparing three ways of answering the same query mix
+//! (several sources, many sinks each) against one synthetic ICM:
+//!
+//! * **naive** — one `FlowEstimator::estimate_flow` per query; every
+//!   query pays its own burn-in and its own retained samples;
+//! * **batched** — one `ServeEngine::execute_batch`; same-source
+//!   queries share a chain, so burn-in and per-sample reach-set costs
+//!   amortize across the group;
+//! * **warm** — the identical batch again on the same engine; every
+//!   answer comes from the estimate cache.
+//!
+//! Acceptance criteria (the binary exits non-zero when violated):
+//! batched throughput must be at least 2x naive, and the warm batch
+//! must spend exactly zero sampler steps (checked via the flow-obs
+//! `sampler.steps` counter, not wall time).
+//!
+//! Wall-clock timing is the entire point of this binary.
+#![allow(clippy::disallowed_methods)]
+
+use flow_bench::scaling_icm;
+use flow_graph::NodeId;
+use flow_icm::Icm;
+use flow_mcmc::{FlowEstimator, McmcConfig};
+use flow_obs::{MemorySink, ScopedRecorder};
+use flow_serve::{FlowQuery, QueryOutcome, ServeConfig, ServeEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Edges in the benchmark model.
+const MODEL_EDGES: usize = 600;
+/// Distinct flow sources in the query mix.
+const SOURCES: u32 = 4;
+/// Sinks queried per source.
+const SINKS_PER_SOURCE: u32 = 8;
+/// Retained samples per chain.
+const SAMPLES: usize = 4_000;
+
+fn query_mix(icm: &Icm) -> Vec<FlowQuery> {
+    let n = icm.node_count() as u32;
+    let mut queries = Vec::new();
+    for s in 0..SOURCES {
+        for k in 0..SINKS_PER_SOURCE {
+            // Spread sinks across the node range, skipping the source.
+            let sink = (s + 1 + k * (n / (SINKS_PER_SOURCE + 1))).min(n - 1);
+            queries.push(FlowQuery::flow(NodeId(s), NodeId(sink)));
+        }
+    }
+    queries
+}
+
+fn naive_wall_s(icm: &Icm, queries: &[FlowQuery], config: McmcConfig) -> (f64, Vec<f64>) {
+    let estimator = FlowEstimator::new(icm, config);
+    let start = Instant::now();
+    let estimates = queries
+        .iter()
+        .map(|q| {
+            let flow_serve::SharedTarget::Sink(sink) = q.target else {
+                unreachable!("the mix is sink-only")
+            };
+            let mut rng = StdRng::seed_from_u64(q.source.0 as u64 * 31 + sink.0 as u64);
+            estimator.estimate_flow(q.source, sink, &mut rng)
+        })
+        .collect();
+    (start.elapsed().as_secs_f64(), estimates)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let icm = scaling_icm(MODEL_EDGES, 42);
+    let queries = query_mix(&icm);
+    let mcmc = McmcConfig {
+        samples: SAMPLES,
+        ..Default::default()
+    };
+
+    eprintln!(
+        "[1/3] naive: {} independent estimates ({} samples each) ...",
+        queries.len(),
+        SAMPLES
+    );
+    let (naive_s, naive_estimates) = naive_wall_s(&icm, &queries, mcmc);
+
+    eprintln!("[2/3] batched: one execute_batch over the same mix ...");
+    let mut engine = ServeEngine::new(ServeConfig {
+        mcmc,
+        // Tolerance is not under test here; keep the sample budget
+        // identical to the naive loop's.
+        default_tolerance: 1.0,
+        engine_seed: 42,
+        ..Default::default()
+    });
+    let start = Instant::now();
+    let cold = engine.execute_batch(&icm, &queries);
+    let batched_s = start.elapsed().as_secs_f64();
+
+    // Sanity: the two strategies answer the same questions.
+    for ((q, outcome), naive) in queries.iter().zip(&cold).zip(&naive_estimates) {
+        let QueryOutcome::Answered(a) = outcome else {
+            eprintln!("error: batched query {q:?} was not answered");
+            std::process::exit(1);
+        };
+        if (a.estimate - naive).abs() > 0.05 {
+            eprintln!(
+                "error: batched estimate {} disagrees with naive {} for {q:?}",
+                a.estimate, naive
+            );
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!("[3/3] warm: the identical batch served from cache ...");
+    let sink = Arc::new(MemorySink::new());
+    let start = Instant::now();
+    let warm = {
+        let _r = ScopedRecorder::install(sink.clone());
+        engine.execute_batch(&icm, &queries)
+    };
+    let warm_s = start.elapsed().as_secs_f64();
+    let warm_steps = sink.counter_value("sampler.steps");
+    let warm_hits = warm
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                QueryOutcome::Answered(a) if a.served == flow_serve::Served::CacheHit
+            )
+        })
+        .count();
+
+    let n = queries.len() as f64;
+    let naive_qps = n / naive_s;
+    let batched_qps = n / batched_s;
+    let warm_qps = n / warm_s;
+    let speedup = naive_s / batched_s;
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"pass\": {pass}\n}}\n",
+        me = MODEL_EDGES,
+        q = queries.len(),
+        sp = SAMPLES,
+        ns = naive_s,
+        nq = naive_qps,
+        bs = batched_s,
+        bq = batched_qps,
+        su = speedup,
+        ws = warm_s,
+        wq = warm_qps,
+        wh = warm_hits,
+        wst = warm_steps,
+        pass = speedup >= 2.0 && warm_steps == 0,
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            eprintln!("wrote {out_path}");
+            print!("{json}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if speedup < 2.0 {
+        eprintln!("error: batched speedup {speedup:.2}x is below the 2x requirement");
+        std::process::exit(1);
+    }
+    if warm_steps != 0 {
+        eprintln!("error: warm batch spent {warm_steps} sampler steps; cache hits must spend none");
+        std::process::exit(1);
+    }
+    if warm_hits != queries.len() {
+        eprintln!(
+            "error: only {warm_hits}/{} warm queries were cache hits",
+            queries.len()
+        );
+        std::process::exit(1);
+    }
+}

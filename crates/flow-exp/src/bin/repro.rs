@@ -4,10 +4,11 @@
 //! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]
 //!                    [--trace PATH] [--metrics]
 //! repro report <trace.jsonl>
+//! repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]
 //!
 //! subcommands:
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//!   table1 table3 ablation appendix flow all report
+//!   table1 table3 ablation appendix flow all report serve
 //! ```
 //!
 //! `--scale` multiplies replication counts (default 1.0; ~5 approaches
@@ -23,6 +24,11 @@
 //! deterministic JSONL file (same seed → byte-identical trace);
 //! `--metrics` prints a counter/timing summary to stderr on exit.
 //! `report` renders a recorded trace back into ascii tables.
+//!
+//! `serve` batch-serves a JSONL query file through the flow-serve
+//! engine, writing `serve_results.jsonl` + `serve_stats.json` to
+//! `--out`; with `--cache-dir` the estimate cache persists across
+//! invocations, so a repeated run answers from warm cache entries.
 
 use flow_exp::runners::{self, ExpConfig};
 use flow_exp::{CheckpointStore, Output};
@@ -32,9 +38,55 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|flow|all> \
          [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume] [--trace PATH] [--metrics]\n\
-         repro report <trace.jsonl>"
+         repro report <trace.jsonl>\n\
+         repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]"
     );
     std::process::exit(2);
+}
+
+fn run_serve_command(args: &[String]) -> ! {
+    let mut serve_args = runners::serve::ServeArgs::default();
+    let mut out_dir = Some("results".to_string());
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                serve_args.cache_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-csv" => out_dir = None,
+            "--seed" => {
+                i += 1;
+                serve_args.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            positional if serve_args.queries.is_empty() && !positional.starts_with('-') => {
+                serve_args.queries = positional.to_string();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if serve_args.queries.is_empty() {
+        usage();
+    }
+    let out = match &out_dir {
+        Some(d) => Output::to_dir(d),
+        None => Output::stdout_only(),
+    };
+    match runners::serve::run_serve(&serve_args, &out) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -43,6 +95,9 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
+    if command == "serve" {
+        run_serve_command(&args);
+    }
     if command == "report" {
         let Some(path) = args.get(1) else { usage() };
         match runners::trace_report::run_report(path, &Output::stdout_only()) {

@@ -1,0 +1,278 @@
+//! `repro serve` — batch-serve a JSONL query file through the
+//! flow-serve engine.
+//!
+//! Reads a query file (see [`flow_serve::spec`]), builds the synthetic
+//! model its `model` line describes, executes every query as one batch,
+//! and writes:
+//!
+//! * `serve_results.jsonl` — one line per query, **deterministic fields
+//!   only** (estimate, half-width, samples, degradations). Two runs
+//!   over the same file and seed are byte-identical whether answers
+//!   came from sampling or from a warm cache — that equality is
+//!   asserted by the CI serving smoke job.
+//! * `serve_stats.json` — the serving-path counters (cache hits, fresh,
+//!   refined, rejected, failed, steps). These *do* differ between cold
+//!   and warm runs; that difference is the point.
+//!
+//! With `--cache-dir` the estimate cache is loaded before the batch and
+//! saved after it, so a second invocation serves warm hits across
+//! processes.
+
+use crate::output::Output;
+use flow_core::{FlowError, FlowResult};
+use flow_icm::synth::{skewed_probability_mixture, synthetic_icm};
+use flow_icm::Icm;
+use flow_serve::{
+    parse_query_file, ModelSpec, QueryOutcome, ServeCache, ServeConfig, ServeEngine, Served,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Options for the `serve` subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct ServeArgs {
+    /// Query-file path.
+    pub queries: String,
+    /// Cache directory to load before and save after the batch.
+    pub cache_dir: Option<String>,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+fn build_model(spec: &ModelSpec) -> Icm {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5E17_E000);
+    synthetic_icm(
+        &mut rng,
+        spec.nodes,
+        spec.edges,
+        skewed_probability_mixture(),
+    )
+}
+
+fn outcome_jsonl(index: usize, outcome: &QueryOutcome) -> String {
+    match outcome {
+        QueryOutcome::Answered(a) => {
+            let mut degradations: Vec<String> = a
+                .degradation
+                .iter()
+                .map(|d| format!("\"{}\"", d.obs_name()))
+                .collect();
+            degradations.sort();
+            format!(
+                "{{\"query\":{index},\"status\":\"answered\",\"estimate\":{:?},\"half_width\":{:?},\"samples\":{},\"degradation\":[{}]}}",
+                a.estimate,
+                a.half_width,
+                a.samples,
+                degradations.join(",")
+            )
+        }
+        QueryOutcome::Rejected { queue_full } => {
+            format!("{{\"query\":{index},\"status\":\"rejected\",\"queue_full\":{queue_full}}}")
+        }
+        QueryOutcome::Failed(e) => format!(
+            "{{\"query\":{index},\"status\":\"failed\",\"error\":{:?}}}",
+            e.to_string()
+        ),
+    }
+}
+
+fn served_label(outcome: &QueryOutcome) -> &'static str {
+    match outcome {
+        QueryOutcome::Answered(a) => match a.served {
+            Served::Fresh => "fresh",
+            Served::CacheHit => "cache_hit",
+            Served::WarmRefinement => "refined",
+        },
+        QueryOutcome::Rejected { .. } => "rejected",
+        QueryOutcome::Failed(_) => "failed",
+    }
+}
+
+fn write_text(dir: &Path, name: &str, text: &str) -> FlowResult<()> {
+    std::fs::create_dir_all(dir).map_err(|e| FlowError::Io {
+        detail: format!("cannot create {}: {e}", dir.display()),
+    })?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).map_err(|e| FlowError::Io {
+        detail: format!("cannot create {}: {e}", path.display()),
+    })?;
+    f.write_all(text.as_bytes()).map_err(|e| FlowError::Io {
+        detail: format!("cannot write {}: {e}", path.display()),
+    })?;
+    println!("  [wrote {}]", path.display());
+    Ok(())
+}
+
+/// Runs the serve subcommand end to end.
+pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
+    let text = std::fs::read_to_string(&args.queries).map_err(|e| FlowError::Io {
+        detail: format!("cannot read query file {}: {e}", args.queries),
+    })?;
+    let file = parse_query_file(&text)?;
+    let Some(model_spec) = file.model else {
+        return Err(FlowError::Parse {
+            line: 0,
+            detail: "query file has no `model` line; `repro serve` needs one".into(),
+        });
+    };
+    let queries = file.to_queries()?;
+    let icm = build_model(&model_spec);
+
+    let config = ServeConfig {
+        engine_seed: args.seed,
+        ..Default::default()
+    };
+    let cache = match &args.cache_dir {
+        Some(dir) => ServeCache::load_from_dir(Path::new(dir), config.cache_bytes)?,
+        None => ServeCache::new(config.cache_bytes),
+    };
+    let preloaded = cache.len();
+    let mut engine = ServeEngine::with_cache(config, cache);
+
+    out.heading(&format!(
+        "serve — {} queries against a {}-node/{}-edge synthetic ICM (seed {}), {} cached entries preloaded",
+        queries.len(),
+        icm.node_count(),
+        icm.edge_count(),
+        args.seed,
+        preloaded
+    ));
+
+    let outcomes = engine.execute_batch(&icm, &queries);
+
+    let mut results = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        results.push_str(&outcome_jsonl(i, o));
+        results.push('\n');
+    }
+    let stats = engine.stats();
+    let stats_json = format!(
+        "{{\n  \"queries\": {},\n  \"answered\": {},\n  \"cache_hits\": {},\n  \"fresh\": {},\n  \"refined\": {},\n  \"rejected\": {},\n  \"failed\": {},\n  \"plans\": {},\n  \"steps\": {},\n  \"degraded\": {}\n}}\n",
+        stats.queries,
+        stats.answered,
+        stats.cache_hits,
+        stats.fresh,
+        stats.refined,
+        stats.rejected,
+        stats.failed,
+        stats.plans,
+        stats.steps,
+        stats.degraded
+    );
+
+    if let Some(dir) = out.dir() {
+        write_text(dir, "serve_results.jsonl", &results)?;
+        write_text(dir, "serve_stats.json", &stats_json)?;
+    }
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let (estimate, hw, samples) = match o {
+                QueryOutcome::Answered(a) => (
+                    format!("{:.4}", a.estimate),
+                    format!("{:.4}", a.half_width),
+                    a.samples.to_string(),
+                ),
+                _ => ("-".into(), "-".into(), "-".into()),
+            };
+            vec![
+                i.to_string(),
+                served_label(o).to_string(),
+                estimate,
+                hw,
+                samples,
+            ]
+        })
+        .collect();
+    out.table(
+        &["query", "served", "estimate", "half_width", "samples"],
+        &rows,
+    );
+    out.line(format!(
+        "plans {}  steps {}  cache hits {}  fresh {}  refined {}  rejected {}  failed {}  degraded {}",
+        stats.plans,
+        stats.steps,
+        stats.cache_hits,
+        stats.fresh,
+        stats.refined,
+        stats.rejected,
+        stats.failed,
+        stats.degraded
+    ));
+
+    if let Some(dir) = &args.cache_dir {
+        engine.cache().save_to_dir(Path::new(dir))?;
+        out.line(format!(
+            "cache: {} entries (~{} bytes) saved to {dir}",
+            engine.cache().len(),
+            engine.cache().bytes()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY_FILE: &str = "\
+{\"model\": {\"nodes\": 30, \"edges\": 90, \"seed\": 7}}
+{\"source\": 0, \"sink\": 5}
+{\"source\": 0, \"sink\": 9, \"tolerance\": 0.05}
+{\"source\": 3, \"community\": [7, 8, 9]}
+";
+
+    #[test]
+    fn serve_runs_twice_with_warm_cache_and_identical_results() {
+        let dir = std::env::temp_dir().join(format!("flowexp-serve-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries = dir.join("queries.jsonl");
+        std::fs::write(&queries, QUERY_FILE).unwrap();
+
+        let run = |out_sub: &str| {
+            let args = ServeArgs {
+                queries: queries.display().to_string(),
+                cache_dir: Some(dir.join("cache").display().to_string()),
+                seed: 3,
+            };
+            let out = Output::to_dir(dir.join(out_sub));
+            run_serve(&args, &out).unwrap();
+            (
+                std::fs::read_to_string(dir.join(out_sub).join("serve_results.jsonl")).unwrap(),
+                std::fs::read_to_string(dir.join(out_sub).join("serve_stats.json")).unwrap(),
+            )
+        };
+
+        let (cold_results, cold_stats) = run("cold");
+        let (warm_results, warm_stats) = run("warm");
+        assert_eq!(
+            cold_results, warm_results,
+            "cache hits must be byte-identical to fresh sampling"
+        );
+        assert!(cold_stats.contains("\"cache_hits\": 0"), "{cold_stats}");
+        assert!(warm_stats.contains("\"cache_hits\": 3"), "{warm_stats}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_files_without_a_model_line() {
+        let dir =
+            std::env::temp_dir().join(format!("flowexp-serve-nomodel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries = dir.join("queries.jsonl");
+        std::fs::write(&queries, "{\"source\": 0, \"sink\": 1}\n").unwrap();
+        let args = ServeArgs {
+            queries: queries.display().to_string(),
+            cache_dir: None,
+            seed: 0,
+        };
+        let err = run_serve(&args, &Output::stdout_only()).unwrap_err();
+        assert!(matches!(err, FlowError::Parse { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

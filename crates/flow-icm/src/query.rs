@@ -70,6 +70,28 @@ pub fn find_contradiction(conditions: &[FlowCondition]) -> Option<(NodeId, NodeI
     None
 }
 
+/// Canonicalizes a condition set: sorts by `(source, sink, required)`,
+/// removes duplicates, and rejects directly contradictory sets (the
+/// same flow both required and forbidden) with the offending pair.
+///
+/// Two condition sets that differ only in ordering or duplication
+/// normalize to the same vector, so the result is usable as a cache or
+/// grouping key; the serving layer (flow-serve) relies on this for its
+/// canonical `QueryKey`. The sampled distribution is unchanged: the
+/// combined indicator `I(x, C)` is a product, hence order-insensitive
+/// and idempotent under duplication.
+pub fn normalize_conditions(
+    conditions: &[FlowCondition],
+) -> Result<Vec<FlowCondition>, (NodeId, NodeId)> {
+    if let Some(pair) = find_contradiction(conditions) {
+        return Err(pair);
+    }
+    let mut out = conditions.to_vec();
+    out.sort_by_key(|c| (c.source.0, c.sink.0, c.required));
+    out.dedup();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +140,48 @@ mod tests {
             FlowCondition::forbids(NodeId(1), NodeId(0)),
         ];
         assert_eq!(find_contradiction(&ok), None);
+    }
+
+    #[test]
+    fn normalization_is_order_insensitive() {
+        let a = [
+            FlowCondition::requires(NodeId(2), NodeId(3)),
+            FlowCondition::forbids(NodeId(0), NodeId(1)),
+            FlowCondition::requires(NodeId(1), NodeId(2)),
+        ];
+        let mut b = a;
+        b.reverse();
+        let c = [a[1], a[0], a[2]];
+        let na = normalize_conditions(&a).unwrap();
+        assert_eq!(na, normalize_conditions(&b).unwrap());
+        assert_eq!(na, normalize_conditions(&c).unwrap());
+        // Sorted by (source, sink, required).
+        assert_eq!(
+            na,
+            vec![
+                FlowCondition::forbids(NodeId(0), NodeId(1)),
+                FlowCondition::requires(NodeId(1), NodeId(2)),
+                FlowCondition::requires(NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn normalization_dedups_and_rejects_contradictions() {
+        let dup = [
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+        ];
+        assert_eq!(
+            normalize_conditions(&dup).unwrap(),
+            vec![FlowCondition::requires(NodeId(0), NodeId(1))]
+        );
+        let bad = [
+            FlowCondition::requires(NodeId(0), NodeId(1)),
+            FlowCondition::forbids(NodeId(0), NodeId(1)),
+        ];
+        assert_eq!(normalize_conditions(&bad), Err((NodeId(0), NodeId(1))));
+        assert_eq!(normalize_conditions(&[]), Ok(vec![]));
     }
 }

@@ -133,6 +133,15 @@ pub enum DegradationReason {
         /// The budget's target.
         target: f64,
     },
+    /// The estimate's confidence half-width is still above the
+    /// requested tolerance after all sampling the budget allowed (the
+    /// serving layer's precision contract; see DESIGN.md §11).
+    PrecisionNotReached {
+        /// Achieved half-width.
+        achieved: f64,
+        /// The requested tolerance.
+        target: f64,
+    },
 }
 
 impl DegradationReason {
@@ -148,6 +157,7 @@ impl DegradationReason {
             DegradationReason::ChainExcluded { .. } => "chain.excluded",
             DegradationReason::RhatAboveTarget { .. } => "budget.rhat_above_target",
             DegradationReason::EssBelowTarget { .. } => "budget.ess_below_target",
+            DegradationReason::PrecisionNotReached { .. } => "serve.precision_not_reached",
         }
     }
 
@@ -192,7 +202,8 @@ impl DegradationReason {
                 e.chain(*chain as u64).f64("chain_mean", *chain_mean)
             }
             DegradationReason::RhatAboveTarget { achieved, target }
-            | DegradationReason::EssBelowTarget { achieved, target } => {
+            | DegradationReason::EssBelowTarget { achieved, target }
+            | DegradationReason::PrecisionNotReached { achieved, target } => {
                 e.f64("achieved", *achieved).f64("target", *target)
             }
         }
@@ -245,6 +256,9 @@ impl std::fmt::Display for DegradationReason {
             }
             DegradationReason::EssBelowTarget { achieved, target } => {
                 write!(f, "effective sample size {achieved:.1} below target {target:.1}")
+            }
+            DegradationReason::PrecisionNotReached { achieved, target } => {
+                write!(f, "half-width {achieved:.4} above tolerance {target:.4}")
             }
         }
     }

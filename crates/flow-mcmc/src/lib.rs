@@ -34,6 +34,7 @@ pub mod influence;
 pub mod nested;
 pub mod parallel;
 pub mod sampler;
+pub mod shared;
 pub mod timed;
 
 pub use budget::{DegradationReason, EstimateDiagnostics, PartialEstimate, RunBudget};
@@ -43,4 +44,7 @@ pub use influence::{expected_spread, greedy_seeds, InfluenceConfig};
 pub use nested::{NestedConfig, NestedSampler};
 pub use parallel::{multi_chain_flow, multi_chain_flow_guarded, MultiChainEstimate};
 pub use sampler::{ConditionInitError, ProposalKind, PseudoStateSampler};
+pub use shared::{
+    shared_chain_flows, SharedChainOutcome, SharedChainRequest, SharedTarget, TargetCounts,
+};
 pub use timed::{ArrivalTimes, DelayModel, TimedFlowEstimator};

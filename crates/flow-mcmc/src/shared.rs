@@ -1,0 +1,478 @@
+//! Shared-chain, budget-aware flow evaluation — the sampling primitive
+//! behind the `flow-serve` query engine.
+//!
+//! [`FlowEstimator::estimate_flows_from`] already amortizes one chain
+//! across many sinks, but it always pays full burn-in, cannot resume
+//! from a cached chain, and has no notion of a deadline. The serving
+//! workload (many overlapping queries against one learned model) needs
+//! all three, so [`shared_chain_flows`] generalizes it:
+//!
+//! * **many targets, one chain** — each retained pseudo-state computes
+//!   the source's reach set once (`O(m)`) and reads off every target:
+//!   plain sinks and whole communities ([`SharedTarget`]);
+//! * **warm starts** — an optional [`ChainCheckpoint`] seeds the chain
+//!   mid-trajectory, skipping burn-in entirely (the serving cache's
+//!   refinement path);
+//! * **budgets** — per-call step and wall-clock bounds; when one runs
+//!   out the call returns what it collected plus an explicit
+//!   [`DegradationReason`] instead of stalling the batch;
+//! * **resumability** — the outcome carries a checkpoint of the final
+//!   chain state, so the *next* query for the same chain can continue
+//!   where this one stopped.
+
+use crate::budget::DegradationReason;
+use crate::checkpoint::ChainCheckpoint;
+use crate::estimator::McmcConfig;
+use crate::sampler::PseudoStateSampler;
+use flow_core::FlowResult;
+use flow_graph::NodeId;
+use flow_icm::{FlowCondition, Icm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One thing a shared chain evaluates at every retained sample.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SharedTarget {
+    /// End-to-end flow `source ~> sink` (Eq. 5/6).
+    Sink(NodeId),
+    /// Source-to-community flow (§II's multiple-sink flow): tracked as
+    /// all-reached / any-reached / member-count statistics.
+    Community(Vec<NodeId>),
+}
+
+/// Hit counters for one target, accumulated over retained samples.
+///
+/// For a [`SharedTarget::Sink`] the three counters coincide (`members`
+/// counts hits); for a community they are the numerators of the
+/// all / any / expected-fraction statistics of
+/// [`crate::estimator::CommunityFlow`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetCounts {
+    /// Samples in which *every* member (or the sink) was reached.
+    pub all: u64,
+    /// Samples in which *at least one* member (or the sink) was reached.
+    pub any: u64,
+    /// Total member hits across samples (= `all` for a sink).
+    pub members: u64,
+}
+
+impl TargetCounts {
+    /// Merges counts from a second run over the same chain/target
+    /// (pooling cached and refinement samples).
+    pub fn merge(&self, other: &TargetCounts) -> TargetCounts {
+        TargetCounts {
+            all: self.all + other.all,
+            any: self.any + other.any,
+            members: self.members + other.members,
+        }
+    }
+}
+
+/// One shared-chain evaluation request.
+#[derive(Clone, Debug)]
+pub struct SharedChainRequest<'a> {
+    /// Flow source shared by every target.
+    pub source: NodeId,
+    /// Targets read off each retained sample.
+    pub targets: &'a [SharedTarget],
+    /// Flow conditions (normalized upstream; they shape the chain).
+    pub conditions: &'a [FlowCondition],
+    /// Chain seed (ignored when `warm` is given — the checkpoint's RNG
+    /// state continues instead).
+    pub seed: u64,
+    /// Optional chain state to continue from, skipping burn-in.
+    pub warm: Option<&'a ChainCheckpoint>,
+    /// Retained samples to collect in this call.
+    pub samples: usize,
+    /// Step budget for this call (burn-in plus thinning).
+    pub max_steps: Option<u64>,
+    /// Wall-clock budget for this call.
+    pub deadline: Option<Duration>,
+}
+
+/// What a shared-chain evaluation produced.
+#[derive(Clone, Debug)]
+pub struct SharedChainOutcome {
+    /// Per-target counters, aligned with the request's target order.
+    pub counts: Vec<TargetCounts>,
+    /// Retained samples actually collected (≤ requested on budget
+    /// exhaustion).
+    pub samples_done: usize,
+    /// Chain steps consumed by this call.
+    pub steps: u64,
+    /// Every way the call fell short; empty means it ran to completion.
+    pub degradation: Vec<DegradationReason>,
+    /// The final chain state, capturable for warm continuation.
+    pub checkpoint: ChainCheckpoint,
+}
+
+/// Budget bookkeeping for one call: steps consumed and wall elapsed.
+struct CallBudget {
+    start_steps: u64,
+    max_steps: Option<u64>,
+    started: Option<Instant>,
+    deadline: Option<Duration>,
+}
+
+impl CallBudget {
+    fn new(start_steps: u64, req: &SharedChainRequest<'_>) -> Self {
+        // Wall deadlines bound the loop; they never feed the trajectory.
+        #[allow(clippy::disallowed_methods)]
+        let started = req.deadline.map(|_| Instant::now()); // flow-analyze: allow(L2: deadline budget accounting only)
+        CallBudget {
+            start_steps,
+            max_steps: req.max_steps,
+            started,
+            deadline: req.deadline,
+        }
+    }
+
+    /// Whether the next block of `upcoming` steps fits, and if not, why.
+    fn check(&self, now_steps: u64, upcoming: u64) -> Option<&'static str> {
+        if let Some(max) = self.max_steps {
+            if now_steps - self.start_steps + upcoming > max {
+                return Some("steps");
+            }
+        }
+        if let (Some(t0), Some(limit)) = (&self.started, self.deadline) {
+            if t0.elapsed() >= limit {
+                return Some("wall");
+            }
+        }
+        None
+    }
+}
+
+/// Estimates flows to many targets from a single chain under a budget.
+///
+/// Cold starts pay `config`'s burn-in; warm starts continue the
+/// checkpointed trajectory directly. The call never spins past its
+/// budget: on exhaustion it returns the counts collected so far with a
+/// [`DegradationReason::StepBudgetExhausted`] /
+/// [`DegradationReason::WallClockExhausted`] marker, and the returned
+/// checkpoint lets a later call continue the same chain.
+pub fn shared_chain_flows(
+    icm: &Icm,
+    config: &McmcConfig,
+    req: &SharedChainRequest<'_>,
+) -> FlowResult<SharedChainOutcome> {
+    let m = icm.edge_count();
+    let thin = config.thin_steps(m) as u64;
+    let (mut sampler, mut rng) = match req.warm {
+        Some(ckpt) => ckpt.restore_with_conditions(icm, req.conditions.to_vec())?,
+        None => {
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let sampler = PseudoStateSampler::with_conditions(
+                icm,
+                config.proposal,
+                req.conditions.to_vec(),
+                &mut rng,
+            )?;
+            (sampler, rng)
+        }
+    };
+    let entry_steps = sampler.steps();
+    let budget = CallBudget::new(entry_steps, req);
+    let mut degradation = Vec::new();
+    let mut counts = vec![TargetCounts::default(); req.targets.len()];
+    let mut samples_done = 0usize;
+
+    let exhausted = |why: &'static str, done: usize, degradation: &mut Vec<_>| {
+        let reason = if why == "steps" {
+            DegradationReason::StepBudgetExhausted {
+                chain: 0,
+                samples_collected: done,
+                samples_requested: req.samples,
+            }
+        } else {
+            DegradationReason::WallClockExhausted {
+                chain: 0,
+                samples_collected: done,
+                samples_requested: req.samples,
+            }
+        };
+        flow_obs::event(|| reason.to_obs_event());
+        degradation.push(reason);
+    };
+
+    // Burn-in (cold starts only), in thin-sized blocks so a tight
+    // budget can interrupt it.
+    if req.warm.is_none() {
+        let _burn = flow_obs::span("mcmc.burn_in");
+        let mut remaining = config.burn_in_steps(m) as u64;
+        while remaining > 0 {
+            let block = remaining.min(thin.max(64));
+            if let Some(why) = budget.check(sampler.steps(), block) {
+                exhausted(why, 0, &mut degradation);
+                let checkpoint = ChainCheckpoint::capture(&mut sampler, &rng);
+                return Ok(SharedChainOutcome {
+                    counts,
+                    samples_done: 0,
+                    steps: sampler.steps() - entry_steps,
+                    degradation,
+                    checkpoint,
+                });
+            }
+            sampler.try_run(block as usize, &mut rng)?;
+            remaining -= block;
+        }
+    }
+
+    {
+        let _sampling = flow_obs::span("mcmc.sampling");
+        for _ in 0..req.samples {
+            if let Some(why) = budget.check(sampler.steps(), thin) {
+                exhausted(why, samples_done, &mut degradation);
+                break;
+            }
+            sampler.try_run(thin as usize, &mut rng)?;
+            let source = req.source;
+            let reach = sampler.reach_set(&[source]);
+            for (k, target) in req.targets.iter().enumerate() {
+                match target {
+                    SharedTarget::Sink(sink) => {
+                        if *sink != source && reach.get(sink.index()) {
+                            counts[k].all += 1;
+                            counts[k].any += 1;
+                            counts[k].members += 1;
+                        }
+                    }
+                    SharedTarget::Community(members) => {
+                        let reached = members
+                            .iter()
+                            .filter(|&&v| v != source && reach.get(v.index()))
+                            .count() as u64;
+                        if reached == members.len() as u64 && !members.is_empty() {
+                            counts[k].all += 1;
+                        }
+                        if reached > 0 {
+                            counts[k].any += 1;
+                        }
+                        counts[k].members += reached;
+                    }
+                }
+            }
+            samples_done += 1;
+        }
+    }
+
+    let checkpoint = ChainCheckpoint::capture(&mut sampler, &rng);
+    Ok(SharedChainOutcome {
+        counts,
+        samples_done,
+        steps: sampler.steps() - entry_steps,
+        degradation,
+        checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::FlowEstimator;
+    use flow_graph::graph::graph_from_edges;
+    use flow_icm::exact::enumerate_flow_probability;
+
+    fn diamond_icm() -> Icm {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        Icm::new(g, vec![0.7, 0.4, 0.5, 0.6])
+    }
+
+    fn cfg(samples: usize) -> McmcConfig {
+        McmcConfig {
+            samples,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shared_chain_matches_enumeration() -> FlowResult<()> {
+        let icm = diamond_icm();
+        let targets = vec![
+            SharedTarget::Sink(NodeId(1)),
+            SharedTarget::Sink(NodeId(2)),
+            SharedTarget::Sink(NodeId(3)),
+            SharedTarget::Community(vec![NodeId(1), NodeId(3)]),
+        ];
+        let out = shared_chain_flows(
+            &icm,
+            &cfg(20_000),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &[],
+                seed: 11,
+                warm: None,
+                samples: 20_000,
+                max_steps: None,
+                deadline: None,
+            },
+        )?;
+        assert!(out.degradation.is_empty());
+        assert_eq!(out.samples_done, 20_000);
+        let n = out.samples_done as f64;
+        for (k, sink) in [NodeId(1), NodeId(2), NodeId(3)].iter().enumerate() {
+            let exact = enumerate_flow_probability(&icm, NodeId(0), *sink);
+            let got = out.counts[k].all as f64 / n;
+            assert!((got - exact).abs() < 0.012, "sink {sink}: {got} vs {exact}");
+        }
+        // Community counters are internally coherent.
+        let c = out.counts[3];
+        assert!(c.all <= c.any);
+        assert!(c.members <= 2 * out.samples_done as u64);
+        assert!(c.all + c.any <= c.members + out.samples_done as u64);
+        Ok(())
+    }
+
+    #[test]
+    fn shared_chain_is_seed_deterministic_and_target_independent() -> FlowResult<()> {
+        let icm = diamond_icm();
+        let run = |targets: &[SharedTarget]| {
+            shared_chain_flows(
+                &icm,
+                &cfg(500),
+                &SharedChainRequest {
+                    source: NodeId(0),
+                    targets,
+                    conditions: &[],
+                    seed: 99,
+                    warm: None,
+                    samples: 500,
+                    max_steps: None,
+                    deadline: None,
+                },
+            )
+        };
+        let solo = run(&[SharedTarget::Sink(NodeId(3))])?;
+        let batch = run(&[SharedTarget::Sink(NodeId(1)), SharedTarget::Sink(NodeId(3))])?;
+        // Adding targets must not perturb the trajectory: the sink-3
+        // counts are identical whether estimated alone or in a batch.
+        assert_eq!(solo.counts[0], batch.counts[1]);
+        assert_eq!(solo.checkpoint, batch.checkpoint);
+        Ok(())
+    }
+
+    #[test]
+    fn step_budget_degrades_instead_of_stalling() -> FlowResult<()> {
+        let icm = diamond_icm();
+        let targets = vec![SharedTarget::Sink(NodeId(3))];
+        let out = shared_chain_flows(
+            &icm,
+            &cfg(1_000),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &[],
+                seed: 5,
+                warm: None,
+                samples: 1_000,
+                max_steps: Some(600), // burn-in alone is 500
+                deadline: None,
+            },
+        )?;
+        assert!(out.samples_done < 1_000);
+        assert!(out.steps <= 600 + 64);
+        assert!(matches!(
+            out.degradation.as_slice(),
+            [DegradationReason::StepBudgetExhausted { .. }]
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn warm_start_skips_burn_in_and_continues() -> FlowResult<()> {
+        let icm = diamond_icm();
+        let targets = vec![SharedTarget::Sink(NodeId(3))];
+        let cold = shared_chain_flows(
+            &icm,
+            &cfg(400),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &[],
+                seed: 7,
+                warm: None,
+                samples: 400,
+                max_steps: None,
+                deadline: None,
+            },
+        )?;
+        let warm = shared_chain_flows(
+            &icm,
+            &cfg(400),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &[],
+                seed: 0, // ignored on warm start
+                warm: Some(&cold.checkpoint),
+                samples: 400,
+                max_steps: None,
+                deadline: None,
+            },
+        )?;
+        // No burn-in: exactly thin steps per retained sample.
+        let thin = cfg(400).thin_steps(icm.edge_count()) as u64;
+        assert_eq!(warm.steps, 400 * thin);
+        assert_eq!(warm.samples_done, 400);
+        // Pooled estimate is statistically sane.
+        let exact = enumerate_flow_probability(&icm, NodeId(0), NodeId(3));
+        let pooled = cold.counts[0].merge(&warm.counts[0]);
+        let got = pooled.all as f64 / 800.0;
+        assert!((got - exact).abs() < 0.08, "{got} vs {exact}");
+        Ok(())
+    }
+
+    #[test]
+    fn conditions_are_respected() -> FlowResult<()> {
+        let icm = diamond_icm();
+        let conditions = vec![FlowCondition::requires(NodeId(0), NodeId(1))];
+        let targets = vec![SharedTarget::Sink(NodeId(1))];
+        let out = shared_chain_flows(
+            &icm,
+            &cfg(300),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &conditions,
+                seed: 3,
+                warm: None,
+                samples: 300,
+                max_steps: None,
+                deadline: None,
+            },
+        )?;
+        // The required flow holds in every retained sample.
+        assert_eq!(out.counts[0].all, 300);
+        Ok(())
+    }
+
+    #[test]
+    fn shared_chain_agrees_with_flow_estimator() {
+        // The serving primitive and the paper-facing estimator are two
+        // views of the same chain protocol; their estimates must agree.
+        let icm = diamond_icm();
+        let targets = vec![SharedTarget::Sink(NodeId(3))];
+        let out = shared_chain_flows(
+            &icm,
+            &cfg(20_000),
+            &SharedChainRequest {
+                source: NodeId(0),
+                targets: &targets,
+                conditions: &[],
+                seed: 21,
+                warm: None,
+                samples: 20_000,
+                max_steps: None,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        let shared = out.counts[0].all as f64 / out.samples_done as f64;
+        let mut rng = StdRng::seed_from_u64(22);
+        let est =
+            FlowEstimator::new(&icm, cfg(20_000)).estimate_flow(NodeId(0), NodeId(3), &mut rng);
+        assert!((shared - est).abs() < 0.02, "shared {shared} vs est {est}");
+    }
+}

@@ -47,7 +47,7 @@ pub mod span;
 pub mod trace;
 
 pub use event::{Event, FieldValue};
-pub use recorder::{enabled, set_global, ChainContext, Recorder, ScopedRecorder};
+pub use recorder::{current_recorder, enabled, set_global, ChainContext, Recorder, ScopedRecorder};
 pub use registry::{FixedHistogram, MetricsRegistry, MetricsSnapshot, TimingStat};
 pub use sink::{JsonlSink, MemorySink, MultiSink, StderrSummarySink};
 pub use span::Span;

@@ -174,6 +174,25 @@ pub(crate) fn current_chain() -> Option<u64> {
     CHAIN.with(Cell::get)
 }
 
+/// The recorder the current thread would dispatch to (thread-local
+/// first, then global), or `None` when telemetry is off.
+///
+/// Worker pools use this to *propagate* the caller's recorder into
+/// spawned threads: capture it before `spawn`, then
+/// [`ScopedRecorder::install`] the clone inside each worker. Without
+/// this, a test's thread-scoped sink would silently miss everything
+/// its workers emit.
+pub fn current_recorder() -> Option<Arc<dyn Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    let local = LOCAL.with(|l| l.try_borrow().ok().and_then(|g| g.clone()));
+    if local.is_some() {
+        return local;
+    }
+    GLOBAL.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
 /// Runs `f` against the active recorder (thread-local first, then
 /// global); no-op when none is installed. Callers check [`enabled`]
 /// first so the disabled path never reaches the locks below.

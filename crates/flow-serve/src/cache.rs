@@ -1,0 +1,471 @@
+//! Versioned, byte-budgeted LRU cache of flow estimates.
+//!
+//! Each entry stores the *sufficient statistics* of a finished chain —
+//! hit counts, sample count, the chain seed, the model version, and a
+//! resumable [`ChainCheckpoint`] — not just the point estimate. That
+//! buys two serving behaviours:
+//!
+//! * **precision-aware admission**: a lookup is a usable hit only when
+//!   the entry's confidence half-width meets the request's tolerance
+//!   (the engine checks this; the cache just reports the entry), so a
+//!   sloppy early answer never masquerades as a precise one;
+//! * **warm refinement**: when the cached precision is insufficient,
+//!   the checkpoint seeds a continuation of the *same* chain and the
+//!   old counts pool with the new ones — cached work is never thrown
+//!   away, it is a head start.
+//!
+//! Entries are keyed by [`QueryKey::hash64`] and verified against the
+//! full key on every read, so hash collisions degrade to misses. The
+//! model fingerprint inside the key versions the population: retraining
+//! the ICM changes every key, and stale entries age out through the LRU
+//! byte budget. Hit/miss/eviction counters mirror to `flow-obs`
+//! (`serve.cache.*`) for the serving smoke test and dashboards.
+
+use crate::key::QueryKey;
+use flow_core::{FlowError, FlowResult};
+use flow_mcmc::{ChainCheckpoint, TargetCounts};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Magic first line of the persisted-cache text format.
+const HEADER: &str = "flowserve-cache v1";
+
+/// 95% confidence half-width of a Bernoulli frequency estimate from `n`
+/// samples. The variance is floored at `1/n` so degenerate estimates
+/// (all hits or none) still report honest, shrinking-with-`n` width;
+/// `n = 0` is infinitely wide.
+pub fn half_width(estimate: f64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let nf = n as f64;
+    let variance = (estimate * (1.0 - estimate)).max(1.0 / nf);
+    1.96 * (variance / nf).sqrt()
+}
+
+/// One cached chain result.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The canonical query this entry answers.
+    pub key: QueryKey,
+    /// Accumulated hit counts for the key's target.
+    pub counts: TargetCounts,
+    /// Retained samples behind `counts`.
+    pub samples: u64,
+    /// Chain seed the trajectory started from (refinements keep it).
+    pub seed: u64,
+    /// Model fingerprint at collection time (mirrors `key.fingerprint`;
+    /// checked explicitly on read as a corruption guard).
+    pub model_version: u64,
+    /// Resumable chain state for warm refinement.
+    pub checkpoint: ChainCheckpoint,
+}
+
+impl CacheEntry {
+    /// The point estimate: all-targets hit frequency.
+    pub fn estimate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.counts.all as f64 / self.samples as f64
+        }
+    }
+
+    /// The entry's 95% confidence half-width.
+    pub fn half_width(&self) -> f64 {
+        half_width(self.estimate(), self.samples)
+    }
+
+    /// Approximate heap footprint, for the byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        let key_bytes = 64
+            + self.key.conditions.len() * 12
+            + match &self.key.target {
+                flow_mcmc::SharedTarget::Sink(_) => 8,
+                flow_mcmc::SharedTarget::Community(m) => 8 + m.len() * 4,
+            };
+        let ckpt_bytes = 96 + self.checkpoint.active_edges.len() * 4;
+        key_bytes + ckpt_bytes + 64
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// The LRU estimate cache.
+#[derive(Debug)]
+pub struct ServeCache {
+    slots: HashMap<u64, Slot>,
+    byte_budget: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ServeCache {
+    /// An empty cache bounded by `byte_budget` approximate bytes.
+    pub fn new(byte_budget: usize) -> Self {
+        ServeCache {
+            slots: HashMap::new(),
+            byte_budget,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up an entry, bumping its recency. A hash match whose full
+    /// key or model version disagrees counts as a miss (collision or
+    /// corruption), never as a wrong answer.
+    pub fn lookup(&mut self, key: &QueryKey) -> Option<&CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let hash = key.hash64();
+        let found = match self.slots.get_mut(&hash) {
+            Some(slot) if slot.entry.key == *key && slot.entry.model_version == key.fingerprint => {
+                slot.last_used = tick;
+                true
+            }
+            _ => false,
+        };
+        if found {
+            self.hits += 1;
+            flow_obs::counter("serve.cache.hit", 1);
+            self.slots.get(&hash).map(|s| &s.entry)
+        } else {
+            self.misses += 1;
+            flow_obs::counter("serve.cache.miss", 1);
+            None
+        }
+    }
+
+    /// Inserts (or replaces) an entry, then evicts least-recently-used
+    /// entries until the byte budget holds. An entry larger than the
+    /// whole budget is dropped immediately (counted as an eviction).
+    pub fn insert(&mut self, entry: CacheEntry) {
+        self.tick += 1;
+        let hash = entry.key.hash64();
+        let bytes = entry.approx_bytes();
+        if let Some(old) = self.slots.remove(&hash) {
+            self.bytes -= old.bytes;
+        }
+        if bytes > self.byte_budget {
+            self.evictions += 1;
+            flow_obs::counter("serve.cache.evict", 1);
+            flow_obs::gauge("serve.cache.bytes", self.bytes as f64);
+            return;
+        }
+        self.bytes += bytes;
+        self.slots.insert(
+            hash,
+            Slot {
+                entry,
+                last_used: self.tick,
+                bytes,
+            },
+        );
+        while self.bytes > self.byte_budget {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(h, _)| *h);
+            let Some(victim) = victim else { break };
+            if let Some(gone) = self.slots.remove(&victim) {
+                self.bytes -= gone.bytes;
+                self.evictions += 1;
+                flow_obs::counter("serve.cache.evict", 1);
+            }
+        }
+        flow_obs::gauge("serve.cache.bytes", self.bytes as f64);
+    }
+
+    /// Cache hits since construction (or load).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since construction (or load).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions since construction (or load).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Persists every resident entry to `<dir>/cache.flowserve` in a
+    /// line-based text format (entries sorted by key hash so the file
+    /// is deterministic for a given population).
+    pub fn save_to_dir(&self, dir: &Path) -> FlowResult<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut hashes: Vec<u64> = self.slots.keys().copied().collect();
+        hashes.sort_unstable();
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("entries={}\n", hashes.len()));
+        for h in hashes {
+            let Some(slot) = self.slots.get(&h) else {
+                continue;
+            };
+            let e = &slot.entry;
+            let ckpt = e.checkpoint.to_text();
+            out.push_str(&format!("key={}\n", e.key.to_text()));
+            out.push_str(&format!(
+                "counts={} {} {}\n",
+                e.counts.all, e.counts.any, e.counts.members
+            ));
+            out.push_str(&format!("samples={}\n", e.samples));
+            out.push_str(&format!("seed={}\n", e.seed));
+            out.push_str(&format!("ckpt_lines={}\n", ckpt.lines().count()));
+            out.push_str(&ckpt);
+            if !ckpt.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        std::fs::write(dir.join("cache.flowserve"), out)?;
+        Ok(())
+    }
+
+    /// Loads a cache persisted by [`ServeCache::save_to_dir`]. A missing
+    /// file yields an empty cache (cold start); a malformed file is a
+    /// typed [`FlowError::Checkpoint`] error.
+    pub fn load_from_dir(dir: &Path, byte_budget: usize) -> FlowResult<Self> {
+        let path = dir.join("cache.flowserve");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ServeCache::new(byte_budget));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Self::from_text(&text, byte_budget)
+    }
+
+    fn from_text(text: &str, byte_budget: usize) -> FlowResult<Self> {
+        let corrupt = |detail: String| FlowError::Checkpoint { detail };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(corrupt(format!("bad cache header; expected `{HEADER}`")));
+        }
+        let count_line = lines
+            .next()
+            .ok_or_else(|| corrupt("truncated cache: missing entry count".into()))?;
+        let count: usize = count_line
+            .strip_prefix("entries=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt(format!("bad entry count line `{count_line}`")))?;
+        let mut cache = ServeCache::new(byte_budget);
+        let expect = |lines: &mut std::str::Lines<'_>, prefix: &str| -> FlowResult<String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt(format!("truncated cache: missing `{prefix}` line")))?;
+            line.strip_prefix(prefix)
+                .map(str::to_owned)
+                .ok_or_else(|| corrupt(format!("expected `{prefix}...`, got `{line}`")))
+        };
+        for _ in 0..count {
+            let key = QueryKey::from_text(&expect(&mut lines, "key=")?)?;
+            let counts_text = expect(&mut lines, "counts=")?;
+            let mut parts = counts_text.split_whitespace();
+            let mut next_u64 = |what: &str| -> FlowResult<u64> {
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| corrupt(format!("bad counts field `{what}`")))
+            };
+            let counts = TargetCounts {
+                all: next_u64("all")?,
+                any: next_u64("any")?,
+                members: next_u64("members")?,
+            };
+            let samples: u64 = expect(&mut lines, "samples=")?
+                .parse()
+                .map_err(|_| corrupt("bad samples".into()))?;
+            let seed: u64 = expect(&mut lines, "seed=")?
+                .parse()
+                .map_err(|_| corrupt("bad seed".into()))?;
+            let ckpt_lines: usize = expect(&mut lines, "ckpt_lines=")?
+                .parse()
+                .map_err(|_| corrupt("bad ckpt_lines".into()))?;
+            let mut ckpt_text = String::new();
+            for _ in 0..ckpt_lines {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| corrupt("truncated checkpoint in cache".into()))?;
+                ckpt_text.push_str(line);
+                ckpt_text.push('\n');
+            }
+            let checkpoint = ChainCheckpoint::from_text(&ckpt_text)?;
+            let model_version = key.fingerprint;
+            cache.insert(CacheEntry {
+                key,
+                counts,
+                samples,
+                seed,
+                model_version,
+                checkpoint,
+            });
+        }
+        // Loading is population, not traffic: reset the flow counters.
+        cache.hits = 0;
+        cache.misses = 0;
+        cache.evictions = 0;
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flow_graph::graph::graph_from_edges;
+    use flow_graph::NodeId;
+    use flow_icm::Icm;
+    use flow_mcmc::{McmcConfig, SharedTarget};
+
+    fn icm() -> Icm {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        Icm::new(g, vec![0.7, 0.4, 0.5, 0.6])
+    }
+
+    fn entry_for(model: &Icm, sink: u32, samples: u64) -> CacheEntry {
+        let key = QueryKey::canonical(
+            NodeId(0),
+            &SharedTarget::Sink(NodeId(sink)),
+            &[],
+            &McmcConfig::default(),
+            model,
+        )
+        .unwrap();
+        let fingerprint = key.fingerprint;
+        CacheEntry {
+            key,
+            counts: TargetCounts {
+                all: samples / 2,
+                any: samples / 2,
+                members: samples / 2,
+            },
+            samples,
+            seed: 42,
+            model_version: fingerprint,
+            checkpoint: ChainCheckpoint {
+                edge_count: model.edge_count(),
+                active_edges: vec![0, 2],
+                proposal: Default::default(),
+                steps: 1000,
+                accepted: 400,
+                rng_state: [1, 2, 3, 4],
+            },
+        }
+    }
+
+    #[test]
+    fn half_width_shrinks_and_floors() {
+        assert!(half_width(0.5, 0).is_infinite());
+        assert!(half_width(0.5, 100) > half_width(0.5, 10_000));
+        // Degenerate estimates still report non-zero width.
+        assert!(half_width(0.0, 1000) > 0.0);
+        assert!(half_width(1.0, 1000) > 0.0);
+    }
+
+    #[test]
+    fn lookup_hits_then_misses_on_other_key() {
+        let model = icm();
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&model, 3, 100));
+        let hit_key = entry_for(&model, 3, 100).key;
+        let miss_key = entry_for(&model, 1, 100).key;
+        assert!(cache.lookup(&hit_key).is_some());
+        assert!(cache.lookup(&miss_key).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget_and_recency() {
+        let model = icm();
+        let one = entry_for(&model, 1, 100).approx_bytes();
+        // Room for two entries, not three.
+        let mut cache = ServeCache::new(one * 2 + one / 2);
+        cache.insert(entry_for(&model, 1, 100));
+        cache.insert(entry_for(&model, 2, 100));
+        // Touch sink-1 so sink-2 is the LRU victim.
+        let k1 = entry_for(&model, 1, 100).key;
+        assert!(cache.lookup(&k1).is_some());
+        cache.insert(entry_for(&model, 3, 100));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&k1).is_some(), "recently-used entry survives");
+        let k2 = entry_for(&model, 2, 100).key;
+        assert!(cache.lookup(&k2).is_none(), "LRU entry was evicted");
+        assert!(cache.bytes() <= one * 2 + one / 2);
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let model = icm();
+        let mut cache = ServeCache::new(8);
+        cache.insert(entry_for(&model, 1, 100));
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn persistence_round_trips() {
+        let model = icm();
+        let dir = std::env::temp_dir().join(format!(
+            "flow-serve-cache-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&model, 1, 100));
+        cache.insert(entry_for(&model, 3, 250));
+        cache.save_to_dir(&dir).unwrap();
+        let mut loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let k = entry_for(&model, 3, 250).key;
+        let e = loaded.lookup(&k).unwrap();
+        assert_eq!(e.samples, 250);
+        assert_eq!(e.counts.all, 125);
+        assert_eq!(e.checkpoint.rng_state, [1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_cache_dir_loads_empty() {
+        let dir = std::env::temp_dir().join("flow-serve-no-such-cache-dir");
+        let cache = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupt_cache_is_a_typed_error() {
+        let err = ServeCache::from_text("not a cache\n", 1 << 20).unwrap_err();
+        assert!(matches!(err, FlowError::Checkpoint { .. }));
+    }
+}

@@ -1,0 +1,370 @@
+//! The serving engine: batch execution, cache maintenance, statistics.
+//!
+//! [`ServeEngine::execute_batch`] is the one entry point: it plans the
+//! batch ([`crate::plan`]), runs the sampling plans on the bounded
+//! worker pool ([`crate::exec`]), folds outcomes back into per-query
+//! [`QueryOutcome`]s in submission order, and updates the estimate
+//! cache so the *next* batch gets hits and warm starts.
+//!
+//! The precision contract: every answered query reports its achieved
+//! 95% half-width, and when that is looser than the requested tolerance
+//! (budget exhaustion, deadline degradation, or sample caps) the answer
+//! carries an explicit
+//! [`DegradationReason::PrecisionNotReached`] rather than silently
+//! under-delivering.
+
+use crate::cache::{half_width, CacheEntry, ServeCache};
+use crate::exec::{run_plans, ExecutorConfig, PlanStatus};
+use crate::plan::{
+    plan_batch, BatchPlan, EarlyResolution, FlowQuery, Plan, PlanWork, PlannerConfig,
+};
+use flow_core::FlowError;
+use flow_icm::Icm;
+use flow_mcmc::{DegradationReason, McmcConfig, SharedChainOutcome, TargetCounts};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Baseline chain configuration (class + minimum samples).
+    pub mcmc: McmcConfig,
+    /// Tolerance applied when a query does not state one.
+    pub default_tolerance: f64,
+    /// Worker pool and admission queue shape.
+    pub executor: ExecutorConfig,
+    /// Estimate-cache byte budget (0 disables caching).
+    pub cache_bytes: usize,
+    /// Engine seed; chain seeds derive from it and each chain key.
+    pub engine_seed: u64,
+    /// Hard per-plan cap on retained samples.
+    pub max_samples: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            mcmc: McmcConfig::default(),
+            default_tolerance: 0.02,
+            executor: ExecutorConfig::default(),
+            cache_bytes: 8 << 20,
+            engine_seed: 0,
+            max_samples: 200_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn planner(&self) -> PlannerConfig {
+        PlannerConfig {
+            mcmc: self.mcmc,
+            default_tolerance: self.default_tolerance,
+            engine_seed: self.engine_seed,
+            max_samples: self.max_samples,
+        }
+    }
+}
+
+/// How an answer was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Fresh sampling on a (possibly shared) cold chain.
+    Fresh,
+    /// Straight from cache; zero chain steps spent.
+    CacheHit,
+    /// Warm continuation of a cached chain, counts pooled.
+    WarmRefinement,
+}
+
+/// A served estimate.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// Flow-probability estimate (all-targets frequency).
+    pub estimate: f64,
+    /// Achieved 95% confidence half-width.
+    pub half_width: f64,
+    /// Retained samples behind the estimate.
+    pub samples: u64,
+    /// Production path.
+    pub served: Served,
+    /// Every way the answer fell short; empty means clean.
+    pub degradation: Vec<DegradationReason>,
+}
+
+/// Per-query result of a batch.
+#[derive(Clone, Debug)]
+pub enum QueryOutcome {
+    /// The query was answered (possibly degraded; see the answer).
+    Answered(Answer),
+    /// Explicit backpressure: the submission queue was full.
+    Rejected {
+        /// True when the rejection came from queue admission.
+        queue_full: bool,
+    },
+    /// The query failed with a typed error before or during sampling.
+    Failed(FlowError),
+}
+
+/// Counters accumulated across batches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Queries submitted.
+    pub queries: u64,
+    /// Queries answered (any `Served` path).
+    pub answered: u64,
+    /// Answers served straight from cache.
+    pub cache_hits: u64,
+    /// Answers requiring fresh sampling.
+    pub fresh: u64,
+    /// Answers served by warm refinement.
+    pub refined: u64,
+    /// Queries rejected by backpressure.
+    pub rejected: u64,
+    /// Queries failed with typed errors.
+    pub failed: u64,
+    /// Shared plans executed.
+    pub plans: u64,
+    /// Total chain steps spent.
+    pub steps: u64,
+    /// Answers carrying at least one degradation reason.
+    pub degraded: u64,
+}
+
+/// The serving engine. Owns the cache; one instance per model-serving
+/// process (the model itself is passed per batch so a retrain shows up
+/// as a fingerprint change, not an engine rebuild).
+pub struct ServeEngine {
+    config: ServeConfig,
+    cache: ServeCache,
+    stats: ServeStats,
+}
+
+impl ServeEngine {
+    /// An engine with a cold cache.
+    pub fn new(config: ServeConfig) -> Self {
+        let cache = ServeCache::new(config.cache_bytes);
+        ServeEngine {
+            config,
+            cache,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// An engine over a pre-populated (e.g. loaded-from-disk) cache.
+    pub fn with_cache(config: ServeConfig, cache: ServeCache) -> Self {
+        ServeEngine {
+            config,
+            cache,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The engine's cache (e.g. for persistence).
+    pub fn cache(&self) -> &ServeCache {
+        &self.cache
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Executes a batch of queries, returning one outcome per query in
+    /// submission order.
+    pub fn execute_batch(&mut self, icm: &Icm, queries: &[FlowQuery]) -> Vec<QueryOutcome> {
+        let _batch = flow_obs::span("serve.batch");
+        self.stats.queries += queries.len() as u64;
+        let batch: BatchPlan = plan_batch(icm, &mut self.cache, &self.config.planner(), queries);
+        self.stats.plans += batch.plans.len() as u64;
+
+        let statuses = run_plans(icm, &batch.plans, &self.config.executor);
+
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
+        for (i, early) in batch.early.iter().enumerate() {
+            match early {
+                Some(EarlyResolution::Hit(estimate, hw, samples)) => {
+                    let tolerance = queries
+                        .get(i)
+                        .and_then(|q| q.tolerance)
+                        .unwrap_or(self.config.default_tolerance);
+                    outcomes[i] = Some(self.answered(Answer {
+                        estimate: *estimate,
+                        half_width: *hw,
+                        samples: *samples,
+                        served: Served::CacheHit,
+                        degradation: precision_check(*hw, tolerance),
+                    }));
+                }
+                Some(EarlyResolution::Failed(e)) => {
+                    self.stats.failed += 1;
+                    outcomes[i] = Some(QueryOutcome::Failed(e.clone()));
+                }
+                None => {}
+            }
+        }
+
+        for (plan, status) in batch.plans.iter().zip(statuses) {
+            self.fold_plan(plan, status, &mut outcomes);
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(QueryOutcome::Failed(FlowError::Io {
+                    detail: "query matched no plan and no early resolution".into(),
+                }))
+            })
+            .collect()
+    }
+
+    fn answered(&mut self, answer: Answer) -> QueryOutcome {
+        self.stats.answered += 1;
+        match answer.served {
+            Served::CacheHit => self.stats.cache_hits += 1,
+            Served::Fresh => self.stats.fresh += 1,
+            Served::WarmRefinement => self.stats.refined += 1,
+        }
+        if !answer.degradation.is_empty() {
+            self.stats.degraded += 1;
+        }
+        QueryOutcome::Answered(answer)
+    }
+
+    fn fold_plan(
+        &mut self,
+        plan: &Plan,
+        status: PlanStatus,
+        outcomes: &mut [Option<QueryOutcome>],
+    ) {
+        match (&plan.work, status) {
+            (PlanWork::Shared { entries, seed, .. }, PlanStatus::Completed(outcome)) => {
+                self.stats.steps += outcome.steps;
+                for (slot, entry) in entries.iter().enumerate() {
+                    let counts = outcome
+                        .counts
+                        .get(slot)
+                        .copied()
+                        .unwrap_or(TargetCounts::default());
+                    let answer = self.finish_answer(
+                        entry.tolerance,
+                        counts,
+                        outcome.samples_done as u64,
+                        Served::Fresh,
+                        &outcome,
+                    );
+                    // Only clean collections are admitted: a budget- or
+                    // deadline-truncated result is shaped by *this*
+                    // request's limits and must not answer later ones
+                    // (it would also make warm replays diverge from
+                    // cold ones in their reported degradations).
+                    if outcome.samples_done > 0 && outcome.degradation.is_empty() {
+                        self.cache.insert(CacheEntry {
+                            key: entry.key.clone(),
+                            counts,
+                            samples: outcome.samples_done as u64,
+                            seed: *seed,
+                            model_version: entry.key.fingerprint,
+                            checkpoint: outcome.checkpoint.clone(),
+                        });
+                    }
+                    if let Some(o) = outcomes.get_mut(entry.query_index) {
+                        *o = Some(self.answered(answer));
+                    }
+                }
+            }
+            (PlanWork::Refine { entry, base, .. }, PlanStatus::Completed(outcome)) => {
+                self.stats.steps += outcome.steps;
+                let fresh = outcome
+                    .counts
+                    .first()
+                    .copied()
+                    .unwrap_or(TargetCounts::default());
+                let pooled = base.counts.merge(&fresh);
+                let samples = base.samples + outcome.samples_done as u64;
+                let answer = self.finish_answer(
+                    entry.tolerance,
+                    pooled,
+                    samples,
+                    Served::WarmRefinement,
+                    &outcome,
+                );
+                // Same clean-collections-only admission rule as above.
+                if outcome.samples_done > 0 && outcome.degradation.is_empty() {
+                    self.cache.insert(CacheEntry {
+                        key: entry.key.clone(),
+                        counts: pooled,
+                        samples,
+                        seed: base.seed,
+                        model_version: entry.key.fingerprint,
+                        checkpoint: outcome.checkpoint.clone(),
+                    });
+                }
+                if let Some(o) = outcomes.get_mut(entry.query_index) {
+                    *o = Some(self.answered(answer));
+                }
+            }
+            (work, PlanStatus::Rejected) => {
+                for idx in work_query_indices(work) {
+                    self.stats.rejected += 1;
+                    if let Some(o) = outcomes.get_mut(idx) {
+                        *o = Some(QueryOutcome::Rejected { queue_full: true });
+                    }
+                }
+            }
+            (work, PlanStatus::Failed(e)) => {
+                for idx in work_query_indices(work) {
+                    self.stats.failed += 1;
+                    if let Some(o) = outcomes.get_mut(idx) {
+                        *o = Some(QueryOutcome::Failed(e.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_answer(
+        &mut self,
+        tolerance: f64,
+        counts: TargetCounts,
+        samples: u64,
+        served: Served,
+        outcome: &SharedChainOutcome,
+    ) -> Answer {
+        let estimate = if samples == 0 {
+            0.0
+        } else {
+            counts.all as f64 / samples as f64
+        };
+        let hw = half_width(estimate, samples);
+        let mut degradation = outcome.degradation.clone();
+        degradation.extend(precision_check(hw, tolerance));
+        Answer {
+            estimate,
+            half_width: hw,
+            samples,
+            served,
+            degradation,
+        }
+    }
+}
+
+/// Emits and returns a `PrecisionNotReached` degradation when the
+/// achieved half-width misses the tolerance.
+fn precision_check(achieved: f64, target: f64) -> Vec<DegradationReason> {
+    if achieved <= target {
+        return Vec::new();
+    }
+    let reason = DegradationReason::PrecisionNotReached { achieved, target };
+    flow_obs::event(|| reason.to_obs_event());
+    vec![reason]
+}
+
+fn work_query_indices(work: &PlanWork) -> Vec<usize> {
+    match work {
+        PlanWork::Shared { entries, .. } => entries.iter().map(|e| e.query_index).collect(),
+        PlanWork::Refine { entry, .. } => vec![entry.query_index],
+    }
+}

@@ -1,0 +1,233 @@
+//! The bounded executor: a fixed worker pool with explicit backpressure.
+//!
+//! Serving must fail *predictably* under load, so admission is decided
+//! before any thread runs: the whole batch is submitted to a bounded
+//! queue first, and every plan beyond `queue_capacity` is rejected
+//! up front. That makes backpressure deterministic — which plans get
+//! `Rejected` depends only on batch order and capacity, never on worker
+//! timing — and the engine maps rejections to typed
+//! `QueryOutcome::Rejected { queue_full: true }` responses.
+//!
+//! Workers are scoped threads. Each one re-installs the submitting
+//! thread's `flow-obs` recorder (via [`flow_obs::current_recorder`]),
+//! so telemetry from worker threads lands in the caller's sink — a
+//! test's `MemorySink` included. The queue depth is exported as the
+//! `serve.queue.depth` gauge, and every plan runs under a
+//! `serve.plan` span with start/finish events carrying the plan id.
+
+use crate::plan::Plan;
+use flow_core::{FlowError, FlowResult};
+use flow_icm::Icm;
+use flow_mcmc::SharedChainOutcome;
+use flow_obs::ScopedRecorder;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Worker-pool shape.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Fixed worker-thread count (floored at 1).
+    pub workers: usize,
+    /// Maximum plans admitted per batch; the rest are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// What happened to one submitted plan.
+#[derive(Clone, Debug)]
+pub enum PlanStatus {
+    /// The plan ran; its chain outcome (possibly degraded) is attached.
+    Completed(SharedChainOutcome),
+    /// The submission queue was full; the plan never ran.
+    Rejected,
+    /// The plan ran and failed with a hard error.
+    Failed(FlowError),
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs a batch of plans on the worker pool. The returned vector is
+/// indexed by plan id and always complete: every plan is `Completed`,
+/// `Rejected`, or `Failed`.
+pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<PlanStatus> {
+    let mut results: Vec<Option<PlanStatus>> = vec![None; plans.len()];
+
+    // Admission first: deterministic backpressure.
+    let mut queue: VecDeque<&Plan> = VecDeque::new();
+    for plan in plans {
+        if queue.len() < config.queue_capacity {
+            queue.push_back(plan);
+        } else {
+            flow_obs::counter("serve.queue.rejected", 1);
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.plan.rejected").u64("plan", plan.id as u64)
+            });
+            results[plan.id] = Some(PlanStatus::Rejected);
+        }
+    }
+    flow_obs::gauge("serve.queue.depth", queue.len() as f64);
+
+    let workers = config.workers.max(1).min(queue.len().max(1));
+    let queue = Mutex::new(queue);
+    let slots = Mutex::new(&mut results);
+    let recorder = flow_obs::current_recorder();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                let _guard = recorder.map(ScopedRecorder::install);
+                loop {
+                    let (plan, depth) = {
+                        let mut q = lock(queue);
+                        let plan = q.pop_front();
+                        (plan, q.len())
+                    };
+                    let Some(plan) = plan else { break };
+                    flow_obs::gauge("serve.queue.depth", depth as f64);
+                    flow_obs::event(|| {
+                        flow_obs::Event::new("serve.plan.start").u64("plan", plan.id as u64)
+                    });
+                    let status = {
+                        let _span = flow_obs::span("serve.plan");
+                        match plan.execute(icm) {
+                            Ok(outcome) => PlanStatus::Completed(outcome),
+                            Err(e) => PlanStatus::Failed(e),
+                        }
+                    };
+                    flow_obs::event(|| {
+                        let e =
+                            flow_obs::Event::new("serve.plan.finish").u64("plan", plan.id as u64);
+                        match &status {
+                            PlanStatus::Completed(out) => e
+                                .u64("samples", out.samples_done as u64)
+                                .u64("steps", out.steps)
+                                .u64("degraded", out.degradation.len() as u64),
+                            PlanStatus::Failed(err) => e.str("error", err.to_string()),
+                            PlanStatus::Rejected => e,
+                        }
+                    });
+                    let mut s = lock(slots);
+                    if let Some(slot) = s.get_mut(plan.id) {
+                        *slot = Some(status);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or(PlanStatus::Failed(FlowError::Io {
+                detail: "executor dropped a plan without recording a status".into(),
+            }))
+        })
+        .collect()
+}
+
+/// Convenience: run plans and return a typed result per plan, mapping
+/// `Rejected` to `Err(BudgetExhausted)` for callers that do not model
+/// backpressure separately.
+pub fn run_plans_strict(
+    icm: &Icm,
+    plans: &[Plan],
+    config: &ExecutorConfig,
+) -> Vec<FlowResult<SharedChainOutcome>> {
+    run_plans(icm, plans, config)
+        .into_iter()
+        .map(|s| match s {
+            PlanStatus::Completed(out) => Ok(out),
+            PlanStatus::Failed(e) => Err(e),
+            PlanStatus::Rejected => Err(FlowError::BudgetExhausted {
+                detail: "submission queue full".into(),
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ServeCache;
+    use crate::plan::{plan_batch, FlowQuery, PlannerConfig};
+    use flow_graph::graph::graph_from_edges;
+    use flow_graph::NodeId;
+    use flow_mcmc::McmcConfig;
+    use flow_obs::MemorySink;
+    use std::sync::Arc;
+
+    fn icm() -> Icm {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        Icm::new(g, vec![0.7, 0.4, 0.5, 0.6, 0.3])
+    }
+
+    fn cfg() -> PlannerConfig {
+        PlannerConfig {
+            mcmc: McmcConfig {
+                samples: 100,
+                ..Default::default()
+            },
+            default_tolerance: 0.5,
+            engine_seed: 5,
+            max_samples: 10_000,
+        }
+    }
+
+    #[test]
+    fn overflow_plans_are_rejected_deterministically() {
+        let model = icm();
+        let queries: Vec<FlowQuery> = (0..4)
+            .map(|s| FlowQuery::flow(NodeId(s), NodeId(4)))
+            .collect();
+        let batch = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg(), &queries);
+        assert_eq!(batch.plans.len(), 4);
+        let exec = ExecutorConfig {
+            workers: 2,
+            queue_capacity: 2,
+        };
+        for _ in 0..3 {
+            let statuses = run_plans(&model, &batch.plans, &exec);
+            assert!(matches!(statuses[0], PlanStatus::Completed(_)));
+            assert!(matches!(statuses[1], PlanStatus::Completed(_)));
+            assert!(matches!(statuses[2], PlanStatus::Rejected));
+            assert!(matches!(statuses[3], PlanStatus::Rejected));
+        }
+    }
+
+    #[test]
+    fn worker_threads_report_into_the_callers_sink() {
+        let model = icm();
+        let queries = vec![
+            FlowQuery::flow(NodeId(0), NodeId(3)),
+            FlowQuery::flow(NodeId(1), NodeId(4)),
+        ];
+        let batch = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg(), &queries);
+        let sink = Arc::new(MemorySink::new());
+        {
+            let _r = ScopedRecorder::install(sink.clone());
+            let statuses = run_plans(&model, &batch.plans, &ExecutorConfig::default());
+            assert!(statuses
+                .iter()
+                .all(|s| matches!(s, PlanStatus::Completed(_))));
+        }
+        assert!(
+            sink.counter_value("sampler.steps") > 0,
+            "worker sampling must reach the caller's recorder"
+        );
+        assert_eq!(sink.events_named("serve.plan.start").len(), 2);
+        assert_eq!(sink.events_named("serve.plan.finish").len(), 2);
+    }
+}

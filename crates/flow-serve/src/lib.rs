@@ -1,0 +1,50 @@
+//! # flow-serve — batched, cached, deadline-aware flow-query serving
+//!
+//! The paper's estimators answer one flow question per chain; a serving
+//! deployment answers *streams* of overlapping questions against one
+//! learned ICM. This crate is the layer between the two:
+//!
+//! * [`QueryKey`] — canonical query identity (normalized conditions,
+//!   resolved config class, model fingerprint), so equivalent requests
+//!   collide and retrained models never serve stale answers;
+//! * [`ServeCache`] — a byte-budgeted LRU of chain *statistics* (counts,
+//!   seed, resumable checkpoint), enabling exact cache hits when the
+//!   cached precision meets the request tolerance and warm chain
+//!   refinement when it almost does;
+//! * [`plan_batch`] — the planner: reject contradictions before
+//!   sampling, serve hits, group the rest by chain identity so `k`
+//!   same-source queries pay one burn-in;
+//! * [`run_plans`] — a fixed worker pool with a bounded admission queue
+//!   and deterministic backpressure (`Rejected { queue_full }`);
+//! * [`ServeEngine`] — ties the above together per batch, maps per-query
+//!   deadlines/step budgets onto graceful degradation
+//!   ([`flow_mcmc::DegradationReason`], including the serving-specific
+//!   `PrecisionNotReached`), and keeps cumulative [`ServeStats`];
+//! * [`spec`] — the `repro serve` JSONL query-file format.
+//!
+//! Determinism contract: a query's answer is a pure function of
+//! `(engine seed, canonical key, sample budget)` — chain seeds derive
+//! from the chain key, not from batch composition, so solo, batched,
+//! and cache-hit answers for the same question are bit-identical. The
+//! serving architecture is specified in DESIGN.md §11.
+
+pub mod cache;
+pub mod engine;
+pub mod exec;
+pub mod key;
+pub mod plan;
+pub mod spec;
+
+pub use cache::{half_width, CacheEntry, ServeCache};
+pub use engine::{Answer, QueryOutcome, ServeConfig, ServeEngine, ServeStats, Served};
+pub use exec::{run_plans, run_plans_strict, ExecutorConfig, PlanStatus};
+pub use key::{model_fingerprint, ConfigClass, Fnv64, QueryKey};
+pub use plan::{
+    mix64, plan_batch, samples_for_tolerance, BatchPlan, EarlyResolution, FlowQuery, Plan,
+    PlanEntry, PlanWork, PlannerConfig,
+};
+pub use spec::{parse_query_file, ModelSpec, QueryFile, QuerySpec};
+
+// Re-exported so engine consumers can build targets and read counts
+// without depending on flow-mcmc directly.
+pub use flow_mcmc::{SharedTarget, TargetCounts};

@@ -1,0 +1,312 @@
+//! The `repro serve` query-file format: JSONL, one object per line.
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! {"model": {"nodes": 60, "edges": 180, "seed": 7}}
+//! {"source": 0, "sink": 5}
+//! {"source": 0, "sink": 9, "tolerance": 0.05}
+//! {"source": 3, "community": [7, 8, 9], "conditions": [[0, 5, true]]}
+//! {"source": 1, "sink": 4, "max_steps": 20000, "deadline_ms": 250}
+//! ```
+//!
+//! The optional `model` line (at most one, anywhere) describes the
+//! synthetic ICM to serve against; without it the caller must supply a
+//! model. Every other line is a query. Parsing is strict and typed:
+//! malformed lines become [`FlowError::Parse`] with the 1-based line
+//! number, so a bad query file fails fast instead of serving half a
+//! batch.
+//!
+//! Deserialization is hand-written over the vendored value-model serde
+//! (its derive requires every field present; queries here are mostly
+//! optional fields).
+
+use crate::plan::FlowQuery;
+use flow_core::{FlowError, FlowResult};
+use flow_graph::NodeId;
+use flow_icm::FlowCondition;
+use flow_mcmc::SharedTarget;
+use serde::{Deserialize, Error as SerdeError, Value};
+
+/// Synthetic-model description (the `model` line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// One raw query line, before validation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuerySpec {
+    /// Flow source node id.
+    pub source: u32,
+    /// Single-sink target (exclusive with `community`).
+    pub sink: Option<u32>,
+    /// Community target (exclusive with `sink`).
+    pub community: Option<Vec<u32>>,
+    /// Conditions as `[source, sink, required]` triples.
+    pub conditions: Vec<(u32, u32, bool)>,
+    /// Requested confidence half-width.
+    pub tolerance: Option<f64>,
+    /// Per-query chain-step budget.
+    pub max_steps: Option<u64>,
+    /// Per-query deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl QuerySpec {
+    /// Validates and converts to an engine [`FlowQuery`].
+    pub fn to_query(&self, line: usize) -> FlowResult<FlowQuery> {
+        let target = match (&self.sink, &self.community) {
+            (Some(s), None) => SharedTarget::Sink(NodeId(*s)),
+            (None, Some(members)) if !members.is_empty() => {
+                SharedTarget::Community(members.iter().map(|&v| NodeId(v)).collect())
+            }
+            (None, Some(_)) => {
+                return Err(FlowError::Parse {
+                    line,
+                    detail: "community target must not be empty".into(),
+                });
+            }
+            (Some(_), Some(_)) => {
+                return Err(FlowError::Parse {
+                    line,
+                    detail: "query has both `sink` and `community`; pick one".into(),
+                });
+            }
+            (None, None) => {
+                return Err(FlowError::Parse {
+                    line,
+                    detail: "query needs a `sink` or a `community` target".into(),
+                });
+            }
+        };
+        if let Some(t) = self.tolerance {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(FlowError::Parse {
+                    line,
+                    detail: format!("tolerance must be a positive finite number, got {t}"),
+                });
+            }
+        }
+        Ok(FlowQuery {
+            source: NodeId(self.source),
+            target,
+            conditions: self
+                .conditions
+                .iter()
+                .map(|&(u, v, required)| FlowCondition {
+                    source: NodeId(u),
+                    sink: NodeId(v),
+                    required,
+                })
+                .collect(),
+            tolerance: self.tolerance,
+            max_steps: self.max_steps,
+            deadline_ms: self.deadline_ms,
+        })
+    }
+}
+
+fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, SerdeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(inner) => T::from_value(inner)
+            .map(Some)
+            .map_err(|e| SerdeError(format!("field `{name}`: {}", e.0))),
+    }
+}
+
+impl Deserialize for ModelSpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Ok(ModelSpec {
+            nodes: serde::field(v, "nodes")?,
+            edges: serde::field(v, "edges")?,
+            seed: opt_field(v, "seed")?.unwrap_or(0),
+        })
+    }
+}
+
+impl Deserialize for QuerySpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let conditions = match v.get("conditions") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let Value::Array(triple) = item else {
+                        return Err(SerdeError::msg(
+                            "each condition must be a [source, sink, required] array",
+                        ));
+                    };
+                    match triple.as_slice() {
+                        [u, s, r] => out.push((
+                            u32::from_value(u)?,
+                            u32::from_value(s)?,
+                            bool::from_value(r)?,
+                        )),
+                        _ => {
+                            return Err(SerdeError::msg(
+                                "each condition must have exactly 3 elements",
+                            ));
+                        }
+                    }
+                }
+                out
+            }
+            Some(other) => {
+                return Err(SerdeError(format!(
+                    "field `conditions`: expected array, got {other:?}"
+                )));
+            }
+        };
+        Ok(QuerySpec {
+            source: serde::field(v, "source")?,
+            sink: opt_field(v, "sink")?,
+            community: opt_field(v, "community")?,
+            conditions,
+            tolerance: opt_field(v, "tolerance")?,
+            max_steps: opt_field(v, "max_steps")?,
+            deadline_ms: opt_field(v, "deadline_ms")?,
+        })
+    }
+}
+
+/// One parsed line of a query file.
+#[derive(Clone, Debug)]
+enum SpecLine {
+    Model(ModelSpec),
+    Query(QuerySpec),
+}
+
+impl Deserialize for SpecLine {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        match v.get("model") {
+            Some(m) => ModelSpec::from_value(m).map(SpecLine::Model),
+            None => QuerySpec::from_value(v).map(SpecLine::Query),
+        }
+    }
+}
+
+/// A fully parsed query file.
+#[derive(Clone, Debug, Default)]
+pub struct QueryFile {
+    /// The model line, if present.
+    pub model: Option<ModelSpec>,
+    /// Queries with their 1-based source line numbers.
+    pub queries: Vec<(usize, QuerySpec)>,
+}
+
+impl QueryFile {
+    /// Validates every query into engine form.
+    pub fn to_queries(&self) -> FlowResult<Vec<FlowQuery>> {
+        self.queries
+            .iter()
+            .map(|(line, q)| q.to_query(*line))
+            .collect()
+    }
+}
+
+/// Parses query-file text. Blank lines and `#` comments are skipped;
+/// anything else must parse, or the whole file is rejected with the
+/// offending line number.
+pub fn parse_query_file(text: &str) -> FlowResult<QueryFile> {
+    let mut out = QueryFile::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed: SpecLine = serde_json::from_str(line).map_err(|e| FlowError::Parse {
+            line: line_no,
+            detail: e.to_string(),
+        })?;
+        match parsed {
+            SpecLine::Model(m) => {
+                if out.model.is_some() {
+                    return Err(FlowError::Parse {
+                        line: line_no,
+                        detail: "duplicate `model` line".into(),
+                    });
+                }
+                out.model = Some(m);
+            }
+            SpecLine::Query(q) => out.queries.push((line_no, q)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_model_queries_comments_and_blanks() {
+        let text = "\
+# serving smoke queries
+{\"model\": {\"nodes\": 60, \"edges\": 180, \"seed\": 7}}
+
+{\"source\": 0, \"sink\": 5}
+{\"source\": 3, \"community\": [7, 8, 9], \"conditions\": [[0, 5, true], [1, 2, false]]}
+{\"source\": 1, \"sink\": 4, \"tolerance\": 0.05, \"max_steps\": 20000, \"deadline_ms\": 250}
+";
+        let file = parse_query_file(text).unwrap();
+        assert_eq!(
+            file.model,
+            Some(ModelSpec {
+                nodes: 60,
+                edges: 180,
+                seed: 7
+            })
+        );
+        assert_eq!(file.queries.len(), 3);
+        let queries = file.to_queries().unwrap();
+        assert_eq!(queries[0].source, NodeId(0));
+        assert_eq!(
+            queries[1].conditions,
+            vec![
+                FlowCondition::requires(NodeId(0), NodeId(5)),
+                FlowCondition::forbids(NodeId(1), NodeId(2)),
+            ]
+        );
+        assert_eq!(queries[2].tolerance, Some(0.05));
+        assert_eq!(queries[2].deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let err = parse_query_file("{\"source\": 0, \"sink\": 1}\nnot json\n").unwrap_err();
+        assert!(matches!(err, FlowError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn target_validation_is_typed() {
+        let no_target = parse_query_file("{\"source\": 0}\n")
+            .unwrap()
+            .to_queries()
+            .unwrap_err();
+        assert!(matches!(no_target, FlowError::Parse { line: 1, .. }));
+        let both = parse_query_file("{\"source\": 0, \"sink\": 1, \"community\": [2]}\n")
+            .unwrap()
+            .to_queries()
+            .unwrap_err();
+        assert!(matches!(both, FlowError::Parse { .. }));
+        let bad_tol = parse_query_file("{\"source\": 0, \"sink\": 1, \"tolerance\": -0.5}\n")
+            .unwrap()
+            .to_queries()
+            .unwrap_err();
+        assert!(matches!(bad_tol, FlowError::Parse { .. }));
+    }
+
+    #[test]
+    fn duplicate_model_line_is_rejected() {
+        let text = "{\"model\":{\"nodes\":2,\"edges\":1}}\n{\"model\":{\"nodes\":3,\"edges\":2}}\n";
+        let err = parse_query_file(text).unwrap_err();
+        assert!(matches!(err, FlowError::Parse { line: 2, .. }));
+    }
+}
