@@ -4,7 +4,7 @@
 //!
 //! * **`check`** — a token-level static-analysis pass (no `syn`; the
 //!   vendor directory is the only dependency source) enforcing the
-//!   lint contract L1–L5 over the core crates, with a justified
+//!   lint contract L1–L6 over the core crates, with a justified
 //!   allowlist (`crates/flow-analyze/allowlist.txt`, budget-capped)
 //!   and `// flow-analyze: allow(Lx: why)` escape comments.
 //! * **`replay`** — a runtime determinism audit: the parallel

@@ -1,4 +1,4 @@
-//! The lint vocabulary: five token-level passes over cleaned source.
+//! The lint vocabulary: six token-level passes over cleaned source.
 //!
 //! * **L1** — no panic-prone constructs (`unwrap`/`expect`/`panic!`/
 //!   arithmetic slice indexing) in non-test code of the core crates;
@@ -16,6 +16,12 @@
 //!   counters, the stderr summary sink), so console output stays a
 //!   sink/CLI concern. The flow-obs sink module and the `flow-exp` CLI
 //!   are the sanctioned printers and sit outside the lint's scope.
+//! * **L6** — I/O error hygiene in the serving persistence layer: no
+//!   `.unwrap()`/`.expect(..)` and no discarded `Result` (`let _ =`,
+//!   trailing `.ok();`) on statements that touch the filesystem. A
+//!   panic there turns a recoverable cache corruption into an outage
+//!   and a swallowed error turns a failed save into silent data loss;
+//!   failures route through `FlowError::Io` or quarantine-and-continue.
 //!
 //! Each lint honours the `// flow-analyze: allow(Lx: reason)` escape
 //! comment and the allowlist file (see [`crate::allowlist`]).
@@ -25,7 +31,7 @@ use crate::source::SourceFile;
 /// One lint hit, pre-allowlist.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Lint id: "L1".."L5".
+    /// Lint id: "L1".."L6".
     pub lint: &'static str,
     /// Workspace-relative path.
     pub rel: String,
@@ -60,6 +66,8 @@ pub struct LintScope {
     pub l4: bool,
     /// L5: no bare console printing outside sinks and the CLI.
     pub l5: bool,
+    /// L6: no panicking or swallowed I/O in serving persistence paths.
+    pub l6: bool,
 }
 
 impl LintScope {
@@ -71,6 +79,7 @@ impl LintScope {
             l3: true,
             l4: true,
             l5: true,
+            l6: true,
         }
     }
 
@@ -82,6 +91,7 @@ impl LintScope {
             l3: false,
             l4: false,
             l5: false,
+            l6: false,
         }
     }
 
@@ -116,15 +126,21 @@ impl LintScope {
         /// The sanctioned printer: the flow-obs sink module renders
         /// operator summaries to stderr by design.
         const PRINT_EXEMPT: [&str; 1] = ["crates/flow-obs/src/sink.rs"];
+        /// The serving persistence layer: the one place where crash-safe
+        /// cache recovery (DESIGN.md §12) makes I/O error handling
+        /// contractual rather than stylistic.
+        const SERVE_PERSISTENCE: [&str; 1] = ["crates/flow-serve/src/cache"];
         let core = CORE.iter().any(|p| rel.starts_with(p));
         let det = DETERMINISM.iter().any(|p| rel.starts_with(p));
         let print_exempt = PRINT_EXEMPT.iter().any(|p| rel.starts_with(p));
+        let persistence = SERVE_PERSISTENCE.iter().any(|p| rel.starts_with(p));
         LintScope {
             l1: core,
             l2: det,
             l3: core,
             l4: core,
             l5: core && !print_exempt,
+            l6: persistence,
         }
     }
 }
@@ -147,6 +163,9 @@ pub fn lint_file(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
     }
     if scope.l5 {
         l5_print_sites(file, &mut findings);
+    }
+    if scope.l6 {
+        l6_io_error_handling(file, &mut findings);
     }
     findings.retain(|f| !file.is_allowed(f.line, f.lint));
     findings
@@ -363,6 +382,52 @@ fn l5_print_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
             for _pos in token_positions(code, tok) {
                 push(findings, file, i + 1, "L5", format!("`{tok}`: {why}"));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- L6
+
+/// I/O error hygiene in serving persistence paths. The cache file is
+/// where a panic turns recoverable corruption into an outage and a
+/// swallowed `Result` turns a failed save into silent data loss, so
+/// statements that touch the filesystem must surface their errors
+/// (`?` into `FlowError::Io`, or quarantine-and-continue).
+fn l6_io_error_handling(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const IO_MARKERS: [&str; 8] = [
+        "fs::",
+        "File::",
+        "OpenOptions",
+        ".write_all(",
+        ".read_to_string(",
+        ".read_to_end(",
+        ".sync_all(",
+        ".read_dir(",
+    ];
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        if !IO_MARKERS.iter().any(|m| code.contains(m)) {
+            continue;
+        }
+        if code.contains(".unwrap()") || code.contains(".expect(") {
+            push(
+                findings,
+                file,
+                i + 1,
+                "L6",
+                "`.unwrap()`/`.expect(..)` on an I/O result in a persistence path panics on a torn or missing file; surface it as `FlowError::Io` or quarantine and continue".to_string(),
+            );
+        }
+        if code.trim_start().starts_with("let _ =") || code.contains(".ok();") {
+            push(
+                findings,
+                file,
+                i + 1,
+                "L6",
+                "discarded I/O result in a persistence path hides failed saves; surface it as `FlowError::Io` or quarantine and continue".to_string(),
+            );
         }
     }
 }
@@ -797,6 +862,36 @@ mod tests {
         let obs = LintScope::for_path("crates/flow-obs/src/span.rs");
         assert!(obs.l1 && obs.l3 && obs.l4 && obs.l5);
         assert!(!obs.l2);
+    }
+
+    #[test]
+    fn l6_catches_panicking_and_swallowed_io() {
+        assert!(lints_of("std::fs::write(&path, text).unwrap();\n").contains(&"L6"));
+        assert!(
+            lints_of("let text = std::fs::read_to_string(&p).expect(\"readable\");\n")
+                .contains(&"L6")
+        );
+        assert!(lints_of("let _ = std::fs::rename(&tmp, &path);\n").contains(&"L6"));
+        assert!(lints_of("std::fs::remove_file(&tmp).ok();\n").contains(&"L6"));
+        assert!(
+            lints_of("std::fs::write(&path, text)?;\n").is_empty(),
+            "surfaced I/O errors are the remediation, not a finding"
+        );
+        assert_eq!(
+            lints_of("let x = map.get(&k).unwrap();\n"),
+            ["L1"],
+            "non-I/O unwraps are L1's business, not L6's"
+        );
+    }
+
+    #[test]
+    fn l6_scope_is_the_serving_persistence_layer() {
+        assert!(LintScope::for_path("crates/flow-serve/src/cache.rs").l6);
+        assert!(
+            !LintScope::for_path("crates/flow-serve/src/engine.rs").l6,
+            "non-persistence serving code answers to L1 alone"
+        );
+        assert!(!LintScope::for_path("crates/flow-mcmc/src/sampler.rs").l6);
     }
 
     #[test]

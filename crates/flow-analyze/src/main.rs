@@ -16,7 +16,7 @@ USAGE:
     flow-analyze replay [--seed N] [--chains N] [--samples N]
                         [--nodes N] [--edges N]
 
-check   runs lints L1-L5 over the core crates, honouring
+check   runs lints L1-L6 over the core crates, honouring
         crates/flow-analyze/allowlist.txt and
         `// flow-analyze: allow(Lx: why)` escape comments.
         With --paths, lints exactly the given files with every

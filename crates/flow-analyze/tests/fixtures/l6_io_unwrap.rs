@@ -1,0 +1,17 @@
+// Seeded L6 violations: panicking and swallowed I/O in persistence
+// code. Each filesystem statement must surface its Result; the
+// escape-commented cleanup at the end is the sanctioned exception.
+
+fn save(path: &std::path::Path, text: &str) {
+    std::fs::write(path, text).unwrap();
+    let _ = std::fs::rename(path, path.with_extension("bak"));
+}
+
+fn load(path: &std::path::Path) -> String {
+    std::fs::read_to_string(path).expect("cache readable")
+}
+
+fn cleanup(dir: &std::path::Path) {
+    // flow-analyze: allow(L6: best-effort temp cleanup, failure is benign)
+    std::fs::remove_dir_all(dir).ok();
+}

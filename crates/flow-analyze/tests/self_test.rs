@@ -60,6 +60,16 @@ fn l5_fixture_trips_print_lint() {
 }
 
 #[test]
+fn l6_fixture_trips_io_hygiene_lint() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("l6_io_unwrap.rs")]).expect("fixture readable");
+    let l6: Vec<_> = findings.iter().filter(|f| f.lint == "L6").collect();
+    // The unwrapped write, the discarded rename, and the expected read
+    // fire; the escape-commented remove_dir_all does not.
+    assert_eq!(l6.len(), 3, "expected 3 L6 findings, got {l6:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean_under_every_lint() {
     let root = workspace_root();
     let findings = check_paths(&root, &[fixture("clean.rs")]).expect("fixture readable");

@@ -12,10 +12,15 @@
 //! * **warm** — the identical batch again on the same engine; every
 //!   answer comes from the estimate cache.
 //!
+//! A fourth section prices the resilience layer on a clean run: the
+//! cold batch plus a cache save/load cycle with retry, breaker, and
+//! entry checksums disabled versus fully enabled (min of 2 reps each).
+//!
 //! Acceptance criteria (the binary exits non-zero when violated):
-//! batched throughput must be at least 2x naive, and the warm batch
-//! must spend exactly zero sampler steps (checked via the flow-obs
-//! `sampler.steps` counter, not wall time).
+//! batched throughput must be at least 2x naive, the warm batch must
+//! spend exactly zero sampler steps (checked via the flow-obs
+//! `sampler.steps` counter, not wall time), and the fault-free
+//! resilience overhead must stay within 5%.
 //!
 //! Wall-clock timing is the entire point of this binary.
 #![allow(clippy::disallowed_methods)]
@@ -25,7 +30,10 @@ use flow_graph::NodeId;
 use flow_icm::Icm;
 use flow_mcmc::{FlowEstimator, McmcConfig};
 use flow_obs::{MemorySink, ScopedRecorder};
-use flow_serve::{FlowQuery, QueryOutcome, ServeConfig, ServeEngine};
+use flow_serve::{
+    BreakerConfig, ExecutorConfig, FlowQuery, QueryOutcome, RetryPolicy, ServeCache, ServeConfig,
+    ServeEngine,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -82,13 +90,13 @@ fn main() {
     };
 
     eprintln!(
-        "[1/3] naive: {} independent estimates ({} samples each) ...",
+        "[1/4] naive: {} independent estimates ({} samples each) ...",
         queries.len(),
         SAMPLES
     );
     let (naive_s, naive_estimates) = naive_wall_s(&icm, &queries, mcmc);
 
-    eprintln!("[2/3] batched: one execute_batch over the same mix ...");
+    eprintln!("[2/4] batched: one execute_batch over the same mix ...");
     let mut engine = ServeEngine::new(ServeConfig {
         mcmc,
         // Tolerance is not under test here; keep the sample budget
@@ -116,7 +124,7 @@ fn main() {
         }
     }
 
-    eprintln!("[3/3] warm: the identical batch served from cache ...");
+    eprintln!("[3/4] warm: the identical batch served from cache ...");
     let sink = Arc::new(MemorySink::new());
     let start = Instant::now();
     let warm = {
@@ -135,6 +143,56 @@ fn main() {
         })
         .count();
 
+    eprintln!("[4/4] resilience overhead: retry+breaker+checksums off vs on ...");
+    let dir = std::env::temp_dir().join(format!("bench-serve-resilience-{}", std::process::id()));
+    let run_with_resilience = |enabled: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            std::fs::remove_dir_all(&dir).ok();
+            let base = ServeConfig {
+                mcmc,
+                default_tolerance: 1.0,
+                engine_seed: 42,
+                ..Default::default()
+            };
+            let config = if enabled {
+                base
+            } else {
+                ServeConfig {
+                    executor: ExecutorConfig {
+                        retry: RetryPolicy::none(),
+                        admission_step_budget: 0,
+                        ..Default::default()
+                    },
+                    breaker: BreakerConfig::disabled(),
+                    ..base
+                }
+            };
+            let mut engine = ServeEngine::new(config);
+            let start = Instant::now();
+            let outcomes = engine.execute_batch(&icm, &queries);
+            let saved = engine.cache().save_to_dir_opts(&dir, enabled);
+            let loaded = saved.and_then(|()| ServeCache::load_from_dir(&dir, 8 << 20));
+            let elapsed = start.elapsed().as_secs_f64();
+            let all_answered = outcomes
+                .iter()
+                .all(|o| matches!(o, QueryOutcome::Answered(_)));
+            match loaded {
+                Ok(cache) if all_answered && cache.len() == engine.cache().len() => {}
+                _ => {
+                    eprintln!("error: resilience rep (enabled={enabled}) did not round-trip");
+                    std::process::exit(1);
+                }
+            }
+            best = best.min(elapsed);
+        }
+        best
+    };
+    let bare_s = run_with_resilience(false);
+    let resilient_s = run_with_resilience(true);
+    std::fs::remove_dir_all(&dir).ok();
+    let overhead_pct = (resilient_s - bare_s) / bare_s * 100.0;
+
     let n = queries.len() as f64;
     let naive_qps = n / naive_s;
     let batched_qps = n / batched_s;
@@ -142,7 +200,7 @@ fn main() {
     let speedup = naive_s / batched_s;
 
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"resilience\": {{\n    \"bare_wall_s\": {rb:.3},\n    \"resilient_wall_s\": {rr:.3},\n    \"overhead_pct\": {ro:.2},\n    \"budget_pct\": 5.0\n  }},\n  \"pass\": {pass}\n}}\n",
         me = MODEL_EDGES,
         q = queries.len(),
         sp = SAMPLES,
@@ -155,7 +213,10 @@ fn main() {
         wq = warm_qps,
         wh = warm_hits,
         wst = warm_steps,
-        pass = speedup >= 2.0 && warm_steps == 0,
+        rb = bare_s,
+        rr = resilient_s,
+        ro = overhead_pct,
+        pass = speedup >= 2.0 && warm_steps == 0 && overhead_pct <= 5.0,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => {
@@ -180,6 +241,10 @@ fn main() {
             "error: only {warm_hits}/{} warm queries were cache hits",
             queries.len()
         );
+        std::process::exit(1);
+    }
+    if overhead_pct > 5.0 {
+        eprintln!("error: resilience overhead {overhead_pct:.2}% exceeds the 5% budget");
         std::process::exit(1);
     }
 }

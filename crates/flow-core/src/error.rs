@@ -75,6 +75,58 @@ pub enum FlowError {
         /// The stringified I/O error.
         detail: String,
     },
+
+    /// The serving layer shed this request: admitting it would exceed
+    /// the configured queue or work budget. Callers should retry after
+    /// the hinted delay rather than immediately.
+    Overloaded {
+        /// What was saturated (queue slots, step budget, …).
+        detail: String,
+        /// Deterministic hint for when a retry is likely to be admitted.
+        retry_after_ms: u64,
+    },
+}
+
+/// Whether an error class is worth retrying.
+///
+/// [`Transient`](Transience::Transient) failures are environmental —
+/// a stalled chain, an I/O hiccup, a saturated queue — and the same
+/// request can succeed on a later attempt. [`Permanent`](Transience::Permanent)
+/// failures are properties of the request or model itself (contradictory
+/// conditions, malformed input, corrupt state); retrying burns budget
+/// for the identical outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transience {
+    /// Retrying the same operation may succeed.
+    Transient,
+    /// Retrying is futile; surface the error.
+    Permanent,
+}
+
+impl FlowError {
+    /// Classifies this error for retry policies.
+    pub fn transience(&self) -> Transience {
+        match self {
+            // Environmental: a fresh attempt (new seed schedule, less
+            // load, a healthy disk) can succeed.
+            FlowError::ChainStalled { .. }
+            | FlowError::Io { .. }
+            | FlowError::Overloaded { .. }
+            | FlowError::BudgetExhausted { .. } => Transience::Transient,
+            // Structural: the request or persisted state is wrong and
+            // will be wrong again.
+            FlowError::InvalidProbability { .. }
+            | FlowError::NonFiniteWeight { .. }
+            | FlowError::GraphInconsistency { .. }
+            | FlowError::Checkpoint { .. }
+            | FlowError::Parse { .. } => Transience::Permanent,
+        }
+    }
+
+    /// True when [`transience`](Self::transience) is transient.
+    pub fn is_transient(&self) -> bool {
+        self.transience() == Transience::Transient
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -111,6 +163,10 @@ impl fmt::Display for FlowError {
                 write!(f, "parse error at line {line}: {detail}")
             }
             FlowError::Io { detail } => write!(f, "i/o error: {detail}"),
+            FlowError::Overloaded {
+                detail,
+                retry_after_ms,
+            } => write!(f, "overloaded: {detail}; retry after {retry_after_ms}ms"),
         }
     }
 }
@@ -185,10 +241,62 @@ mod tests {
                 },
                 "file not found",
             ),
+            (
+                FlowError::Overloaded {
+                    detail: "admission budget 10000 steps, queued 25000".into(),
+                    retry_after_ms: 25,
+                },
+                "retry after 25ms",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn transience_splits_retryable_from_structural() {
+        let transient = [
+            FlowError::ChainStalled {
+                chain: 0,
+                steps: 10,
+                acceptance_rate: 0.0,
+            },
+            FlowError::Io {
+                detail: "disk hiccup".into(),
+            },
+            FlowError::Overloaded {
+                detail: "queue full".into(),
+                retry_after_ms: 5,
+            },
+            FlowError::BudgetExhausted {
+                detail: "steps".into(),
+            },
+        ];
+        for err in transient {
+            assert_eq!(err.transience(), Transience::Transient, "{err}");
+            assert!(err.is_transient());
+        }
+        let permanent = [
+            FlowError::InvalidProbability {
+                what: "p",
+                value: 2.0,
+            },
+            FlowError::NonFiniteWeight {
+                index: 0,
+                value: f64::NAN,
+            },
+            FlowError::GraphInconsistency { detail: "".into() },
+            FlowError::Checkpoint { detail: "".into() },
+            FlowError::Parse {
+                line: 1,
+                detail: "".into(),
+            },
+        ];
+        for err in permanent {
+            assert_eq!(err.transience(), Transience::Permanent, "{err}");
+            assert!(!err.is_transient());
         }
     }
 

@@ -22,6 +22,10 @@
 //! | `sampler.kill_chain`         | flow-mcmc    | chain dies mid-run                   |
 //! | `twitter.truncate_line`      | flow-twitter | ingest line truncated mid-record     |
 //! | `checkpoint.corrupt`         | flow-mcmc    | checkpoint payload corrupted         |
+//! | `serve.cache_read_corrupt`   | flow-serve   | cache file corrupted when read back  |
+//! | `serve.cache_write_corrupt`  | flow-serve   | cache persistence torn mid-write     |
+//! | `serve.worker_stall`         | flow-serve   | serving worker stalls on a plan      |
+//! | `serve.queue_saturate`       | flow-serve   | admission budget saturated per plan  |
 
 /// What an armed fault point does, and when.
 #[derive(Debug, Clone, Copy, PartialEq)]

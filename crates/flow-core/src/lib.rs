@@ -19,7 +19,7 @@
 pub mod error;
 pub mod fault;
 
-pub use error::{FlowError, FlowResult};
+pub use error::{FlowError, FlowResult, Transience};
 
 /// Asserts a structural invariant in `debug-invariants` builds.
 ///

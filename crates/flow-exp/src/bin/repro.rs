@@ -29,6 +29,15 @@
 //! engine, writing `serve_results.jsonl` + `serve_stats.json` to
 //! `--out`; with `--cache-dir` the estimate cache persists across
 //! invocations, so a repeated run answers from warm cache entries.
+//! Resilience knobs: `--admission-steps` bounds the admitted step
+//! budget per batch (0 = unlimited), `--retries` caps transient-fault
+//! retry attempts, `--breaker-k` sets the per-chain circuit-breaker
+//! trip threshold (0 disables), `--no-resilience` disables all three
+//! for overhead measurement, and `--inject POINT` (fault-inject builds
+//! only) arms a named serving-path fault point. Exit codes: 0 = every
+//! query ended ok, degraded, rejected, or shed; 1 = infrastructure
+//! error (bad query file, unwritable output); 2 = usage error; 3 = at
+//! least one query ended in a hard (non-degraded) error.
 
 use flow_exp::runners::{self, ExpConfig};
 use flow_exp::{CheckpointStore, Output};
@@ -39,7 +48,9 @@ fn usage() -> ! {
         "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|flow|all> \
          [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume] [--trace PATH] [--metrics]\n\
          repro report <trace.jsonl>\n\
-         repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]"
+         repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]\n\
+                     [--admission-steps N] [--retries N] [--breaker-k K]\n\
+                     [--no-resilience] [--inject POINT]"
     );
     std::process::exit(2);
 }
@@ -66,6 +77,33 @@ fn run_serve_command(args: &[String]) -> ! {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--admission-steps" => {
+                i += 1;
+                serve_args.admission_steps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--retries" => {
+                i += 1;
+                serve_args.retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--breaker-k" => {
+                i += 1;
+                serve_args.breaker_k = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--no-resilience" => serve_args.no_resilience = true,
+            "--inject" => {
+                i += 1;
+                serve_args.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             positional if serve_args.queries.is_empty() && !positional.starts_with('-') => {
                 serve_args.queries = positional.to_string();
             }
@@ -81,7 +119,11 @@ fn run_serve_command(args: &[String]) -> ! {
         None => Output::stdout_only(),
     };
     match runners::serve::run_serve(&serve_args, &out) {
-        Ok(()) => std::process::exit(0),
+        // Hard failures are a distinct exit code (3) so operators and CI
+        // can tell "every query got a structured answer, some degraded"
+        // (0) from "a query actually failed" without parsing JSONL.
+        Ok(report) if report.hard_failures > 0 => std::process::exit(3),
+        Ok(_) => std::process::exit(0),
         Err(e) => {
             eprintln!("error: serve failed: {e}");
             std::process::exit(1);

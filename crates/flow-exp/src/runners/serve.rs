@@ -23,14 +23,16 @@ use flow_core::{FlowError, FlowResult};
 use flow_icm::synth::{skewed_probability_mixture, synthetic_icm};
 use flow_icm::Icm;
 use flow_serve::{
-    parse_query_file, ModelSpec, QueryOutcome, ServeCache, ServeConfig, ServeEngine, Served,
+    parse_query_file, BreakerConfig, ModelSpec, QueryOutcome, RetryPolicy, ServeCache, ServeConfig,
+    ServeEngine, Served,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Options for the `serve` subcommand.
+/// Options for the `serve` subcommand. The resilience knobs default to
+/// "engine default" when zero/`None`.
 #[derive(Clone, Debug, Default)]
 pub struct ServeArgs {
     /// Query-file path.
@@ -39,6 +41,29 @@ pub struct ServeArgs {
     pub cache_dir: Option<String>,
     /// Engine seed.
     pub seed: u64,
+    /// Admission step budget per batch (0 = unlimited).
+    pub admission_steps: u64,
+    /// Executor attempts per plan including the first (0 = default).
+    pub retries: u32,
+    /// Circuit-breaker trip threshold (`Some(0)` disables it).
+    pub breaker_k: Option<u32>,
+    /// Disable retry, breaker, and admission budget wholesale.
+    pub no_resilience: bool,
+    /// Fault point to arm for chaos runs (fault-inject builds only).
+    pub inject: Option<String>,
+}
+
+/// What the batch did, for the CLI's exit-code contract: queries that
+/// ended in a *hard* error (typed failure, not a degraded or shed
+/// answer) are counted so `repro serve` can exit nonzero on them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Queries answered (possibly degraded).
+    pub answered: u64,
+    /// Queries shed by admission control (retryable, not hard).
+    pub rejected: u64,
+    /// Queries that failed with a hard typed error.
+    pub hard_failures: u64,
 }
 
 fn build_model(spec: &ModelSpec) -> Icm {
@@ -68,8 +93,14 @@ fn outcome_jsonl(index: usize, outcome: &QueryOutcome) -> String {
                 degradations.join(",")
             )
         }
-        QueryOutcome::Rejected { queue_full } => {
-            format!("{{\"query\":{index},\"status\":\"rejected\",\"queue_full\":{queue_full}}}")
+        QueryOutcome::Rejected { error } => {
+            let retry_after = match error {
+                FlowError::Overloaded { retry_after_ms, .. } => *retry_after_ms,
+                _ => 0,
+            };
+            format!(
+                "{{\"query\":{index},\"status\":\"rejected\",\"retry_after_ms\":{retry_after}}}"
+            )
         }
         QueryOutcome::Failed(e) => format!(
             "{{\"query\":{index},\"status\":\"failed\",\"error\":{:?}}}",
@@ -84,6 +115,7 @@ fn served_label(outcome: &QueryOutcome) -> &'static str {
             Served::Fresh => "fresh",
             Served::CacheHit => "cache_hit",
             Served::WarmRefinement => "refined",
+            Served::ShortCircuited => "breaker",
         },
         QueryOutcome::Rejected { .. } => "rejected",
         QueryOutcome::Failed(_) => "failed",
@@ -105,8 +137,73 @@ fn write_text(dir: &Path, name: &str, text: &str) -> FlowResult<()> {
     Ok(())
 }
 
-/// Runs the serve subcommand end to end.
-pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
+/// Arms one named serving-path fault point for a chaos run. The specs
+/// are chosen so a resilient engine finishes the batch with structured
+/// ok/degraded results: the worker stall fires twice (recovered by the
+/// default three-attempt retry); the other points stay armed for the
+/// whole run (quarantine and shedding absorb them).
+#[cfg(feature = "fault-inject")]
+fn arm_injection(point: &str) -> FlowResult<()> {
+    use flow_core::fault::{self, FaultSpec};
+    let (name, spec): (&'static str, FaultSpec) = match point {
+        "serve.worker_stall" => (
+            "serve.worker_stall",
+            FaultSpec {
+                skip: 0,
+                times: 2,
+                value: 0.0,
+            },
+        ),
+        "serve.queue_saturate" => ("serve.queue_saturate", FaultSpec::always(0.0)),
+        "serve.cache_read_corrupt" => ("serve.cache_read_corrupt", FaultSpec::always(0.0)),
+        "serve.cache_write_corrupt" => ("serve.cache_write_corrupt", FaultSpec::always(0.0)),
+        other => {
+            return Err(FlowError::Parse {
+                line: 0,
+                detail: format!("unknown serving fault point `{other}`"),
+            });
+        }
+    };
+    fault::arm(name, spec);
+    Ok(())
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_injection(point: &str) -> FlowResult<()> {
+    Err(FlowError::Parse {
+        line: 0,
+        detail: format!(
+            "--inject {point} needs a fault-inject build (cargo build --features fault-inject)"
+        ),
+    })
+}
+
+/// Resolves CLI resilience knobs over the engine defaults.
+fn resolve_config(args: &ServeArgs) -> ServeConfig {
+    let mut config = ServeConfig {
+        engine_seed: args.seed,
+        ..Default::default()
+    };
+    if args.admission_steps > 0 {
+        config.executor.admission_step_budget = args.admission_steps;
+    }
+    if args.retries > 0 {
+        config.executor.retry.max_attempts = args.retries;
+    }
+    if let Some(k) = args.breaker_k {
+        config.breaker.trip_after = k;
+    }
+    if args.no_resilience {
+        config.executor.admission_step_budget = 0;
+        config.executor.retry = RetryPolicy::none();
+        config.breaker = BreakerConfig::disabled();
+    }
+    config
+}
+
+/// Runs the serve subcommand end to end. The returned report carries
+/// the hard-failure count for the binary's exit-code contract.
+pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<ServeReport> {
     let text = std::fs::read_to_string(&args.queries).map_err(|e| FlowError::Io {
         detail: format!("cannot read query file {}: {e}", args.queries),
     })?;
@@ -120,10 +217,12 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
     let queries = file.to_queries()?;
     let icm = build_model(&model_spec);
 
-    let config = ServeConfig {
-        engine_seed: args.seed,
-        ..Default::default()
-    };
+    if let Some(point) = &args.inject {
+        arm_injection(point)?;
+        out.line(format!("fault injection armed: {point}"));
+    }
+
+    let config = resolve_config(args);
     let cache = match &args.cache_dir {
         Some(dir) => ServeCache::load_from_dir(Path::new(dir), config.cache_bytes)?,
         None => ServeCache::new(config.cache_bytes),
@@ -142,6 +241,15 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
 
     let outcomes = engine.execute_batch(&icm, &queries);
 
+    let mut report = ServeReport::default();
+    for o in &outcomes {
+        match o {
+            QueryOutcome::Answered(_) => report.answered += 1,
+            QueryOutcome::Rejected { .. } => report.rejected += 1,
+            QueryOutcome::Failed(_) => report.hard_failures += 1,
+        }
+    }
+
     let mut results = String::new();
     for (i, o) in outcomes.iter().enumerate() {
         results.push_str(&outcome_jsonl(i, o));
@@ -149,7 +257,7 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
     }
     let stats = engine.stats();
     let stats_json = format!(
-        "{{\n  \"queries\": {},\n  \"answered\": {},\n  \"cache_hits\": {},\n  \"fresh\": {},\n  \"refined\": {},\n  \"rejected\": {},\n  \"failed\": {},\n  \"plans\": {},\n  \"steps\": {},\n  \"degraded\": {}\n}}\n",
+        "{{\n  \"queries\": {},\n  \"answered\": {},\n  \"cache_hits\": {},\n  \"fresh\": {},\n  \"refined\": {},\n  \"rejected\": {},\n  \"failed\": {},\n  \"plans\": {},\n  \"steps\": {},\n  \"degraded\": {},\n  \"retries\": {},\n  \"shed\": {},\n  \"breaker_answers\": {},\n  \"cache_quarantined\": {}\n}}\n",
         stats.queries,
         stats.answered,
         stats.cache_hits,
@@ -159,7 +267,11 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
         stats.failed,
         stats.plans,
         stats.steps,
-        stats.degraded
+        stats.degraded,
+        stats.retries,
+        stats.shed,
+        stats.breaker_answers,
+        engine.cache().quarantined()
     );
 
     if let Some(dir) = out.dir() {
@@ -203,6 +315,13 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
         stats.failed,
         stats.degraded
     ));
+    out.line(format!(
+        "resilience: retries {}  shed {}  breaker answers {}  cache blocks quarantined {}",
+        stats.retries,
+        stats.shed,
+        stats.breaker_answers,
+        engine.cache().quarantined()
+    ));
 
     if let Some(dir) = &args.cache_dir {
         engine.cache().save_to_dir(Path::new(dir))?;
@@ -212,7 +331,18 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<()> {
             engine.cache().bytes()
         ));
     }
-    Ok(())
+    if report.hard_failures > 0 {
+        out.line(format!(
+            "WARNING: {} quer{} ended in a hard error",
+            report.hard_failures,
+            if report.hard_failures == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        ));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -239,6 +369,7 @@ mod tests {
                 queries: queries.display().to_string(),
                 cache_dir: Some(dir.join("cache").display().to_string()),
                 seed: 3,
+                ..Default::default()
             };
             let out = Output::to_dir(dir.join(out_sub));
             run_serve(&args, &out).unwrap();
@@ -270,6 +401,7 @@ mod tests {
             queries: queries.display().to_string(),
             cache_dir: None,
             seed: 0,
+            ..Default::default()
         };
         let err = run_serve(&args, &Output::stdout_only()).unwrap_err();
         assert!(matches!(err, FlowError::Parse { .. }), "{err}");

@@ -142,6 +142,16 @@ pub enum DegradationReason {
         /// The requested tolerance.
         target: f64,
     },
+    /// The serving layer's per-chain circuit breaker was open for this
+    /// query's chain class, so the answer was short-circuited from
+    /// cached statistics (or a zero-sample stub) instead of burning
+    /// sampler steps (see DESIGN.md §12).
+    BreakerOpen {
+        /// Consecutive failures that tripped the breaker.
+        failures: u64,
+        /// Samples backing the short-circuited answer (0 = stub).
+        cached_samples: u64,
+    },
 }
 
 impl DegradationReason {
@@ -158,6 +168,7 @@ impl DegradationReason {
             DegradationReason::RhatAboveTarget { .. } => "budget.rhat_above_target",
             DegradationReason::EssBelowTarget { .. } => "budget.ess_below_target",
             DegradationReason::PrecisionNotReached { .. } => "serve.precision_not_reached",
+            DegradationReason::BreakerOpen { .. } => "serve.breaker_open",
         }
     }
 
@@ -206,6 +217,12 @@ impl DegradationReason {
             | DegradationReason::PrecisionNotReached { achieved, target } => {
                 e.f64("achieved", *achieved).f64("target", *target)
             }
+            DegradationReason::BreakerOpen {
+                failures,
+                cached_samples,
+            } => e
+                .u64("failures", *failures)
+                .u64("cached_samples", *cached_samples),
         }
     }
 }
@@ -260,6 +277,13 @@ impl std::fmt::Display for DegradationReason {
             DegradationReason::PrecisionNotReached { achieved, target } => {
                 write!(f, "half-width {achieved:.4} above tolerance {target:.4}")
             }
+            DegradationReason::BreakerOpen {
+                failures,
+                cached_samples,
+            } => write!(
+                f,
+                "circuit breaker open after {failures} consecutive failures; served from {cached_samples} cached samples"
+            ),
         }
     }
 }

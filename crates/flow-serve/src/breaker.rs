@@ -1,0 +1,281 @@
+//! Per-chain circuit breakers for the serving path.
+//!
+//! A chain class that keeps stalling or failing (sampler bugs, poisoned
+//! model regions, injected faults) should stop burning sampler steps:
+//! after [`BreakerConfig::trip_after`] *consecutive* failures for the
+//! same chain key the breaker opens, and subsequent plans for that
+//! chain are short-circuited — the engine serves a degraded answer from
+//! whatever warm statistics it has ([`crate::engine::Served`]'s
+//! short-circuit path) instead of sampling.
+//!
+//! Everything here is deterministic. The breaker keeps a logical clock
+//! that advances once per [`CircuitBreaker::decide`] call (one per plan
+//! considered), so open/half-open transitions depend only on the
+//! sequence of plans, never on wall-clock time. After
+//! `cooldown_plans` ticks an open breaker admits exactly one half-open
+//! *probe* plan; a successful probe closes the breaker, a failed one
+//! reopens it with doubled (capped) cooldown.
+//!
+//! What counts as a failure is decided by the engine and deliberately
+//! excludes client-shaped degradations (step budgets, deadlines,
+//! precision misses): only stall-like signals — hard plan errors and
+//! `ChainRestarted`/`ChainStalled`/`ChainFailed` degradations — trip
+//! the breaker. A fault-free run therefore never trips it, which keeps
+//! clean serving output byte-identical with the breaker enabled.
+
+use std::collections::HashMap;
+
+/// Breaker shape. `trip_after == 0` disables breaking entirely.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker (0 disables).
+    pub trip_after: u32,
+    /// Logical ticks (plans considered) an open breaker waits before
+    /// admitting a half-open probe.
+    pub cooldown_plans: u64,
+    /// Cap for the exponentially growing cooldown of repeat offenders.
+    pub max_cooldown_plans: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 5,
+            cooldown_plans: 8,
+            max_cooldown_plans: 64,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A breaker that never trips.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            trip_after: 0,
+            ..Default::default()
+        }
+    }
+}
+
+/// What the breaker says about one plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed: run the plan normally.
+    Allow,
+    /// Half-open: run the plan as a probe; its result closes or
+    /// reopens the breaker.
+    Probe,
+    /// Open: do not sample; serve a degraded answer.
+    ShortCircuit {
+        /// Consecutive failures recorded when the breaker opened.
+        failures: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ChainState {
+    consecutive_failures: u64,
+    /// `Some(tick)` while open: short-circuit until the clock reaches it.
+    open_until: Option<u64>,
+    /// Cooldown applied at the next trip (doubles per consecutive trip).
+    cooldown: u64,
+    /// True between a `Probe` decision and its recorded result.
+    probing: bool,
+}
+
+/// Deterministic per-chain circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    clock: u64,
+    chains: HashMap<u64, ChainState>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker with every chain closed.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            clock: 0,
+            chains: HashMap::new(),
+            trips: 0,
+        }
+    }
+
+    /// Times any chain's breaker has opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// True while `chain_key`'s breaker is open (short-circuiting).
+    pub fn is_open(&self, chain_key: u64) -> bool {
+        self.chains
+            .get(&chain_key)
+            .and_then(|s| s.open_until)
+            .is_some_and(|until| self.clock < until)
+    }
+
+    /// Decides the fate of one plan for `chain_key`, advancing the
+    /// logical clock by one tick.
+    pub fn decide(&mut self, chain_key: u64) -> BreakerDecision {
+        self.clock += 1;
+        if self.config.trip_after == 0 {
+            return BreakerDecision::Allow;
+        }
+        let cooldown = self.config.cooldown_plans;
+        let state = self.chains.entry(chain_key).or_insert(ChainState {
+            consecutive_failures: 0,
+            open_until: None,
+            cooldown,
+            probing: false,
+        });
+        match state.open_until {
+            Some(until) if self.clock < until => BreakerDecision::ShortCircuit {
+                failures: state.consecutive_failures,
+            },
+            Some(_) => {
+                // Cooldown elapsed: admit exactly one probe.
+                state.open_until = None;
+                state.probing = true;
+                BreakerDecision::Probe
+            }
+            None => BreakerDecision::Allow,
+        }
+    }
+
+    /// Records the result of a plan the breaker allowed (or probed).
+    /// `ok = false` means a stall-like failure as defined by the engine.
+    pub fn record(&mut self, chain_key: u64, ok: bool) {
+        if self.config.trip_after == 0 {
+            return;
+        }
+        let Some(state) = self.chains.get_mut(&chain_key) else {
+            return;
+        };
+        if ok {
+            state.consecutive_failures = 0;
+            state.probing = false;
+            state.cooldown = self.config.cooldown_plans;
+            return;
+        }
+        state.consecutive_failures += 1;
+        let was_probe = std::mem::replace(&mut state.probing, false);
+        let should_open =
+            was_probe || state.consecutive_failures >= u64::from(self.config.trip_after);
+        if should_open {
+            if was_probe {
+                // Repeat offender: back off harder, up to the cap.
+                state.cooldown = (state.cooldown * 2).min(self.config.max_cooldown_plans.max(1));
+            }
+            state.open_until = Some(self.clock + state.cooldown);
+            self.trips += 1;
+            let failures = state.consecutive_failures;
+            let cooldown = state.cooldown;
+            flow_obs::counter("serve.breaker.open", 1);
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.breaker_open")
+                    .u64("chain_key", chain_key)
+                    .u64("failures", failures)
+                    .u64("cooldown_plans", cooldown)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(k: u32) -> BreakerConfig {
+        BreakerConfig {
+            trip_after: k,
+            cooldown_plans: 3,
+            max_cooldown_plans: 12,
+        }
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(config(3));
+        for _ in 0..2 {
+            assert_eq!(b.decide(7), BreakerDecision::Allow);
+            b.record(7, false);
+        }
+        // A success resets the streak.
+        assert_eq!(b.decide(7), BreakerDecision::Allow);
+        b.record(7, true);
+        for _ in 0..2 {
+            assert_eq!(b.decide(7), BreakerDecision::Allow);
+            b.record(7, false);
+        }
+        assert!(!b.is_open(7), "two failures after a reset must not trip");
+        assert_eq!(b.decide(7), BreakerDecision::Allow);
+        b.record(7, false);
+        assert!(b.is_open(7), "third consecutive failure trips");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_then_probes_on_schedule() {
+        let mut b = CircuitBreaker::new(config(1));
+        assert_eq!(b.decide(9), BreakerDecision::Allow);
+        b.record(9, false);
+        // Cooldown is 3 ticks: two short-circuits, then a probe.
+        assert!(matches!(
+            b.decide(9),
+            BreakerDecision::ShortCircuit { failures: 1 }
+        ));
+        assert!(matches!(b.decide(9), BreakerDecision::ShortCircuit { .. }));
+        assert_eq!(b.decide(9), BreakerDecision::Probe);
+        // Successful probe closes the breaker.
+        b.record(9, true);
+        assert_eq!(b.decide(9), BreakerDecision::Allow);
+        assert!(!b.is_open(9));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_capped_cooldown() {
+        let mut b = CircuitBreaker::new(config(1));
+        assert_eq!(b.decide(4), BreakerDecision::Allow);
+        b.record(4, false); // trip, cooldown 3
+        let mut probes = 0;
+        for _ in 0..40 {
+            match b.decide(4) {
+                BreakerDecision::Probe => {
+                    probes += 1;
+                    b.record(4, false); // probe fails: cooldown doubles
+                }
+                BreakerDecision::ShortCircuit { .. } => {}
+                BreakerDecision::Allow => panic!("breaker must not silently close"),
+            }
+        }
+        // Cooldowns 3, 6, 12, 12 (capped), ... over 40 ticks: >= 3 probes.
+        assert!(probes >= 3, "expected several probes, got {probes}");
+        assert!(b.trips() > 1);
+    }
+
+    #[test]
+    fn disabled_breaker_always_allows() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for _ in 0..10 {
+            assert_eq!(b.decide(1), BreakerDecision::Allow);
+            b.record(1, false);
+        }
+        assert!(!b.is_open(1));
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn chains_are_independent() {
+        let mut b = CircuitBreaker::new(config(1));
+        assert_eq!(b.decide(1), BreakerDecision::Allow);
+        b.record(1, false);
+        assert!(b.is_open(1));
+        assert_eq!(
+            b.decide(2),
+            BreakerDecision::Allow,
+            "other chain unaffected"
+        );
+    }
+}

@@ -20,15 +20,31 @@
 //! the ICM changes every key, and stale entries age out through the LRU
 //! byte budget. Hit/miss/eviction counters mirror to `flow-obs`
 //! (`serve.cache.*`) for the serving smoke test and dashboards.
+//!
+//! Persistence is crash-safe (DESIGN.md §12): every entry block carries
+//! an FNV-1a checksum of its own text, files are written via
+//! temp-file-plus-rename so a crash mid-write never leaves a half
+//! cache, and a corrupt or torn block found on load is *quarantined* —
+//! moved verbatim into a `quarantine/` sidecar directory next to the
+//! cache file — while every intact block still loads. Corruption
+//! therefore costs cache misses, never a panic and never a wrong
+//! answer; a `serve.cache_quarantined` event records each incident.
 
-use crate::key::QueryKey;
-use flow_core::{FlowError, FlowResult};
+use crate::key::{Fnv64, QueryKey};
+use flow_core::{fault, FlowError, FlowResult};
 use flow_mcmc::{ChainCheckpoint, TargetCounts};
 use std::collections::HashMap;
 use std::path::Path;
 
-/// Magic first line of the persisted-cache text format.
-const HEADER: &str = "flowserve-cache v1";
+/// Magic first line of the persisted-cache text format. The v2 format
+/// adds a per-entry `entry lines=<n> crc=<hex>` marker; v1 files (no
+/// checksums) predate crash-safe recovery and are quarantined wholesale
+/// on load, which costs a cold start, never a wrong answer.
+const HEADER: &str = "flowserve-cache v2";
+
+/// Marker written when checksumming is explicitly disabled
+/// ([`ServeCache::save_to_dir_opts`]); such blocks load unverified.
+const CRC_DISABLED: &str = "-";
 
 /// 95% confidence half-width of a Bernoulli frequency estimate from `n`
 /// samples. The variance is floored at `1/n` so degenerate estimates
@@ -106,6 +122,7 @@ pub struct ServeCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    quarantined: u64,
 }
 
 impl ServeCache {
@@ -119,6 +136,7 @@ impl ServeCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            quarantined: 0,
         }
     }
 
@@ -203,6 +221,12 @@ impl ServeCache {
         self.evictions
     }
 
+    /// Corrupt persisted blocks quarantined by the load that built this
+    /// cache (0 for caches that were never loaded from disk).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
     /// Resident entry count.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -218,10 +242,40 @@ impl ServeCache {
         self.bytes
     }
 
+    /// Renders one entry's block body (the lines covered by its CRC).
+    fn render_entry(e: &CacheEntry) -> String {
+        let ckpt = e.checkpoint.to_text();
+        let mut out = String::new();
+        out.push_str(&format!("key={}\n", e.key.to_text()));
+        out.push_str(&format!(
+            "counts={} {} {}\n",
+            e.counts.all, e.counts.any, e.counts.members
+        ));
+        out.push_str(&format!("samples={}\n", e.samples));
+        out.push_str(&format!("seed={}\n", e.seed));
+        out.push_str(&format!("ckpt_lines={}\n", ckpt.lines().count()));
+        out.push_str(&ckpt);
+        if !ckpt.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
     /// Persists every resident entry to `<dir>/cache.flowserve` in a
     /// line-based text format (entries sorted by key hash so the file
-    /// is deterministic for a given population).
+    /// is deterministic for a given population). Each entry block is
+    /// prefixed with `entry lines=<n> crc=<fnv1a-hex>` and the file is
+    /// written atomically (temp file + rename), so neither a torn write
+    /// nor a crash mid-save can corrupt an existing cache in place.
     pub fn save_to_dir(&self, dir: &Path) -> FlowResult<()> {
+        self.save_to_dir_opts(dir, true)
+    }
+
+    /// [`ServeCache::save_to_dir`] with entry checksums optionally
+    /// disabled (`crc=-` markers; blocks load unverified). Exists so
+    /// the resilience-overhead benchmark can price checksumming; serving
+    /// always checksums.
+    pub fn save_to_dir_opts(&self, dir: &Path, checksums: bool) -> FlowResult<()> {
         std::fs::create_dir_all(dir)?;
         let mut hashes: Vec<u64> = self.slots.keys().copied().collect();
         hashes.sort_unstable();
@@ -233,110 +287,215 @@ impl ServeCache {
             let Some(slot) = self.slots.get(&h) else {
                 continue;
             };
-            let e = &slot.entry;
-            let ckpt = e.checkpoint.to_text();
-            out.push_str(&format!("key={}\n", e.key.to_text()));
+            let block = Self::render_entry(&slot.entry);
+            let crc = if checksums {
+                format!("{:016x}", Fnv64::new().bytes(block.as_bytes()).finish())
+            } else {
+                CRC_DISABLED.to_string()
+            };
             out.push_str(&format!(
-                "counts={} {} {}\n",
-                e.counts.all, e.counts.any, e.counts.members
+                "entry lines={} crc={}\n",
+                block.lines().count(),
+                crc
             ));
-            out.push_str(&format!("samples={}\n", e.samples));
-            out.push_str(&format!("seed={}\n", e.seed));
-            out.push_str(&format!("ckpt_lines={}\n", ckpt.lines().count()));
-            out.push_str(&ckpt);
-            if !ckpt.ends_with('\n') {
-                out.push('\n');
-            }
+            out.push_str(&block);
         }
-        std::fs::write(dir.join("cache.flowserve"), out)?;
+        if fault::fires("serve.cache_write_corrupt") {
+            // Torn write: keep a prefix only (the format is ASCII, so
+            // any byte index is a char boundary).
+            out.truncate(out.len() * 3 / 5);
+        }
+        let path = dir.join("cache.flowserve");
+        let tmp = dir.join("cache.flowserve.tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, &path)?;
         Ok(())
     }
 
     /// Loads a cache persisted by [`ServeCache::save_to_dir`]. A missing
-    /// file yields an empty cache (cold start); a malformed file is a
-    /// typed [`FlowError::Checkpoint`] error.
+    /// file yields an empty cache (cold start). Corrupt content — bad
+    /// header, torn tail, checksum mismatches, unparsable blocks — is
+    /// quarantined into `<dir>/quarantine/` and every intact block still
+    /// loads; [`ServeCache::quarantined`] counts the incidents. Only
+    /// real I/O failures surface as errors.
     pub fn load_from_dir(dir: &Path, byte_budget: usize) -> FlowResult<Self> {
         let path = dir.join("cache.flowserve");
-        let text = match std::fs::read_to_string(&path) {
+        let mut text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(ServeCache::new(byte_budget));
             }
             Err(e) => return Err(e.into()),
         };
-        Self::from_text(&text, byte_budget)
+        if fault::fires("serve.cache_read_corrupt") {
+            // Torn read: the file's tail never made it to disk.
+            text.truncate(text.len() / 2);
+        }
+        let (mut cache, quarantined) = Self::from_text_lossy(&text, byte_budget);
+        if !quarantined.is_empty() {
+            let qdir = dir.join("quarantine");
+            std::fs::create_dir_all(&qdir)?;
+            for (i, (reason, block)) in quarantined.iter().enumerate() {
+                let body = format!("# quarantined: {reason}\n{block}");
+                std::fs::write(qdir.join(format!("block-{i:04}.txt")), body)?;
+            }
+            cache.quarantined = quarantined.len() as u64;
+            flow_obs::counter("serve.cache.quarantined", quarantined.len() as u64);
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.cache_quarantined")
+                    .u64("blocks", quarantined.len() as u64)
+                    .str("reason", quarantined[0].0.clone())
+            });
+        }
+        Ok(cache)
     }
 
-    fn from_text(text: &str, byte_budget: usize) -> FlowResult<Self> {
-        let corrupt = |detail: String| FlowError::Checkpoint { detail };
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return Err(corrupt(format!("bad cache header; expected `{HEADER}`")));
-        }
-        let count_line = lines
-            .next()
-            .ok_or_else(|| corrupt("truncated cache: missing entry count".into()))?;
-        let count: usize = count_line
-            .strip_prefix("entries=")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| corrupt(format!("bad entry count line `{count_line}`")))?;
+    /// Parses persisted cache text, returning the cache plus every
+    /// quarantined `(reason, block text)` pair. Never fails: corruption
+    /// costs entries, not the load.
+    fn from_text_lossy(text: &str, byte_budget: usize) -> (Self, Vec<(String, String)>) {
         let mut cache = ServeCache::new(byte_budget);
-        let expect = |lines: &mut std::str::Lines<'_>, prefix: &str| -> FlowResult<String> {
-            let line = lines
-                .next()
-                .ok_or_else(|| corrupt(format!("truncated cache: missing `{prefix}` line")))?;
-            line.strip_prefix(prefix)
-                .map(str::to_owned)
-                .ok_or_else(|| corrupt(format!("expected `{prefix}...`, got `{line}`")))
-        };
-        for _ in 0..count {
-            let key = QueryKey::from_text(&expect(&mut lines, "key=")?)?;
-            let counts_text = expect(&mut lines, "counts=")?;
-            let mut parts = counts_text.split_whitespace();
-            let mut next_u64 = |what: &str| -> FlowResult<u64> {
-                parts
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| corrupt(format!("bad counts field `{what}`")))
+        let mut quarantined: Vec<(String, String)> = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.first().copied() != Some(HEADER) {
+            quarantined.push((
+                format!("bad cache header; expected `{HEADER}`"),
+                text.to_string(),
+            ));
+            return (cache, quarantined);
+        }
+        let declared: Option<usize> = lines
+            .get(1)
+            .and_then(|l| l.strip_prefix("entries="))
+            .and_then(|v| v.parse().ok());
+        if declared.is_none() {
+            quarantined.push(("bad or missing entry-count line".into(), text.to_string()));
+            return (cache, quarantined);
+        }
+        // Blocks are delimited by their `entry ` marker lines; scanning
+        // for markers (rather than trusting each block's declared
+        // length) makes recovery self-resynchronizing after corruption.
+        let markers: Vec<usize> = (2..lines.len())
+            .filter(|&i| lines[i].starts_with("entry "))
+            .collect();
+        for (m, &start) in markers.iter().enumerate() {
+            let end = markers.get(m + 1).copied().unwrap_or(lines.len());
+            let body = lines.get(start + 1..end).unwrap_or(&[]);
+            let block_text = || {
+                let mut t = String::new();
+                for l in &lines[start..end] {
+                    t.push_str(l);
+                    t.push('\n');
+                }
+                t
             };
-            let counts = TargetCounts {
-                all: next_u64("all")?,
-                any: next_u64("any")?,
-                members: next_u64("members")?,
-            };
-            let samples: u64 = expect(&mut lines, "samples=")?
-                .parse()
-                .map_err(|_| corrupt("bad samples".into()))?;
-            let seed: u64 = expect(&mut lines, "seed=")?
-                .parse()
-                .map_err(|_| corrupt("bad seed".into()))?;
-            let ckpt_lines: usize = expect(&mut lines, "ckpt_lines=")?
-                .parse()
-                .map_err(|_| corrupt("bad ckpt_lines".into()))?;
-            let mut ckpt_text = String::new();
-            for _ in 0..ckpt_lines {
-                let line = lines
-                    .next()
-                    .ok_or_else(|| corrupt("truncated checkpoint in cache".into()))?;
-                ckpt_text.push_str(line);
-                ckpt_text.push('\n');
+            match Self::parse_block(lines[start], body) {
+                Ok(entry) => cache.insert(entry),
+                Err(e) => quarantined.push((e.to_string(), block_text())),
             }
-            let checkpoint = ChainCheckpoint::from_text(&ckpt_text)?;
-            let model_version = key.fingerprint;
-            cache.insert(CacheEntry {
-                key,
-                counts,
-                samples,
-                seed,
-                model_version,
-                checkpoint,
-            });
+        }
+        if let Some(declared) = declared {
+            let found = cache.len() + quarantined.len();
+            if found < declared {
+                // Blocks lost wholesale (e.g. a torn tail that took the
+                // markers with it): record the shortfall as one incident
+                // so operators see it even without surviving bytes.
+                quarantined.push((
+                    format!("cache declared {declared} entries, found {found} blocks"),
+                    String::new(),
+                ));
+            }
         }
         // Loading is population, not traffic: reset the flow counters.
         cache.hits = 0;
         cache.misses = 0;
         cache.evictions = 0;
-        Ok(cache)
+        (cache, quarantined)
+    }
+
+    /// Parses one `entry lines=<n> crc=<hex>` block into an entry,
+    /// verifying length and checksum first.
+    fn parse_block(marker: &str, body: &[&str]) -> FlowResult<CacheEntry> {
+        let corrupt = |detail: String| FlowError::Checkpoint { detail };
+        let rest = marker
+            .strip_prefix("entry lines=")
+            .ok_or_else(|| corrupt(format!("bad entry marker `{marker}`")))?;
+        let (len_text, crc_text) = rest
+            .split_once(" crc=")
+            .ok_or_else(|| corrupt(format!("entry marker missing crc: `{marker}`")))?;
+        let declared_lines: usize = len_text
+            .parse()
+            .map_err(|_| corrupt(format!("bad entry line count `{len_text}`")))?;
+        if body.len() != declared_lines {
+            return Err(corrupt(format!(
+                "entry truncated or overrun: declared {declared_lines} lines, found {}",
+                body.len()
+            )));
+        }
+        if crc_text != CRC_DISABLED {
+            let expected: u64 = u64::from_str_radix(crc_text, 16)
+                .map_err(|_| corrupt(format!("bad entry crc `{crc_text}`")))?;
+            let mut h = Fnv64::new();
+            for l in body {
+                h = h.bytes(l.as_bytes()).bytes(b"\n");
+            }
+            let actual = h.finish();
+            if actual != expected {
+                return Err(corrupt(format!(
+                    "entry checksum mismatch: stored {expected:016x}, computed {actual:016x}"
+                )));
+            }
+        }
+        let mut lines = body.iter().copied();
+        let mut expect = |prefix: &str| -> FlowResult<String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt(format!("truncated entry: missing `{prefix}` line")))?;
+            line.strip_prefix(prefix)
+                .map(str::to_owned)
+                .ok_or_else(|| corrupt(format!("expected `{prefix}...`, got `{line}`")))
+        };
+        let key = QueryKey::from_text(&expect("key=")?)?;
+        let counts_text = expect("counts=")?;
+        let mut parts = counts_text.split_whitespace();
+        let mut next_u64 = |what: &str| -> FlowResult<u64> {
+            parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| corrupt(format!("bad counts field `{what}`")))
+        };
+        let counts = TargetCounts {
+            all: next_u64("all")?,
+            any: next_u64("any")?,
+            members: next_u64("members")?,
+        };
+        let samples: u64 = expect("samples=")?
+            .parse()
+            .map_err(|_| corrupt("bad samples".into()))?;
+        let seed: u64 = expect("seed=")?
+            .parse()
+            .map_err(|_| corrupt("bad seed".into()))?;
+        let ckpt_lines: usize = expect("ckpt_lines=")?
+            .parse()
+            .map_err(|_| corrupt("bad ckpt_lines".into()))?;
+        let mut ckpt_text = String::new();
+        for _ in 0..ckpt_lines {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt("truncated checkpoint in cache".into()))?;
+            ckpt_text.push_str(line);
+            ckpt_text.push('\n');
+        }
+        let checkpoint = ChainCheckpoint::from_text(&ckpt_text)?;
+        let model_version = key.fingerprint;
+        Ok(CacheEntry {
+            key,
+            counts,
+            samples,
+            seed,
+            model_version,
+            checkpoint,
+        })
     }
 }
 
@@ -463,9 +622,89 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("flow-serve-cache-{tag}-{}", std::process::id()))
+    }
+
     #[test]
-    fn corrupt_cache_is_a_typed_error() {
-        let err = ServeCache::from_text("not a cache\n", 1 << 20).unwrap_err();
-        assert!(matches!(err, FlowError::Checkpoint { .. }));
+    fn corrupt_header_quarantines_the_file_and_loads_empty() {
+        let dir = tmp_dir("bad-header");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cache.flowserve"), "not a cache\n").unwrap();
+        let cache = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert!(cache.is_empty(), "corrupt file must cold-start, not panic");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(
+            dir.join("quarantine").join("block-0000.txt").exists(),
+            "corrupt bytes must be preserved in the sidecar"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_quarantines_one_entry_and_loads_the_rest() {
+        let model = icm();
+        let dir = tmp_dir("flipped-byte");
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&model, 1, 100));
+        cache.insert(entry_for(&model, 3, 250));
+        cache.save_to_dir(&dir).unwrap();
+        // Flip a digit inside the first entry's counts line.
+        let path = dir.join("cache.flowserve");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let target = text.lines().find(|l| l.starts_with("counts=")).unwrap();
+        let vandalized = text.replacen(target, "counts=999999 0 0", 1);
+        assert_ne!(text, vandalized);
+        std::fs::write(&path, vandalized).unwrap();
+
+        let mut loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert_eq!(loaded.quarantined(), 1, "checksum must catch the flip");
+        assert_eq!(loaded.len(), 1, "the intact entry still loads");
+        let intact: Vec<u64> = [1u32, 3u32]
+            .iter()
+            .filter(|&&s| loaded.lookup(&entry_for(&model, s, 100).key).is_some())
+            .map(|&s| u64::from(s))
+            .collect();
+        assert_eq!(intact.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_quarantines_without_losing_the_intact_prefix() {
+        let model = icm();
+        let dir = tmp_dir("torn-tail");
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&model, 1, 100));
+        cache.insert(entry_for(&model, 2, 100));
+        cache.insert(entry_for(&model, 3, 100));
+        cache.save_to_dir(&dir).unwrap();
+        let path = dir.join("cache.flowserve");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Cut mid-way through the last entry, as a crash would.
+        let cut = text.len() - text.len() / 5;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert!(loaded.quarantined() >= 1, "torn tail must be quarantined");
+        assert_eq!(loaded.len(), 2, "intact prefix entries survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchecksummed_save_round_trips() {
+        let model = icm();
+        let dir = tmp_dir("no-crc");
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&model, 1, 100));
+        cache.save_to_dir_opts(&dir, false).unwrap();
+        let text = std::fs::read_to_string(dir.join("cache.flowserve")).unwrap();
+        assert!(
+            text.contains("crc=-"),
+            "disabled checksums use the `-` marker"
+        );
+        let loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.quarantined(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

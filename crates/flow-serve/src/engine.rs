@@ -13,8 +13,9 @@
 //! [`DegradationReason::PrecisionNotReached`] rather than silently
 //! under-delivering.
 
+use crate::breaker::{BreakerConfig, BreakerDecision, CircuitBreaker};
 use crate::cache::{half_width, CacheEntry, ServeCache};
-use crate::exec::{run_plans, ExecutorConfig, PlanStatus};
+use crate::exec::{run_plans_report, ExecutorConfig, PlanStatus};
 use crate::plan::{
     plan_batch, BatchPlan, EarlyResolution, FlowQuery, Plan, PlanWork, PlannerConfig,
 };
@@ -29,8 +30,10 @@ pub struct ServeConfig {
     pub mcmc: McmcConfig,
     /// Tolerance applied when a query does not state one.
     pub default_tolerance: f64,
-    /// Worker pool and admission queue shape.
+    /// Worker pool, admission policy, and retry policy.
     pub executor: ExecutorConfig,
+    /// Per-chain circuit breaker shape.
+    pub breaker: BreakerConfig,
     /// Estimate-cache byte budget (0 disables caching).
     pub cache_bytes: usize,
     /// Engine seed; chain seeds derive from it and each chain key.
@@ -45,6 +48,7 @@ impl Default for ServeConfig {
             mcmc: McmcConfig::default(),
             default_tolerance: 0.02,
             executor: ExecutorConfig::default(),
+            breaker: BreakerConfig::default(),
             cache_bytes: 8 << 20,
             engine_seed: 0,
             max_samples: 200_000,
@@ -72,6 +76,11 @@ pub enum Served {
     CacheHit,
     /// Warm continuation of a cached chain, counts pooled.
     WarmRefinement,
+    /// Short-circuited by an open circuit breaker: served from
+    /// whatever warm statistics exist (possibly none), zero chain
+    /// steps spent, always flagged
+    /// [`DegradationReason::BreakerOpen`].
+    ShortCircuited,
 }
 
 /// A served estimate.
@@ -94,10 +103,12 @@ pub struct Answer {
 pub enum QueryOutcome {
     /// The query was answered (possibly degraded; see the answer).
     Answered(Answer),
-    /// Explicit backpressure: the submission queue was full.
+    /// Explicit backpressure: admission shed the query. The carried
+    /// error is always [`FlowError::Overloaded`] with a deterministic
+    /// retry-after hint; clients should retry, not fail.
     Rejected {
-        /// True when the rejection came from queue admission.
-        queue_full: bool,
+        /// The typed overload rejection.
+        error: FlowError,
     },
     /// The query failed with a typed error before or during sampling.
     Failed(FlowError),
@@ -126,6 +137,12 @@ pub struct ServeStats {
     pub steps: u64,
     /// Answers carrying at least one degradation reason.
     pub degraded: u64,
+    /// Transient-failure retries performed by the executor.
+    pub retries: u64,
+    /// Plans shed by admission control (subset of `rejected` queries).
+    pub shed: u64,
+    /// Answers short-circuited by an open circuit breaker.
+    pub breaker_answers: u64,
 }
 
 /// The serving engine. Owns the cache; one instance per model-serving
@@ -134,6 +151,7 @@ pub struct ServeStats {
 pub struct ServeEngine {
     config: ServeConfig,
     cache: ServeCache,
+    breaker: CircuitBreaker,
     stats: ServeStats,
 }
 
@@ -141,11 +159,7 @@ impl ServeEngine {
     /// An engine with a cold cache.
     pub fn new(config: ServeConfig) -> Self {
         let cache = ServeCache::new(config.cache_bytes);
-        ServeEngine {
-            config,
-            cache,
-            stats: ServeStats::default(),
-        }
+        Self::with_cache(config, cache)
     }
 
     /// An engine over a pre-populated (e.g. loaded-from-disk) cache.
@@ -153,8 +167,14 @@ impl ServeEngine {
         ServeEngine {
             config,
             cache,
+            breaker: CircuitBreaker::new(config.breaker),
             stats: ServeStats::default(),
         }
+    }
+
+    /// The engine's circuit breaker (read-only; for tests/telemetry).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     /// The engine's cache (e.g. for persistence).
@@ -180,7 +200,53 @@ impl ServeEngine {
         let batch: BatchPlan = plan_batch(icm, &mut self.cache, &self.config.planner(), queries);
         self.stats.plans += batch.plans.len() as u64;
 
-        let statuses = run_plans(icm, &batch.plans, &self.config.executor);
+        // Breaker gate: an open chain's plans never reach the executor.
+        // Re-id the executable subset densely (the executor indexes its
+        // result vector by plan id) and remember each slot's original
+        // plan.
+        let mut exec_plans: Vec<Plan> = Vec::new();
+        let mut origin: Vec<usize> = Vec::new();
+        let mut short_circuited: Vec<(usize, u64)> = Vec::new();
+        for (i, plan) in batch.plans.iter().enumerate() {
+            match self.breaker.decide(plan.chain_key()) {
+                BreakerDecision::ShortCircuit { failures } => short_circuited.push((i, failures)),
+                BreakerDecision::Allow | BreakerDecision::Probe => {
+                    let mut p = plan.clone();
+                    p.id = exec_plans.len();
+                    origin.push(i);
+                    exec_plans.push(p);
+                }
+            }
+        }
+
+        let (statuses, report) = run_plans_report(icm, &exec_plans, &self.config.executor);
+        self.stats.retries += report.retries;
+        self.stats.shed += report.shed;
+
+        // Feed executed-plan results back into the breaker. Only
+        // stall-like signals count as failures: client-shaped
+        // degradations (step budgets, deadlines, precision misses)
+        // must not trip it, or clean runs would stop being
+        // byte-identical. Shed plans never ran, so they carry no
+        // signal either way.
+        for (slot, status) in statuses.iter().enumerate() {
+            let plan = &batch.plans[origin[slot]];
+            match status {
+                PlanStatus::Completed(out) => {
+                    let stall_like = out.degradation.iter().any(|d| {
+                        matches!(
+                            d,
+                            DegradationReason::ChainRestarted { .. }
+                                | DegradationReason::ChainStalled { .. }
+                                | DegradationReason::ChainFailed { .. }
+                        )
+                    });
+                    self.breaker.record(plan.chain_key(), !stall_like);
+                }
+                PlanStatus::Failed(_) => self.breaker.record(plan.chain_key(), false),
+                PlanStatus::Rejected(_) => {}
+            }
+        }
 
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
         for (i, early) in batch.early.iter().enumerate() {
@@ -206,8 +272,11 @@ impl ServeEngine {
             }
         }
 
-        for (plan, status) in batch.plans.iter().zip(statuses) {
-            self.fold_plan(plan, status, &mut outcomes);
+        for (i, failures) in short_circuited {
+            self.short_circuit_plan(&batch.plans[i], failures, &mut outcomes);
+        }
+        for (slot, status) in statuses.into_iter().enumerate() {
+            self.fold_plan(&batch.plans[origin[slot]], status, &mut outcomes);
         }
 
         outcomes
@@ -226,11 +295,68 @@ impl ServeEngine {
             Served::CacheHit => self.stats.cache_hits += 1,
             Served::Fresh => self.stats.fresh += 1,
             Served::WarmRefinement => self.stats.refined += 1,
+            Served::ShortCircuited => self.stats.breaker_answers += 1,
         }
         if !answer.degradation.is_empty() {
             self.stats.degraded += 1;
         }
         QueryOutcome::Answered(answer)
+    }
+
+    /// Serves every query of a breaker-blocked plan without sampling:
+    /// refinements answer from their cached base statistics, cold plans
+    /// answer with an honest zero-sample stub. Either way the answer is
+    /// structured and flagged `BreakerOpen` — never an error, never a
+    /// panic.
+    fn short_circuit_plan(
+        &mut self,
+        plan: &Plan,
+        failures: u64,
+        outcomes: &mut [Option<QueryOutcome>],
+    ) {
+        match &plan.work {
+            PlanWork::Refine { entry, base, .. } => {
+                let reason = DegradationReason::BreakerOpen {
+                    failures,
+                    cached_samples: base.samples,
+                };
+                flow_obs::event(|| reason.to_obs_event());
+                let hw = base.half_width();
+                let mut degradation = vec![reason];
+                degradation.extend(precision_check(hw, entry.tolerance));
+                let answer = Answer {
+                    estimate: base.estimate(),
+                    half_width: hw,
+                    samples: base.samples,
+                    served: Served::ShortCircuited,
+                    degradation,
+                };
+                if let Some(o) = outcomes.get_mut(entry.query_index) {
+                    *o = Some(self.answered(answer));
+                }
+            }
+            PlanWork::Shared { entries, .. } => {
+                for entry in entries {
+                    let reason = DegradationReason::BreakerOpen {
+                        failures,
+                        cached_samples: 0,
+                    };
+                    flow_obs::event(|| reason.to_obs_event());
+                    let mut degradation = vec![reason];
+                    degradation.extend(precision_check(f64::INFINITY, entry.tolerance));
+                    let answer = Answer {
+                        estimate: 0.0,
+                        half_width: f64::INFINITY,
+                        samples: 0,
+                        served: Served::ShortCircuited,
+                        degradation,
+                    };
+                    if let Some(o) = outcomes.get_mut(entry.query_index) {
+                        *o = Some(self.answered(answer));
+                    }
+                }
+            }
+        }
     }
 
     fn fold_plan(
@@ -306,11 +432,11 @@ impl ServeEngine {
                     *o = Some(self.answered(answer));
                 }
             }
-            (work, PlanStatus::Rejected) => {
+            (work, PlanStatus::Rejected(e)) => {
                 for idx in work_query_indices(work) {
                     self.stats.rejected += 1;
                     if let Some(o) = outcomes.get_mut(idx) {
-                        *o = Some(QueryOutcome::Rejected { queue_full: true });
+                        *o = Some(QueryOutcome::Rejected { error: e.clone() });
                     }
                 }
             }

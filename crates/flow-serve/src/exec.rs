@@ -1,12 +1,21 @@
-//! The bounded executor: a fixed worker pool with explicit backpressure.
+//! The bounded executor: a fixed worker pool with explicit backpressure,
+//! admission control, and per-plan retry.
 //!
 //! Serving must fail *predictably* under load, so admission is decided
 //! before any thread runs: the whole batch is submitted to a bounded
-//! queue first, and every plan beyond `queue_capacity` is rejected
-//! up front. That makes backpressure deterministic — which plans get
-//! `Rejected` depends only on batch order and capacity, never on worker
-//! timing — and the engine maps rejections to typed
-//! `QueryOutcome::Rejected { queue_full: true }` responses.
+//! queue first, and every plan beyond `queue_capacity` — or beyond the
+//! configured [`ExecutorConfig::admission_step_budget`] of estimated
+//! chain steps — is shed up front with a typed
+//! [`FlowError::Overloaded`] carrying a deterministic retry-after hint.
+//! That makes backpressure deterministic: which plans get `Rejected`
+//! depends only on batch order, capacity, and estimated cost, never on
+//! worker timing.
+//!
+//! Workers retry *transient* plan failures (stalled chains, I/O
+//! hiccups; see [`flow_core::Transience`]) with a deterministic capped
+//! exponential backoff ([`RetryPolicy`]); permanent errors surface
+//! immediately. Each retry emits a `serve.retry` event, each shed plan
+//! a `serve.shed` event.
 //!
 //! Workers are scoped threads. Each one re-installs the submitting
 //! thread's `flow-obs` recorder (via [`flow_obs::current_recorder`]),
@@ -16,20 +25,71 @@
 //! `serve.plan` span with start/finish events carrying the plan id.
 
 use crate::plan::Plan;
-use flow_core::{FlowError, FlowResult};
+use flow_core::{fault, FlowError, FlowResult};
 use flow_icm::Icm;
 use flow_mcmc::SharedChainOutcome;
 use flow_obs::ScopedRecorder;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
-/// Worker-pool shape.
+/// Assumed chain-step throughput per worker, used only to turn a shed
+/// plan's queued-steps backlog into a millisecond retry-after hint.
+/// Deliberately a constant: the hint must be a pure function of the
+/// batch, not of measured machine speed.
+const ASSUMED_STEPS_PER_MS: u64 = 500;
+
+/// Deterministic retry policy for transient plan failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per plan, including the first (floored at 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff cap, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 2,
+            max_backoff_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): capped
+    /// exponential, no jitter — retries must not perturb determinism.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        (self.base_backoff_ms << shift).min(self.max_backoff_ms)
+    }
+}
+
+/// Worker-pool shape and admission policy.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecutorConfig {
     /// Fixed worker-thread count (floored at 1).
     pub workers: usize,
     /// Maximum plans admitted per batch; the rest are rejected.
     pub queue_capacity: usize,
+    /// Maximum estimated chain steps admitted per batch; plans beyond
+    /// it are shed with [`FlowError::Overloaded`]. `0` = unlimited.
+    pub admission_step_budget: u64,
+    /// Retry policy for transient plan failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecutorConfig {
@@ -37,6 +97,8 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             workers: 4,
             queue_capacity: 256,
+            admission_step_budget: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -46,38 +108,107 @@ impl Default for ExecutorConfig {
 pub enum PlanStatus {
     /// The plan ran; its chain outcome (possibly degraded) is attached.
     Completed(SharedChainOutcome),
-    /// The submission queue was full; the plan never ran.
-    Rejected,
-    /// The plan ran and failed with a hard error.
+    /// Admission shed the plan (queue full or step budget exceeded);
+    /// it never ran. Always [`FlowError::Overloaded`] with a
+    /// deterministic retry-after hint.
+    Rejected(FlowError),
+    /// The plan ran and failed with a hard error (after any retries).
     Failed(FlowError),
+}
+
+/// Executor-level counters for one batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecReport {
+    /// Transient-failure retries performed across all workers.
+    pub retries: u64,
+    /// Plans shed by admission control (step budget or saturation),
+    /// not counting plain queue-capacity rejections.
+    pub shed: u64,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Runs a batch of plans on the worker pool. The returned vector is
-/// indexed by plan id and always complete: every plan is `Completed`,
-/// `Rejected`, or `Failed`.
-pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<PlanStatus> {
-    let mut results: Vec<Option<PlanStatus>> = vec![None; plans.len()];
+/// Deterministic retry-after hint for a shed plan: how long the queued
+/// backlog takes to drain at the assumed per-worker step rate.
+fn retry_after_hint(queued_steps: u64, workers: usize) -> u64 {
+    let rate = ASSUMED_STEPS_PER_MS * workers.max(1) as u64;
+    (queued_steps / rate).max(1)
+}
 
-    // Admission first: deterministic backpressure.
+fn overloaded(detail: String, queued_steps: u64, workers: usize) -> FlowError {
+    FlowError::Overloaded {
+        detail,
+        retry_after_ms: retry_after_hint(queued_steps, workers),
+    }
+}
+
+/// Runs a batch of plans on the worker pool, returning per-plan
+/// statuses (indexed by plan id, always complete) plus executor
+/// counters.
+pub fn run_plans_report(
+    icm: &Icm,
+    plans: &[Plan],
+    config: &ExecutorConfig,
+) -> (Vec<PlanStatus>, ExecReport) {
+    let mut results: Vec<Option<PlanStatus>> = vec![None; plans.len()];
+    let mut report = ExecReport::default();
+
+    // Admission first: deterministic backpressure. Plans are admitted
+    // in batch order while both the queue capacity and the step budget
+    // hold; everything else is shed with a typed `Overloaded`.
+    let budget = config.admission_step_budget;
+    let mut queued_steps: u64 = 0;
     let mut queue: VecDeque<&Plan> = VecDeque::new();
     for plan in plans {
-        if queue.len() < config.queue_capacity {
-            queue.push_back(plan);
-        } else {
+        let cost = plan.estimated_steps();
+        // The fault harness can saturate admission wholesale, modelling
+        // a pool that cannot drain.
+        let saturated = fault::fires("serve.queue_saturate");
+        let over_budget =
+            budget > 0 && !queue.is_empty() && queued_steps.saturating_add(cost) > budget;
+        if queue.len() >= config.queue_capacity {
             flow_obs::counter("serve.queue.rejected", 1);
             flow_obs::event(|| {
                 flow_obs::Event::new("serve.plan.rejected").u64("plan", plan.id as u64)
             });
-            results[plan.id] = Some(PlanStatus::Rejected);
+            results[plan.id] = Some(PlanStatus::Rejected(overloaded(
+                format!("submission queue full ({} plans)", config.queue_capacity),
+                queued_steps,
+                config.workers,
+            )));
+        } else if saturated || over_budget {
+            report.shed += 1;
+            flow_obs::counter("serve.shed", 1);
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.shed")
+                    .u64("plan", plan.id as u64)
+                    .u64("estimated_steps", cost)
+                    .u64("queued_steps", queued_steps)
+                    .u64("budget", budget)
+            });
+            results[plan.id] = Some(PlanStatus::Rejected(overloaded(
+                if saturated {
+                    "admission saturated (injected)".to_string()
+                } else {
+                    format!(
+                        "admission step budget {budget} exceeded: {queued_steps} queued + {cost} estimated"
+                    )
+                },
+                queued_steps,
+                config.workers,
+            )));
+        } else {
+            queued_steps = queued_steps.saturating_add(cost);
+            queue.push_back(plan);
         }
     }
     flow_obs::gauge("serve.queue.depth", queue.len() as f64);
 
     let workers = config.workers.max(1).min(queue.len().max(1));
+    let retry = config.retry;
+    let retries = AtomicU64::new(0);
     let queue = Mutex::new(queue);
     let slots = Mutex::new(&mut results);
     let recorder = flow_obs::current_recorder();
@@ -86,6 +217,7 @@ pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<Plan
         for _ in 0..workers {
             let queue = &queue;
             let slots = &slots;
+            let retries = &retries;
             let recorder = recorder.clone();
             scope.spawn(move || {
                 let _guard = recorder.map(ScopedRecorder::install);
@@ -100,13 +232,7 @@ pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<Plan
                     flow_obs::event(|| {
                         flow_obs::Event::new("serve.plan.start").u64("plan", plan.id as u64)
                     });
-                    let status = {
-                        let _span = flow_obs::span("serve.plan");
-                        match plan.execute(icm) {
-                            Ok(outcome) => PlanStatus::Completed(outcome),
-                            Err(e) => PlanStatus::Failed(e),
-                        }
-                    };
+                    let status = execute_with_retry(icm, plan, &retry, retries);
                     flow_obs::event(|| {
                         let e =
                             flow_obs::Event::new("serve.plan.finish").u64("plan", plan.id as u64);
@@ -116,7 +242,7 @@ pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<Plan
                                 .u64("steps", out.steps)
                                 .u64("degraded", out.degradation.len() as u64),
                             PlanStatus::Failed(err) => e.str("error", err.to_string()),
-                            PlanStatus::Rejected => e,
+                            PlanStatus::Rejected(err) => e.str("error", err.to_string()),
                         }
                     });
                     let mut s = lock(slots);
@@ -128,19 +254,76 @@ pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<Plan
         }
     });
 
-    results
+    report.retries = retries.load(Ordering::Relaxed);
+    let statuses = results
         .into_iter()
         .map(|r| {
             r.unwrap_or(PlanStatus::Failed(FlowError::Io {
                 detail: "executor dropped a plan without recording a status".into(),
             }))
         })
-        .collect()
+        .collect();
+    (statuses, report)
+}
+
+/// Runs one plan, retrying transient failures per the policy. The
+/// `serve.worker_stall` fault point injects a stalled-chain error
+/// before execution, exercising exactly this retry path.
+fn execute_with_retry(
+    icm: &Icm,
+    plan: &Plan,
+    retry: &RetryPolicy,
+    retries: &AtomicU64,
+) -> PlanStatus {
+    let max_attempts = retry.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let result = {
+            let _span = flow_obs::span("serve.plan");
+            if fault::fires("serve.worker_stall") {
+                Err(FlowError::ChainStalled {
+                    chain: plan.id,
+                    steps: 0,
+                    acceptance_rate: 0.0,
+                })
+            } else {
+                plan.execute(icm)
+            }
+        };
+        match result {
+            Ok(outcome) => return PlanStatus::Completed(outcome),
+            Err(e) if e.is_transient() && attempt < max_attempts => {
+                let backoff = retry.backoff_ms(attempt);
+                retries.fetch_add(1, Ordering::Relaxed);
+                flow_obs::counter("serve.retry", 1);
+                flow_obs::event(|| {
+                    flow_obs::Event::new("serve.retry")
+                        .u64("plan", plan.id as u64)
+                        .u64("attempt", u64::from(attempt))
+                        .u64("backoff_ms", backoff)
+                        .str("error", e.to_string())
+                });
+                // The backoff is wall-clock politeness, not identity:
+                // the re-executed plan is a pure function of its seed,
+                // so sleeping never perturbs results.
+                std::thread::sleep(Duration::from_millis(backoff));
+                attempt += 1;
+            }
+            Err(e) => return PlanStatus::Failed(e),
+        }
+    }
+}
+
+/// Runs a batch of plans on the worker pool. The returned vector is
+/// indexed by plan id and always complete: every plan is `Completed`,
+/// `Rejected`, or `Failed`.
+pub fn run_plans(icm: &Icm, plans: &[Plan], config: &ExecutorConfig) -> Vec<PlanStatus> {
+    run_plans_report(icm, plans, config).0
 }
 
 /// Convenience: run plans and return a typed result per plan, mapping
-/// `Rejected` to `Err(BudgetExhausted)` for callers that do not model
-/// backpressure separately.
+/// `Rejected` to its carried [`FlowError::Overloaded`] for callers that
+/// do not model backpressure separately.
 pub fn run_plans_strict(
     icm: &Icm,
     plans: &[Plan],
@@ -150,10 +333,7 @@ pub fn run_plans_strict(
         .into_iter()
         .map(|s| match s {
             PlanStatus::Completed(out) => Ok(out),
-            PlanStatus::Failed(e) => Err(e),
-            PlanStatus::Rejected => Err(FlowError::BudgetExhausted {
-                detail: "submission queue full".into(),
-            }),
+            PlanStatus::Failed(e) | PlanStatus::Rejected(e) => Err(e),
         })
         .collect()
 }
@@ -197,14 +377,76 @@ mod tests {
         let exec = ExecutorConfig {
             workers: 2,
             queue_capacity: 2,
+            ..Default::default()
         };
         for _ in 0..3 {
             let statuses = run_plans(&model, &batch.plans, &exec);
             assert!(matches!(statuses[0], PlanStatus::Completed(_)));
             assert!(matches!(statuses[1], PlanStatus::Completed(_)));
-            assert!(matches!(statuses[2], PlanStatus::Rejected));
-            assert!(matches!(statuses[3], PlanStatus::Rejected));
+            assert!(matches!(
+                statuses[2],
+                PlanStatus::Rejected(FlowError::Overloaded { .. })
+            ));
+            assert!(matches!(
+                statuses[3],
+                PlanStatus::Rejected(FlowError::Overloaded { .. })
+            ));
         }
+    }
+
+    #[test]
+    fn step_budget_sheds_excess_plans_with_retry_hint() {
+        let model = icm();
+        let queries: Vec<FlowQuery> = (0..3)
+            .map(|s| FlowQuery::flow(NodeId(s), NodeId(4)))
+            .collect();
+        let batch = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg(), &queries);
+        let per_plan = batch.plans[0].estimated_steps();
+        assert!(per_plan > 0);
+        // Budget covers exactly one plan; the first is always admitted,
+        // the other two are shed.
+        let exec = ExecutorConfig {
+            workers: 2,
+            admission_step_budget: per_plan,
+            ..Default::default()
+        };
+        let (statuses, report) = run_plans_report(&model, &batch.plans, &exec);
+        assert!(matches!(statuses[0], PlanStatus::Completed(_)));
+        for s in &statuses[1..] {
+            match s {
+                PlanStatus::Rejected(FlowError::Overloaded { retry_after_ms, .. }) => {
+                    assert!(*retry_after_ms >= 1);
+                }
+                other => panic!("expected Overloaded shed, got {other:?}"),
+            }
+        }
+        assert_eq!(report.shed, 2);
+    }
+
+    #[test]
+    fn unlimited_budget_admits_everything() {
+        let model = icm();
+        let queries: Vec<FlowQuery> = (0..3)
+            .map(|s| FlowQuery::flow(NodeId(s), NodeId(4)))
+            .collect();
+        let batch = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg(), &queries);
+        let (statuses, report) = run_plans_report(&model, &batch.plans, &ExecutorConfig::default());
+        assert!(statuses
+            .iter()
+            .all(|s| matches!(s, PlanStatus::Completed(_))));
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let retry = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 4,
+            max_backoff_ms: 20,
+        };
+        let schedule: Vec<u64> = (1..=5).map(|a| retry.backoff_ms(a)).collect();
+        assert_eq!(schedule, vec![4, 8, 16, 20, 20]);
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //! * [`plan_batch`] — the planner: reject contradictions before
 //!   sampling, serve hits, group the rest by chain identity so `k`
 //!   same-source queries pay one burn-in;
-//! * [`run_plans`] — a fixed worker pool with a bounded admission queue
-//!   and deterministic backpressure (`Rejected { queue_full }`);
+//! * [`run_plans`] — a fixed worker pool with a bounded admission queue,
+//!   a configurable step-budget admission policy (shed plans carry
+//!   typed `Overloaded` errors with retry-after hints), and
+//!   deterministic capped-backoff retry of transient failures;
+//! * [`CircuitBreaker`] — per-chain breakers that short-circuit
+//!   persistently failing chains into degraded cached answers, with
+//!   half-open probes on a deterministic schedule;
 //! * [`ServeEngine`] — ties the above together per batch, maps per-query
 //!   deadlines/step budgets onto graceful degradation
 //!   ([`flow_mcmc::DegradationReason`], including the serving-specific
@@ -26,8 +31,10 @@
 //! `(engine seed, canonical key, sample budget)` — chain seeds derive
 //! from the chain key, not from batch composition, so solo, batched,
 //! and cache-hit answers for the same question are bit-identical. The
-//! serving architecture is specified in DESIGN.md §11.
+//! serving architecture is specified in DESIGN.md §11 and its failure
+//! semantics (shedding, retry, breakers, cache quarantine) in §12.
 
+pub mod breaker;
 pub mod cache;
 pub mod engine;
 pub mod exec;
@@ -35,9 +42,13 @@ pub mod key;
 pub mod plan;
 pub mod spec;
 
+pub use breaker::{BreakerConfig, BreakerDecision, CircuitBreaker};
 pub use cache::{half_width, CacheEntry, ServeCache};
 pub use engine::{Answer, QueryOutcome, ServeConfig, ServeEngine, ServeStats, Served};
-pub use exec::{run_plans, run_plans_strict, ExecutorConfig, PlanStatus};
+pub use exec::{
+    run_plans, run_plans_report, run_plans_strict, ExecReport, ExecutorConfig, PlanStatus,
+    RetryPolicy,
+};
 pub use key::{model_fingerprint, ConfigClass, Fnv64, QueryKey};
 pub use plan::{
     mix64, plan_batch, samples_for_tolerance, BatchPlan, EarlyResolution, FlowQuery, Plan,

@@ -144,6 +144,41 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// The chain identity this plan samples (refinements continue the
+    /// cached entry's chain). Used by the per-chain circuit breaker.
+    pub fn chain_key(&self) -> u64 {
+        match &self.work {
+            PlanWork::Shared { chain_key, .. } => *chain_key,
+            PlanWork::Refine { entry, .. } => entry.key.chain_key(),
+        }
+    }
+
+    /// Deterministic upper-bound cost estimate in chain steps, used by
+    /// admission control. A shared chain pays burn-in plus one thinned
+    /// step per retained sample; a refinement skips burn-in (it resumes
+    /// a warm checkpoint). An explicit `max_steps` bound caps the
+    /// estimate: the chain cannot legally spend more.
+    pub fn estimated_steps(&self) -> u64 {
+        let raw = match &self.work {
+            PlanWork::Shared {
+                samples, entries, ..
+            } => {
+                let class = entries.first().map(|e| e.key.config);
+                let (burn_in, thin) = class.map_or((0, 1), |c| (c.burn_in, c.thin.max(1)));
+                burn_in + (*samples as u64) * thin
+            }
+            PlanWork::Refine {
+                entry,
+                extra_samples,
+                ..
+            } => (*extra_samples as u64) * entry.key.config.thin.max(1),
+        };
+        match self.max_steps {
+            Some(cap) => raw.min(cap),
+            None => raw,
+        }
+    }
+
     /// Runs this plan's chain to completion (or budget exhaustion).
     pub fn execute(&self, icm: &Icm) -> flow_core::FlowResult<SharedChainOutcome> {
         match &self.work {

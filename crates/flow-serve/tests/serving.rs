@@ -3,6 +3,7 @@
 //! of contradictory conditions, degradation reporting, backpressure,
 //! and cache persistence across engine instances.
 
+use flow_core::FlowError;
 use flow_graph::graph::graph_from_edges;
 use flow_graph::NodeId;
 use flow_icm::synth::{skewed_probability_mixture, synthetic_icm};
@@ -255,6 +256,7 @@ fn queue_overflow_is_explicit_backpressure() {
         executor: ExecutorConfig {
             workers: 2,
             queue_capacity: 2,
+            ..Default::default()
         },
         cache_bytes: 0,
         ..config(2)
@@ -264,11 +266,15 @@ fn queue_overflow_is_explicit_backpressure() {
     assert!(matches!(outcomes[1], QueryOutcome::Answered(_)));
     assert!(matches!(
         outcomes[2],
-        QueryOutcome::Rejected { queue_full: true }
+        QueryOutcome::Rejected {
+            error: FlowError::Overloaded { .. }
+        }
     ));
     assert!(matches!(
         outcomes[3],
-        QueryOutcome::Rejected { queue_full: true }
+        QueryOutcome::Rejected {
+            error: FlowError::Overloaded { .. }
+        }
     ));
     assert_eq!(engine.stats().rejected, 2);
 }

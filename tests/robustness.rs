@@ -26,6 +26,7 @@ use flow_mcmc::{
     multi_chain_flow_guarded, DegradationReason, FlowEstimator, McmcConfig, ProposalKind,
     PseudoStateSampler, RunBudget,
 };
+use flow_serve::{FlowQuery, QueryOutcome, ServeCache, ServeConfig, ServeEngine};
 use flow_stats::{Beta, WeightTree};
 use flow_twitter::read_tsv_lossy;
 use rand::rngs::StdRng;
@@ -222,6 +223,185 @@ fn corrupted_checkpoint_is_rejected_on_resume() {
     fault::clear_all();
     let run = estimator.resume_from(&ckpt).unwrap();
     assert_eq!(run.series.len(), 200);
+}
+
+// ------------------------------------------------------- serving path
+//
+// Each serving-path fault point must surface as a structured outcome —
+// an `Answered` (possibly degraded), a typed `Rejected`, or a typed
+// `Failed` — never a panic, and with injection disabled results must be
+// byte-identical to a resilience-free run.
+
+fn serve_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        mcmc: McmcConfig {
+            samples: 200,
+            ..Default::default()
+        },
+        default_tolerance: 0.5,
+        engine_seed: seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn stalled_serving_worker_is_retried_and_recovers() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    // Two stalls, then the default 3-attempt policy's last try succeeds.
+    fault::arm(
+        "serve.worker_stall",
+        FaultSpec {
+            skip: 0,
+            times: 2,
+            value: 0.0,
+        },
+    );
+    let mut engine = ServeEngine::new(serve_config(11));
+    let outcomes = engine.execute_batch(&icm, &[FlowQuery::flow(NodeId(0), NodeId(3))]);
+    assert!(matches!(outcomes[0], QueryOutcome::Answered(_)));
+    assert_eq!(engine.stats().retries, 2);
+    assert_eq!(fault::fired_count("serve.worker_stall"), 2);
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_stall_not_a_panic() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    fault::arm("serve.worker_stall", FaultSpec::always(0.0));
+    let mut engine = ServeEngine::new(serve_config(12));
+    let outcomes = engine.execute_batch(&icm, &[FlowQuery::flow(NodeId(0), NodeId(3))]);
+    assert!(matches!(
+        outcomes[0],
+        QueryOutcome::Failed(FlowError::ChainStalled { .. })
+    ));
+    // 3 attempts = 2 retries before the error surfaces.
+    assert_eq!(engine.stats().retries, 2);
+    assert_eq!(engine.stats().failed, 1);
+}
+
+#[test]
+fn saturated_admission_sheds_with_a_retry_hint() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    fault::arm("serve.queue_saturate", FaultSpec::always(0.0));
+    let mut engine = ServeEngine::new(serve_config(13));
+    let queries = vec![
+        FlowQuery::flow(NodeId(0), NodeId(3)),
+        FlowQuery::flow(NodeId(1), NodeId(3)),
+    ];
+    let outcomes = engine.execute_batch(&icm, &queries);
+    for o in &outcomes {
+        match o {
+            QueryOutcome::Rejected {
+                error: FlowError::Overloaded { retry_after_ms, .. },
+            } => assert!(*retry_after_ms >= 1),
+            other => panic!("expected Overloaded rejection, got {other:?}"),
+        }
+    }
+    assert_eq!(engine.stats().shed, 2);
+    assert_eq!(engine.stats().rejected, 2);
+}
+
+#[test]
+fn corrupted_cache_read_quarantines_and_serving_continues() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let dir = std::env::temp_dir().join(format!("flow-robust-read-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Populate and persist a healthy cache.
+    let mut engine = ServeEngine::new(serve_config(14));
+    let queries = vec![
+        FlowQuery::flow(NodeId(0), NodeId(3)),
+        FlowQuery::flow(NodeId(1), NodeId(3)),
+        FlowQuery::flow(NodeId(2), NodeId(3)),
+    ];
+    engine.execute_batch(&icm, &queries);
+    engine.cache().save_to_dir(&dir).unwrap();
+    let healthy = engine.cache().len();
+    assert!(healthy >= 2, "need several entries to lose a tail");
+
+    // A torn read drops the tail: the intact prefix loads, the rest is
+    // quarantined, and the engine still answers everything fresh.
+    fault::arm("serve.cache_read_corrupt", FaultSpec::always(0.0));
+    let loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+    assert!(loaded.quarantined() >= 1, "torn tail must be quarantined");
+    assert!(loaded.len() < healthy);
+    assert!(dir.join("quarantine").join("block-0000.txt").exists());
+
+    fault::clear_all();
+    let mut warm = ServeEngine::with_cache(serve_config(14), loaded);
+    let outcomes = warm.execute_batch(&icm, &queries);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o, QueryOutcome::Answered(_))));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_cache_write_loses_the_tail_but_never_the_loader() {
+    let _guard = armed();
+    let icm = diamond_icm();
+    let dir = std::env::temp_dir().join(format!("flow-robust-write-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut engine = ServeEngine::new(serve_config(15));
+    let queries = vec![
+        FlowQuery::flow(NodeId(0), NodeId(3)),
+        FlowQuery::flow(NodeId(1), NodeId(3)),
+        FlowQuery::flow(NodeId(2), NodeId(3)),
+    ];
+    engine.execute_batch(&icm, &queries);
+    let healthy = engine.cache().len();
+
+    fault::arm("serve.cache_write_corrupt", FaultSpec::always(0.0));
+    engine.cache().save_to_dir(&dir).unwrap();
+    assert_eq!(fault::fired_count("serve.cache_write_corrupt"), 1);
+    fault::clear_all();
+
+    // The torn file loads without error: intact prefix kept, damage
+    // quarantined and counted.
+    let loaded = ServeCache::load_from_dir(&dir, 1 << 20).unwrap();
+    assert!(loaded.len() < healthy);
+    assert!(loaded.quarantined() >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disarmed_serving_is_byte_identical_with_resilience_on_or_off() {
+    use flow_serve::{BreakerConfig, ExecutorConfig, RetryPolicy};
+    let _guard = armed();
+    let icm = diamond_icm();
+    let queries = vec![
+        FlowQuery::flow(NodeId(0), NodeId(3)),
+        FlowQuery::flow(NodeId(1), NodeId(3)),
+    ];
+    let answers = |config: ServeConfig| -> Vec<(u64, f64, f64)> {
+        let mut engine = ServeEngine::new(config);
+        engine
+            .execute_batch(&icm, &queries)
+            .into_iter()
+            .map(|o| match o {
+                QueryOutcome::Answered(a) => (a.samples, a.estimate, a.half_width),
+                other => panic!("expected an answer, got {other:?}"),
+            })
+            .collect()
+    };
+    let defaults = answers(serve_config(16));
+    let bare = answers(ServeConfig {
+        executor: ExecutorConfig {
+            admission_step_budget: 0,
+            retry: RetryPolicy::none(),
+            ..Default::default()
+        },
+        breaker: BreakerConfig::disabled(),
+        ..serve_config(16)
+    });
+    assert_eq!(
+        defaults, bare,
+        "with no faults armed, the resilience layer must be invisible"
+    );
 }
 
 #[test]
