@@ -20,7 +20,7 @@ pub const MAX_ENTRIES: usize = 30;
 /// One parsed allowlist entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
-    /// Lint id ("L1".."L4").
+    /// Lint id ("L1".."L9").
     pub lint: String,
     /// Workspace-relative path prefix.
     pub path_prefix: String,
@@ -59,9 +59,12 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, AllowlistError> {
         let mut parts = head.split_whitespace();
         let lint = parts.next().unwrap_or_default().to_owned();
         let path_prefix = parts.next().unwrap_or_default().to_owned();
-        if !matches!(lint.as_str(), "L1" | "L2" | "L3" | "L4") {
+        if !matches!(
+            lint.as_str(),
+            "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9"
+        ) {
             return Err(AllowlistError(format!(
-                "line {}: unknown lint id {lint:?} (expected L1..L4)",
+                "line {}: unknown lint id {lint:?} (expected L1..L9)",
                 i + 1
             )));
         }
@@ -151,7 +154,9 @@ mod tests {
     #[test]
     fn rejects_missing_justification_and_bad_lints() {
         assert!(parse("L1 crates/a/src/x.rs\n").is_err());
-        assert!(parse("L9 crates/a/src/x.rs -- hm\n").is_err());
+        assert!(parse("L10 crates/a/src/x.rs -- hm\n").is_err());
+        assert!(parse("L0 crates/a/src/x.rs -- hm\n").is_err());
+        assert!(parse("L9 crates/a/src/x.rs -- fine\n").is_ok());
         assert!(parse("L1 crates/a.rs extra -- hm\n").is_err());
         assert!(parse("L1 crates/a.rs -- \n").is_err());
     }

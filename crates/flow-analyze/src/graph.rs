@@ -1,0 +1,431 @@
+//! The cross-crate call graph over [`crate::symbols`].
+//!
+//! Call sites are recovered token-wise from cleaned function bodies:
+//! `foo(..)`, `path::foo(..)`, and `.foo(..)` shapes (macros — `foo!`
+//! — and tuple-struct constructors are excluded). Resolution is
+//! deliberately an over-approximation biased toward soundness of
+//! reachability answers:
+//!
+//! * plain calls resolve within the defining file, then to same-crate
+//!   free functions, then through the file's `use` imports;
+//! * `Qualifier::name(..)` resolves to methods of an `impl Qualifier`
+//!   anywhere in the workspace, to free functions of the `flow_x`
+//!   crate the qualifier names, to the aliased import, or to free
+//!   functions in the same-crate module file `qualifier.rs`;
+//! * `.name(..)` method calls resolve to *every* workspace method of
+//!   that name (receiver types are not tracked), which over-links but
+//!   never misses a real edge to workspace code.
+//!
+//! Unresolvable calls (std/vendored APIs) produce no edge; the
+//! interprocedural lints treat workspace code as the analysis universe.
+
+use crate::source::SourceFile;
+use crate::symbols::{FnSym, SymbolTable};
+use std::collections::BTreeMap;
+
+/// How a call site names its target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(..)`.
+    Plain,
+    /// `Qual::foo(..)`; the qualifier is the last path segment before
+    /// the called name (`Type`, `module`, `flow_mcmc`, `Self`, ...).
+    Qualified(String),
+    /// `.foo(..)`.
+    Method,
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Called name.
+    pub name: String,
+    /// Shape of the call.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One resolved edge of the call graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Callee function id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller.
+    pub line: usize,
+}
+
+/// The workspace call graph: adjacency by function id.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per function id, deduped, in call-site order.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Rust keywords and control forms that look like `ident(` at token
+/// level but are never calls.
+const NON_CALLS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "unsafe", "where",
+    "let", "else",
+];
+
+impl CallGraph {
+    /// Builds the graph for every function in `table`; `files` must be
+    /// the same slice the table was built from.
+    pub fn build(table: &SymbolTable, files: &[SourceFile]) -> CallGraph {
+        let by_rel: BTreeMap<&str, &SourceFile> =
+            files.iter().map(|f| (f.rel.as_str(), f)).collect();
+        let mut edges = Vec::with_capacity(table.fns.len());
+        for f in &table.fns {
+            let Some(file) = by_rel.get(f.rel.as_str()) else {
+                edges.push(Vec::new());
+                continue;
+            };
+            let mut out: Vec<Edge> = Vec::new();
+            for site in call_sites(file, f.body) {
+                for callee in resolve(table, f, &site) {
+                    if callee != f.id && !out.iter().any(|e| e.callee == callee) {
+                        out.push(Edge {
+                            callee,
+                            line: site.line,
+                        });
+                    }
+                }
+            }
+            edges.push(out);
+        }
+        CallGraph { edges }
+    }
+
+    /// Breadth-first reachability from `roots`. Returns, per function
+    /// id, the predecessor edge on a shortest discovery path
+    /// (`(caller id, call line)`), with roots marked by self-edges.
+    pub fn reach(&self, roots: &[usize]) -> Vec<Option<(usize, usize)>> {
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; self.edges.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if r < pred.len() && pred[r].is_none() {
+                pred[r] = Some((r, 0));
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for e in &self.edges[u] {
+                if pred[e.callee].is_none() {
+                    pred[e.callee] = Some((u, e.line));
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Reconstructs the discovery chain root -> .. -> `target` as
+    /// `(fn id, call line into the next hop)` pairs; the final pair's
+    /// line is 0.
+    pub fn chain(pred: &[Option<(usize, usize)>], target: usize) -> Vec<(usize, usize)> {
+        let mut rev = Vec::new();
+        let mut cur = target;
+        let mut hops = 0;
+        let mut into_line = 0usize;
+        while let Some((p, line)) = pred.get(cur).copied().flatten() {
+            rev.push((cur, into_line));
+            if p == cur {
+                break;
+            }
+            into_line = line;
+            cur = p;
+            hops += 1;
+            if hops > pred.len() {
+                break;
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extracts call sites from the cleaned lines of a body span
+/// (`1-based inclusive`).
+pub fn call_sites(file: &SourceFile, body: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let lo = body.0.saturating_sub(1);
+    let hi = body.1.min(file.code.len());
+    for (idx, code) in file.code.iter().enumerate().take(hi).skip(lo) {
+        let bytes = code.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b != b'(' || i == 0 {
+                continue;
+            }
+            // Walk back over the called identifier.
+            let mut start = i;
+            while start > 0 && is_ident_char(bytes[start - 1] as char) {
+                start -= 1;
+            }
+            if start == i {
+                continue;
+            }
+            let name = &code[start..i];
+            if NON_CALLS.contains(&name) || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                continue;
+            }
+            let before = if start >= 1 { bytes[start - 1] } else { b' ' };
+            // Macro calls never resolve to functions.
+            if before == b'!' {
+                continue;
+            }
+            let kind = if before == b'.' {
+                CallKind::Method
+            } else if start >= 2 && &bytes[start - 2..start] == b"::" {
+                // Walk back over the qualifier segment.
+                let q_end = start - 2;
+                let mut q_start = q_end;
+                while q_start > 0 && is_ident_char(bytes[q_start - 1] as char) {
+                    q_start -= 1;
+                }
+                if q_start == q_end {
+                    continue;
+                }
+                // Deeper prefixes (`a::b::c(`) resolve by the last
+                // qualifier segment alone.
+                CallKind::Qualified(code[q_start..q_end].to_owned())
+            } else {
+                // A plain call; uppercase-initial idents are tuple
+                // constructors / variants, not functions.
+                if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    continue;
+                }
+                CallKind::Plain
+            };
+            out.push(CallSite {
+                name: name.to_owned(),
+                kind,
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Maps a `flow_x`-style path qualifier to the workspace crate name.
+fn crate_from_qualifier(q: &str) -> String {
+    q.replace('_', "-")
+}
+
+/// Resolves one call site to candidate callee ids.
+fn resolve(table: &SymbolTable, caller: &FnSym, site: &CallSite) -> Vec<usize> {
+    let mut out = Vec::new();
+    match &site.kind {
+        CallKind::Plain => {
+            // Same file first.
+            if let Some(fs) = table.file(&caller.rel) {
+                for &id in &fs.fns {
+                    if table.fns[id].name == site.name && table.fns[id].impl_type.is_none() {
+                        out.push(id);
+                    }
+                }
+                if out.is_empty() {
+                    if let Some(path) = fs.imports.get(&site.name) {
+                        out.extend(resolve_import(table, path, &site.name));
+                    }
+                }
+            }
+            // Same-crate free functions (other modules of the crate).
+            if out.is_empty() {
+                if let Some(ids) = table
+                    .by_crate_free
+                    .get(&(caller.krate.clone(), site.name.clone()))
+                {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        }
+        CallKind::Qualified(q) => {
+            let q = q.as_str();
+            if q == "self" || q == "crate" || q == "super" {
+                if let Some(ids) = table
+                    .by_crate_free
+                    .get(&(caller.krate.clone(), site.name.clone()))
+                {
+                    out.extend(ids.iter().copied());
+                }
+            } else if q == "Self" {
+                if let Some(t) = &caller.impl_type {
+                    if let Some(ids) = table.by_type_method.get(&(t.clone(), site.name.clone())) {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+            } else {
+                // `Type::method(..)`.
+                if let Some(ids) = table.by_type_method.get(&(q.to_owned(), site.name.clone())) {
+                    out.extend(ids.iter().copied());
+                }
+                // `flow_x::free_fn(..)`.
+                if out.is_empty() {
+                    let krate = crate_from_qualifier(q);
+                    if let Some(ids) = table.by_crate_free.get(&(krate, site.name.clone())) {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+                // Imported alias for a type or module.
+                if out.is_empty() {
+                    if let Some(fs) = table.file(&caller.rel) {
+                        if let Some(path) = fs.imports.get(q) {
+                            let crate_seg = path.split("::").next().unwrap_or("");
+                            let krate = crate_from_qualifier(crate_seg);
+                            if let Some(ids) = table.by_crate_free.get(&(krate, site.name.clone()))
+                            {
+                                out.extend(ids.iter().copied());
+                            }
+                        }
+                    }
+                }
+                // `module_file::free_fn(..)` within the same crate.
+                if out.is_empty() {
+                    if let Some(ids) = table
+                        .by_crate_free
+                        .get(&(caller.krate.clone(), site.name.clone()))
+                    {
+                        let stem = format!("/{q}.rs");
+                        let dir = format!("/{q}/");
+                        out.extend(ids.iter().copied().filter(|&id| {
+                            table.fns[id].rel.ends_with(&stem) || table.fns[id].rel.contains(&dir)
+                        }));
+                    }
+                }
+            }
+        }
+        CallKind::Method => {
+            // Every workspace method of this name (no receiver types).
+            if let Some(ids) = table.by_name.get(&site.name) {
+                out.extend(
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| table.fns[id].impl_type.is_some()),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Resolves an imported free function: the path's first segment names
+/// the crate, the last must equal the called name.
+fn resolve_import(table: &SymbolTable, path: &str, name: &str) -> Vec<usize> {
+    let mut segs = path.split("::");
+    let crate_seg = segs.next().unwrap_or("");
+    if path.rsplit("::").next() != Some(name) {
+        return Vec::new();
+    }
+    let krate = crate_from_qualifier(crate_seg);
+    table
+        .by_crate_free
+        .get(&(krate, name.to_owned()))
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scan(rel: &str, text: &str) -> SourceFile {
+        SourceFile::from_text(PathBuf::from(rel), rel.into(), text)
+    }
+
+    fn graph(files: &[SourceFile]) -> (SymbolTable, CallGraph) {
+        let t = SymbolTable::build(files);
+        let g = CallGraph::build(&t, files);
+        (t, g)
+    }
+
+    fn id_of(t: &SymbolTable, name: &str) -> usize {
+        t.by_name[name][0]
+    }
+
+    #[test]
+    fn plain_calls_link_within_a_file() {
+        let f = scan(
+            "crates/a/src/lib.rs",
+            "pub fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        );
+        let (t, g) = graph(std::slice::from_ref(&f));
+        let top = id_of(&t, "top");
+        let leaf = id_of(&t, "leaf");
+        let pred = g.reach(&[top]);
+        assert!(pred[leaf].is_some(), "top -> mid -> leaf must be reachable");
+        let chain = CallGraph::chain(&pred, leaf);
+        let names: Vec<&str> = chain
+            .iter()
+            .map(|&(id, _)| t.fns[id].name.as_str())
+            .collect();
+        assert_eq!(names, ["top", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_through_imports() {
+        let a = scan(
+            "crates/flow-serve/src/lib.rs",
+            "use flow_mcmc::shared_flows;\npub fn serve() { shared_flows(); }\n",
+        );
+        let b = scan(
+            "crates/flow-mcmc/src/shared.rs",
+            "pub fn shared_flows() { danger(); }\nfn danger() {}\n",
+        );
+        let (t, g) = graph(&[a, b]);
+        let pred = g.reach(&[id_of(&t, "serve")]);
+        assert!(pred[id_of(&t, "danger")].is_some());
+    }
+
+    #[test]
+    fn qualified_calls_resolve_type_methods_and_crate_paths() {
+        let a = scan(
+            "crates/a/src/lib.rs",
+            "pub fn go() { Tree::new(); flow_b::helper(); util::tidy(); }\n",
+        );
+        let b = scan(
+            "crates/a/src/tree.rs",
+            "impl Tree {\n    pub fn new() {}\n}\n",
+        );
+        let c = scan("crates/flow-b/src/lib.rs", "pub fn helper() {}\n");
+        let d = scan("crates/a/src/util.rs", "pub fn tidy() {}\n");
+        let (t, g) = graph(&[a, b, c, d]);
+        let pred = g.reach(&[id_of(&t, "go")]);
+        assert!(pred[id_of(&t, "new")].is_some());
+        assert!(pred[id_of(&t, "helper")].is_some());
+        assert!(pred[id_of(&t, "tidy")].is_some());
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let a = scan("crates/a/src/lib.rs", "pub fn go(s: &S) { s.run(); }\n");
+        let b = scan(
+            "crates/b/src/lib.rs",
+            "impl Sampler {\n    pub fn run(&self) {}\n}\n",
+        );
+        let (t, g) = graph(&[a, b]);
+        let pred = g.reach(&[id_of(&t, "go")]);
+        assert!(pred[id_of(&t, "run")].is_some());
+    }
+
+    #[test]
+    fn macros_constructors_and_keywords_are_not_calls() {
+        let f = scan(
+            "crates/a/src/lib.rs",
+            "pub fn go() { println!(\"x\"); Some(1); if (a) {} vec![0]; }\nfn println() {}\n",
+        );
+        let (t, g) = graph(std::slice::from_ref(&f));
+        let go = id_of(&t, "go");
+        assert!(
+            g.edges[go].is_empty(),
+            "no call edges expected, got {:?}",
+            g.edges[go]
+        );
+    }
+}

@@ -2,55 +2,90 @@
 //!
 //! Two subsystems, both dependency-free beyond the workspace itself:
 //!
-//! * **`check`** — a token-level static-analysis pass (no `syn`; the
-//!   vendor directory is the only dependency source) enforcing the
-//!   lint contract L1–L6 over the core crates, with a justified
-//!   allowlist (`crates/flow-analyze/allowlist.txt`, budget-capped)
-//!   and `// flow-analyze: allow(Lx: why)` escape comments.
+//! * **`check`** — static analysis in two layers (no `syn`; the
+//!   vendor directory is the only dependency source): a token-level
+//!   pass enforcing the line lints L1–L6 over the core crates, and a
+//!   workspace symbol graph ([`symbols`], [`graph`]) feeding the
+//!   interprocedural lints L7–L9 ([`interlints`]) — panic
+//!   reachability from serving/sampling entry points, dropped
+//!   `Result` taint, and a concurrency audit (unjoined spawns,
+//!   `Relaxed` control-flow gates). Suppressions go through
+//!   `// flow-analyze: allow(Lx: why)` escape comments or the
+//!   budget-capped allowlist (`crates/flow-analyze/allowlist.txt`);
+//!   their per-lint counts are ratcheted by the committed
+//!   `analyze-baseline.json` ([`baseline`]) and emitted
+//!   deterministically as JSON ([`emit`]).
 //! * **`replay`** — a runtime determinism audit: the parallel
 //!   multi-chain estimator is run twice with identical seeds and the
 //!   retained trajectories are diffed step-by-step; any divergence is
 //!   a scheduling/nondeterminism bug.
 //!
-//! See DESIGN.md §9 for the full contract.
+//! See DESIGN.md §9 (line lints) and §13 (symbol graph + ratchet)
+//! for the full contract.
 
 pub mod allowlist;
+pub mod baseline;
+pub mod emit;
+pub mod graph;
+pub mod interlints;
 pub mod lints;
 pub mod replay;
 pub mod source;
+pub mod symbols;
 
+use graph::CallGraph;
+use interlints::InterContext;
 use lints::{Finding, LintScope};
 use source::SourceFile;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use symbols::SymbolTable;
 
 /// The outcome of a `check` run.
 #[derive(Debug)]
 pub struct CheckReport {
     /// Findings that survived escapes and the allowlist: failures.
     pub findings: Vec<Finding>,
+    /// Findings suppressed by an in-source escape comment.
+    pub escaped: Vec<Finding>,
     /// Findings suppressed by the allowlist (shown in verbose mode).
     pub suppressed: Vec<Finding>,
-    /// Allowlist entries that matched nothing (stale debts).
+    /// Allowlist entries that matched nothing (stale debts; these
+    /// fail the check — suppression drift may not accumulate).
     pub unused_entries: Vec<allowlist::Entry>,
     /// Files scanned.
     pub files_scanned: usize,
 }
 
 impl CheckReport {
-    /// True when the workspace passes the contract.
+    /// True when the workspace passes the contract: no live findings
+    /// and no stale allowlist entries.
     pub fn clean(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.unused_entries.is_empty()
+    }
+
+    /// Per-lint counts of every suppression in effect (escape
+    /// comments + allowlist entries). This is the quantity the
+    /// baseline ratchet tracks: it may only go down.
+    pub fn suppression_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in self.escaped.iter().chain(self.suppressed.iter()) {
+            *counts.entry(f.lint).or_insert(0) += 1;
+        }
+        counts
     }
 }
 
-/// Scans every `.rs` file under the workspace's `crates/` tree and
-/// applies the workspace lint policy plus the allowlist at
+/// Scans every `.rs` file under the workspace's `crates/` tree,
+/// applies the workspace lint policy (line lints L1–L6 per
+/// [`LintScope::for_path`], interprocedural lints L7–L9 over the
+/// whole graph) plus the allowlist at
 /// `crates/flow-analyze/allowlist.txt` (if present).
 pub fn check_workspace(root: &Path) -> Result<CheckReport, String> {
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files)
+    let mut paths = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut paths)
         .map_err(|e| format!("walking {}: {e}", root.display()))?;
-    files.sort();
+    paths.sort();
     let allowlist_path = root.join("crates/flow-analyze/allowlist.txt");
     let entries = if allowlist_path.exists() {
         let text = std::fs::read_to_string(&allowlist_path)
@@ -59,36 +94,80 @@ pub fn check_workspace(root: &Path) -> Result<CheckReport, String> {
     } else {
         Vec::new()
     };
-    let mut all = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
-        let file = SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?;
-        let scope = LintScope::for_path(&file.rel);
-        if !(scope.l1 || scope.l2 || scope.l3 || scope.l4 || scope.l5) {
-            continue;
-        }
-        scanned += 1;
-        all.extend(lints::lint_file(&file, scope));
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        files.push(SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?);
     }
-    let (findings, suppressed, unused_entries) = allowlist::apply(all, &entries);
+    let mut raw = Vec::new();
+    for file in &files {
+        let scope = LintScope::for_path(&file.rel);
+        if scope.l1 || scope.l2 || scope.l3 || scope.l4 || scope.l5 {
+            raw.extend(lints::lint_file_all(file, scope));
+        }
+    }
+    // The symbol graph spans *every* workspace file so cross-crate
+    // reachability is complete even where line lints are off.
+    let table = SymbolTable::build(&files);
+    let call_graph = CallGraph::build(&table, &files);
+    raw.extend(interlints::run(&InterContext {
+        table: &table,
+        graph: &call_graph,
+        files: &files,
+        all_scope: false,
+    }));
+    let (kept, escaped) = partition_escaped(raw, &files);
+    let (findings, suppressed, unused_entries) = allowlist::apply(kept, &entries);
     Ok(CheckReport {
         findings,
+        escaped,
         suppressed,
         unused_entries,
-        files_scanned: scanned,
+        files_scanned: files.len(),
     })
 }
 
-/// Lints explicit files with *every* lint enabled (used by the
-/// self-test fixtures and `check --paths`). No allowlist applies;
-/// escape comments still do.
+/// Lints explicit files with *every* lint enabled — line lints and
+/// the interprocedural set over a symbol graph of just those files
+/// (used by the self-test fixtures and `check --paths`). No allowlist
+/// applies; escape comments still do.
 pub fn check_paths(root: &Path, paths: &[PathBuf]) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    let mut files = Vec::with_capacity(paths.len());
     for path in paths {
-        let file = SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?;
-        findings.extend(lints::lint_file(&file, LintScope::all()));
+        files.push(SourceFile::read(path, root).map_err(|e| format!("{}: {e}", path.display()))?);
     }
-    Ok(findings)
+    let mut raw = Vec::new();
+    for file in &files {
+        raw.extend(lints::lint_file_all(file, LintScope::all()));
+    }
+    let table = SymbolTable::build(&files);
+    let call_graph = CallGraph::build(&table, &files);
+    raw.extend(interlints::run(&InterContext {
+        table: &table,
+        graph: &call_graph,
+        files: &files,
+        all_scope: true,
+    }));
+    let (kept, _escaped) = partition_escaped(raw, &files);
+    Ok(kept)
+}
+
+/// Splits raw findings into (live, escaped-by-comment). Escaped
+/// findings stay visible to the baseline ratchet.
+fn partition_escaped(raw: Vec<Finding>, files: &[SourceFile]) -> (Vec<Finding>, Vec<Finding>) {
+    let by_rel: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let mut kept = Vec::new();
+    let mut escaped = Vec::new();
+    for f in raw {
+        let allowed = by_rel
+            .get(f.rel.as_str())
+            .is_some_and(|file| file.is_allowed(f.line, f.lint));
+        if allowed {
+            escaped.push(f);
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, escaped)
 }
 
 /// Recursively collects `.rs` files, skipping `target/` and the

@@ -28,6 +28,34 @@
 
 use crate::source::SourceFile;
 
+/// The core crates: the library code whose panic-freedom, float, and
+/// probability-domain hygiene the workspace contract guarantees.
+/// Serving is core-quality code, but deliberately not in the
+/// determinism set: deadlines and worker pools use wall time and
+/// unordered maps by design, and the determinism that matters (chain
+/// trajectories) is enforced by contract tests instead.
+pub const CORE: [&str; 8] = [
+    "crates/flow-stats/src/",
+    "crates/flow-icm/src/",
+    "crates/flow-mcmc/src/",
+    "crates/flow-learn/src/",
+    "crates/flow-graph/src/",
+    "crates/flow-core/src/",
+    "crates/flow-obs/src/",
+    "crates/flow-serve/src/",
+];
+
+/// The serving persistence layer: where crash-safe cache recovery
+/// (DESIGN.md §12) makes I/O error handling contractual (L6's scope;
+/// L8 defers to L6 there).
+pub const SERVE_PERSISTENCE: [&str; 1] = ["crates/flow-serve/src/cache"];
+
+/// True for files in the core crates' library code — the scope of the
+/// interprocedural lints L8 and L9 (and of L7's panic-site universe).
+pub fn in_core_scope(rel: &str) -> bool {
+    CORE.iter().any(|p| rel.starts_with(p))
+}
+
 /// One lint hit, pre-allowlist.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
@@ -103,21 +131,6 @@ impl LintScope {
     /// output. (The flow-exp CLI is not a core crate and so is exempt
     /// by construction.)
     pub fn for_path(rel: &str) -> Self {
-        const CORE: [&str; 8] = [
-            "crates/flow-stats/src/",
-            "crates/flow-icm/src/",
-            "crates/flow-mcmc/src/",
-            "crates/flow-learn/src/",
-            "crates/flow-graph/src/",
-            "crates/flow-core/src/",
-            "crates/flow-obs/src/",
-            // Serving is core-quality code, but deliberately not in the
-            // DETERMINISM set: deadlines and worker pools use wall time
-            // and unordered maps by design, and the determinism that
-            // matters (chain trajectories) is enforced by contract
-            // tests instead.
-            "crates/flow-serve/src/",
-        ];
         const DETERMINISM: [&str; 3] = [
             "crates/flow-mcmc/src/",
             "crates/flow-learn/src/",
@@ -126,11 +139,7 @@ impl LintScope {
         /// The sanctioned printer: the flow-obs sink module renders
         /// operator summaries to stderr by design.
         const PRINT_EXEMPT: [&str; 1] = ["crates/flow-obs/src/sink.rs"];
-        /// The serving persistence layer: the one place where crash-safe
-        /// cache recovery (DESIGN.md §12) makes I/O error handling
-        /// contractual rather than stylistic.
-        const SERVE_PERSISTENCE: [&str; 1] = ["crates/flow-serve/src/cache"];
-        let core = CORE.iter().any(|p| rel.starts_with(p));
+        let core = in_core_scope(rel);
         let det = DETERMINISM.iter().any(|p| rel.starts_with(p));
         let print_exempt = PRINT_EXEMPT.iter().any(|p| rel.starts_with(p));
         let persistence = SERVE_PERSISTENCE.iter().any(|p| rel.starts_with(p));
@@ -148,6 +157,16 @@ impl LintScope {
 /// Runs every applicable lint over one file, honouring escape comments
 /// (allowlist matching happens later, in the driver).
 pub fn lint_file(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
+    lint_file_all(file, scope)
+        .into_iter()
+        .filter(|f| !file.is_allowed(f.line, f.lint))
+        .collect()
+}
+
+/// Runs every applicable lint over one file *without* dropping
+/// escape-commented findings, so the driver can count suppressions
+/// (the baseline ratchet tracks escaped debt per lint).
+pub fn lint_file_all(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
     let mut findings = Vec::new();
     if scope.l1 {
         l1_panic_sites(file, &mut findings);
@@ -167,7 +186,6 @@ pub fn lint_file(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
     if scope.l6 {
         l6_io_error_handling(file, &mut findings);
     }
-    findings.retain(|f| !file.is_allowed(f.line, f.lint));
     findings
 }
 
@@ -217,21 +235,24 @@ fn token_positions(code: &str, token: &str) -> Vec<usize> {
 
 // ---------------------------------------------------------------- L1
 
-/// Panic-prone constructs in non-test code.
-fn l1_panic_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
-    const CALLS: [(&str, &str); 6] = [
-        (".unwrap()", "`.unwrap()` panics on the failure path"),
-        (".expect(", "`.expect(..)` panics on the failure path"),
-        ("panic!", "`panic!` in library code"),
-        ("unreachable!", "`unreachable!` in library code"),
-        ("todo!", "`todo!` in library code"),
-        ("unimplemented!", "`unimplemented!` in library code"),
+/// 1-based lines of panic-prone constructs in non-test code, with a
+/// short construct label. Shared by the L1 line lint and the L7
+/// panic-reachability lint (which must see escaped sites too).
+pub fn panic_construct_lines(file: &SourceFile) -> Vec<(usize, &'static str)> {
+    const CALLS: [&str; 6] = [
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
     ];
+    let mut out = Vec::new();
     for (i, code) in file.code.iter().enumerate() {
         if file.in_test[i] {
             continue;
         }
-        for (tok, why) in CALLS {
+        for tok in CALLS {
             for pos in find_all(code, tok) {
                 // `.unwrap()`/`.expect(` start with '.', so a token
                 // boundary check on the leading char is unnecessary;
@@ -241,13 +262,7 @@ fn l1_panic_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
                 if !tok.starts_with('.') && !token_at(code, pos, tok.trim_end_matches('!')) {
                     continue;
                 }
-                push(
-                    findings,
-                    file,
-                    i + 1,
-                    "L1",
-                    format!("{why}; route the failure through `FlowError` (or escape with a justification)"),
-                );
+                out.push((i + 1, tok));
             }
         }
         // Arithmetic slice indexing: `expr[i + 1]`-style indexes are
@@ -256,18 +271,37 @@ fn l1_panic_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
         for (open, close) in index_brackets(code) {
             let inner = &code[open + 1..close];
             if inner.contains('+') || inner.contains('-') {
-                push(
-                    findings,
-                    file,
-                    i + 1,
-                    "L1",
-                    format!(
-                        "slice index with arithmetic `[{}]` can panic out of bounds; use `.get(..)` or prove bounds and escape",
-                        inner.trim()
-                    ),
-                );
+                out.push((i + 1, "arithmetic slice index"));
             }
         }
+    }
+    out
+}
+
+/// Panic-prone constructs in non-test code.
+fn l1_panic_sites(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const WHY: [(&str, &str); 6] = [
+        (".unwrap()", "`.unwrap()` panics on the failure path"),
+        (".expect(", "`.expect(..)` panics on the failure path"),
+        ("panic!", "`panic!` in library code"),
+        ("unreachable!", "`unreachable!` in library code"),
+        ("todo!", "`todo!` in library code"),
+        ("unimplemented!", "`unimplemented!` in library code"),
+    ];
+    for (line, label) in panic_construct_lines(file) {
+        let message = match WHY.iter().find(|(tok, _)| *tok == label) {
+            Some((_, why)) => format!(
+                "{why}; route the failure through `FlowError` (or escape with a justification)"
+            ),
+            None => {
+                let snippet = file.snippet(line);
+                format!(
+                    "slice index with arithmetic can panic out of bounds (`{}`); use `.get(..)` or prove bounds and escape",
+                    snippet
+                )
+            }
+        };
+        push(findings, file, line, "L1", message);
     }
 }
 

@@ -1,10 +1,14 @@
 //! CLI driver: `cargo run -p flow-analyze -- <check|replay> [..]`.
 //!
-//! Exit codes: 0 clean, 1 contract violation (lint findings or replay
-//! divergence), 2 usage or I/O error.
+//! Exit codes follow the `repro serve` contract:
+//!   0 — clean (no findings, ratchet holds)
+//!   1 — contract violation (lint findings, stale allowlist entries,
+//!       baseline ratchet failure, replay divergence) or an
+//!       infrastructure error while running the analysis
+//!   2 — usage error (bad flags, unknown subcommand, no subcommand)
 
 use flow_analyze::replay::{run_replay, ReplayConfig};
-use flow_analyze::{check_paths, check_workspace, find_workspace_root};
+use flow_analyze::{baseline, check_paths, check_workspace, emit, find_workspace_root};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -12,18 +16,31 @@ const USAGE: &str = "\
 flow-analyze — workspace static analysis + determinism audit
 
 USAGE:
-    flow-analyze check [--root DIR] [--verbose] [--paths FILE..]
+    flow-analyze check [--root DIR] [--verbose] [--format text|json]
+                       [--baseline FILE] [--write-baseline FILE]
+                       [--paths FILE..]
     flow-analyze replay [--seed N] [--chains N] [--samples N]
                         [--nodes N] [--edges N]
 
-check   runs lints L1-L6 over the core crates, honouring
+check   runs the line lints L1-L6 and the interprocedural lints
+        L7-L9 (panic reachability, error-drop taint, concurrency
+        audit) over the core crates, honouring
         crates/flow-analyze/allowlist.txt and
         `// flow-analyze: allow(Lx: why)` escape comments.
-        With --paths, lints exactly the given files with every
-        lint enabled and no allowlist (self-test mode).
+        Stale allowlist entries fail the run.
+        --format json emits a deterministic report on stdout.
+        --baseline diffs suppression counts against FILE (defaults
+        to crates/flow-analyze/analyze-baseline.json when present);
+        counts may only move down. --write-baseline regenerates FILE
+        from the current counts instead of diffing.
+        With --paths, lints exactly the given files with every lint
+        enabled and no allowlist or baseline (self-test mode).
 replay  runs the parallel multi-chain estimator twice with one
         seed and diffs the trajectories step-by-step; any
         divergence is a determinism bug.
+
+EXIT CODES:
+    0  clean    1  findings / ratchet / infra error    2  usage
 ";
 
 fn main() -> ExitCode {
@@ -31,20 +48,27 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("--help") | Some("-h") => {
             print!("{USAGE}");
-            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+            ExitCode::SUCCESS
         }
-        Some(other) => {
-            eprintln!("unknown subcommand {other:?}\n\n{USAGE}");
-            ExitCode::from(2)
-        }
+        None => usage_error("a subcommand is required"),
+        Some(other) => usage_error(&format!("unknown subcommand {other:?}")),
     }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,6 +78,22 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 None => return usage_error("--root needs a value"),
             },
             "--verbose" | "-v" => verbose = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("--format must be text or json, got {other:?}"))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--write-baseline" => match it.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--write-baseline needs a value"),
+            },
             "--paths" => {
                 paths.extend(it.by_ref().map(PathBuf::from));
             }
@@ -70,6 +110,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
 
     if !paths.is_empty() {
+        if baseline_path.is_some() || write_baseline.is_some() {
+            return usage_error("--paths mode takes no baseline (it lints explicit files)");
+        }
         return match check_paths(&root, &paths) {
             Ok(findings) => {
                 for f in &findings {
@@ -82,36 +125,77 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 );
                 exit_findings(findings.len())
             }
-            Err(e) => io_error(&e),
+            Err(e) => infra_error(&e),
         };
     }
 
-    match check_workspace(&root) {
-        Ok(report) => {
-            for f in &report.findings {
-                println!("{f}");
-            }
-            if verbose {
-                for f in &report.suppressed {
-                    println!("(allowlisted) {f}");
-                }
-            }
-            for e in &report.unused_entries {
-                println!(
-                    "warning: allowlist entry is stale (matched nothing): line {}: {} {} -- {}",
-                    e.line, e.lint, e.path_prefix, e.justification
-                );
-            }
-            println!(
-                "flow-analyze check: {} file(s) scanned, {} finding(s), {} allowlisted",
-                report.files_scanned,
-                report.findings.len(),
-                report.suppressed.len()
-            );
-            exit_findings(report.findings.len())
+    let report = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return infra_error(&e),
+    };
+    let counts = report.suppression_counts();
+
+    // Ratchet: regenerate or diff. The default committed baseline is
+    // enforced whenever it exists.
+    let mut ratchet_failures = Vec::new();
+    if let Some(path) = &write_baseline {
+        let text = emit::baseline_json(&counts);
+        if let Err(e) = std::fs::write(path, text) {
+            return infra_error(&format!("writing {}: {e}", path.display()));
         }
-        Err(e) => io_error(&e),
+        eprintln!("flow-analyze: baseline written to {}", path.display());
+    } else {
+        let default_path = root.join("crates/flow-analyze/analyze-baseline.json");
+        let effective = baseline_path.or_else(|| default_path.exists().then_some(default_path));
+        if let Some(path) = effective {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match baseline::parse(&text) {
+                    Ok(base) => ratchet_failures = baseline::compare(&counts, &base),
+                    Err(e) => return infra_error(&format!("{}: {e}", path.display())),
+                },
+                Err(e) => return infra_error(&format!("reading {}: {e}", path.display())),
+            }
+        }
     }
+
+    if format == Format::Json {
+        print!("{}", emit::report_json(&report));
+        for failure in &ratchet_failures {
+            eprintln!("ratchet: {failure}");
+        }
+        return exit_findings(
+            report.findings.len() + report.unused_entries.len() + ratchet_failures.len(),
+        );
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if verbose {
+        for f in &report.escaped {
+            println!("(escaped) {f}");
+        }
+        for f in &report.suppressed {
+            println!("(allowlisted) {f}");
+        }
+    }
+    for e in &report.unused_entries {
+        println!(
+            "error: allowlist entry is stale (matched nothing): line {}: {} {} -- {}",
+            e.line, e.lint, e.path_prefix, e.justification
+        );
+    }
+    for failure in &ratchet_failures {
+        println!("error: ratchet: {failure}");
+    }
+    println!(
+        "flow-analyze check: {} file(s) scanned, {} finding(s), {} escaped, {} allowlisted",
+        report.files_scanned,
+        report.findings.len(),
+        report.escaped.len(),
+        report.suppressed.len()
+    );
+    exit_findings(report.findings.len() + report.unused_entries.len() + ratchet_failures.len())
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
@@ -166,7 +250,9 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn io_error(msg: &str) -> ExitCode {
+/// An analysis that could not run is a failing run (exit 1), not a
+/// usage error: CI must go red, and the caller's invocation was fine.
+fn infra_error(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    ExitCode::from(2)
+    ExitCode::from(1)
 }

@@ -410,6 +410,49 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_swallow_comment_markers_and_panic_tokens() {
+        // A `//` inside a raw string is text, not a comment — the code
+        // after the string must survive cleaning, the contents must not.
+        let f =
+            scan("let url = r#\"https://example.com // unwrap( \"#; follow(url);\nlet next = 1;\n");
+        assert!(!f.code[0].contains("unwrap"), "{}", f.code[0]);
+        assert!(!f.code[0].contains("//"), "{}", f.code[0]);
+        assert!(f.code[0].contains("follow(url);"), "{}", f.code[0]);
+        assert!(f.code[1].contains("let next = 1;"));
+        // Multi-hash raw strings don't close on a single `"#`.
+        let g = scan("let s = r##\"inner \"# unwrap() still\"##; tail();\n");
+        assert!(!g.code[0].contains("unwrap"), "{}", g.code[0]);
+        assert!(g.code[0].contains("tail();"), "{}", g.code[0]);
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines_and_hide_panics() {
+        let f = scan(
+            "/* outer /* inner unwrap() */\nstill comment panic!()\n*/ let alive = 1;\nlet after = 2;\n",
+        );
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(!f.code[1].contains("panic"));
+        assert!(f.code[2].contains("let alive = 1;"), "{}", f.code[2]);
+        assert!(f.code[3].contains("let after = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_span_reaching_file_end_is_fully_marked() {
+        // The test module's closing brace IS the last line: the span
+        // must cover through EOF without running past the buffer.
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}";
+        let f = scan(text);
+        assert!(!f.in_test[0]);
+        assert!((1..5).all(|i| f.in_test[i]), "{:?}", f.in_test);
+
+        // Unclosed at EOF (mid-edit file): everything from the
+        // attribute down is test code, and cleaning must not panic.
+        let g = scan("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n");
+        assert!(!g.in_test[0]);
+        assert!((1..4).all(|i| g.in_test[i]), "{:?}", g.in_test);
+    }
+
+    #[test]
     fn allow_comments_attach_to_code_lines() {
         let text = "// flow-analyze: allow(L1: wrapper)\nlet a = x.unwrap();\nlet b = y.unwrap(); // flow-analyze: allow(L1, L3)\nlet c = z.unwrap();\n";
         let f = scan(text);

@@ -1,0 +1,29 @@
+//! Seeded L7 fixture: a serving entry point reaches a panicking
+//! helper two hops down; an orphaned panicky function does not.
+//! Never compiled — consumed by `check --paths` in the self-test.
+
+// True positive: entry -> helper -> deep_panic.
+pub fn serve_flow_query(q: u32) -> u32 {
+    helper(q)
+}
+
+fn helper(q: u32) -> u32 {
+    deep_panic(q)
+}
+
+fn deep_panic(q: u32) -> u32 {
+    checked(q).unwrap()
+}
+
+// Non-finding: contains the same construct but no entry reaches it.
+fn orphan(q: u32) -> u32 {
+    checked(q).unwrap()
+}
+
+fn checked(q: u32) -> Option<u32> {
+    if q > 0 {
+        Some(q)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,44 @@
+//! Seeded L8 fixture: `Result`s dropped three ways, next to drops
+//! that are propagated, logged, or infallible and must stay quiet.
+//! Never compiled — consumed by `check --paths` in the self-test.
+
+fn try_persist(x: u32) -> Result<u32, String> {
+    Ok(x)
+}
+
+// True positive: `let _ =` discard.
+pub fn drop_with_let(x: u32) {
+    let _ = try_persist(x);
+}
+
+// True positive: `.ok();` without logging.
+pub fn drop_with_ok(x: u32) {
+    try_persist(x).ok();
+}
+
+// True positive: bare statement drop.
+pub fn bare_statement(x: u32) {
+    try_persist(x);
+}
+
+// Non-finding: the error is propagated.
+pub fn propagated(x: u32) -> Result<u32, String> {
+    try_persist(x)
+}
+
+// Non-finding: the drop is logged right next to it.
+pub fn logged(x: u32) {
+    log("persist failed; continuing with stale cache");
+    try_persist(x).ok();
+}
+
+fn log(_m: &str) {}
+
+// Non-finding: the discarded call is infallible.
+pub fn infallible(x: u32) {
+    let _ = double(x);
+}
+
+fn double(x: u32) -> u32 {
+    x * 2
+}

@@ -1,0 +1,46 @@
+//! Seeded L9 fixture: detached/unjoined workers and a `Relaxed` load
+//! gating control flow, next to joined/scoped/counter shapes that
+//! must stay quiet.
+//! Never compiled — consumed by `check --paths` in the self-test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static GATE: AtomicBool = AtomicBool::new(false);
+
+// True positive: the JoinHandle is dropped at the call site.
+pub fn fire_and_forget() {
+    std::thread::spawn(run);
+}
+
+// True positive: bound but never joined or used again.
+pub fn bind_and_leak() {
+    let worker = std::thread::spawn(run);
+    run();
+}
+
+// True positive: Relaxed load decides a branch.
+pub fn gate_check() {
+    if GATE.load(Ordering::Relaxed) {
+        run();
+    }
+}
+
+// Non-finding: the handle is joined.
+pub fn joined() {
+    let worker = std::thread::spawn(run);
+    let _r = worker.join();
+}
+
+// Non-finding: scoped spawns join at scope exit by construction.
+pub fn scoped_pool() {
+    std::thread::scope(|scope| {
+        scope.spawn(run);
+    });
+}
+
+// Non-finding: a Relaxed counter snapshot gates nothing.
+pub fn observe(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+fn run() {}

@@ -70,6 +70,44 @@ fn l6_fixture_trips_io_hygiene_lint() {
 }
 
 #[test]
+fn l7_fixture_reports_the_reachable_panic_with_its_chain() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("l7_panic_reach.rs")]).expect("fixture readable");
+    let l7: Vec<_> = findings.iter().filter(|f| f.lint == "L7").collect();
+    // Only the panic reachable from the entry fires; the orphaned
+    // panicky function stays quiet under L7 (it is still an L1 site).
+    assert_eq!(l7.len(), 1, "expected 1 L7 finding, got {l7:#?}");
+    assert!(
+        l7[0]
+            .message
+            .contains("serve_flow_query -> helper -> deep_panic"),
+        "chain missing from message: {}",
+        l7[0].message
+    );
+}
+
+#[test]
+fn l8_fixture_trips_on_each_discard_shape_only() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("l8_error_drop.rs")]).expect("fixture readable");
+    let l8: Vec<_> = findings.iter().filter(|f| f.lint == "L8").collect();
+    // `let _ =`, unlogged `.ok();`, and the bare statement fire; the
+    // propagated, logged, and infallible drops do not.
+    assert_eq!(l8.len(), 3, "expected 3 L8 findings, got {l8:#?}");
+}
+
+#[test]
+fn l9_fixture_trips_on_detached_workers_and_relaxed_gates_only() {
+    let root = workspace_root();
+    let findings = check_paths(&root, &[fixture("l9_concurrency.rs")]).expect("fixture readable");
+    let l9: Vec<_> = findings.iter().filter(|f| f.lint == "L9").collect();
+    // The dropped handle, the never-joined handle, and the gating
+    // Relaxed load fire; the joined handle, the scoped spawn, and the
+    // Relaxed counter snapshot do not.
+    assert_eq!(l9.len(), 3, "expected 3 L9 findings, got {l9:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean_under_every_lint() {
     let root = workspace_root();
     let findings = check_paths(&root, &[fixture("clean.rs")]).expect("fixture readable");
@@ -155,4 +193,112 @@ fn binary_exit_codes_match_contract() {
         .output()
         .expect("spawn flow-analyze");
     assert_eq!(usage.status.code(), Some(2));
+
+    // No subcommand at all is also a usage error => exit 2, on stderr.
+    let bare = Command::new(bin).output().expect("spawn flow-analyze");
+    assert_eq!(bare.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&bare.stderr).contains("USAGE"),
+        "usage text must go to stderr on a usage error"
+    );
+
+    // Asking for help is not an error => exit 0, on stdout.
+    let help = Command::new(bin)
+        .arg("--help")
+        .output()
+        .expect("spawn flow-analyze");
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+
+    // An unreadable baseline is an infra failure, not usage => exit 1.
+    let infra = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .args(["--baseline", "/nonexistent/baseline.json"])
+        .output()
+        .expect("spawn flow-analyze");
+    assert_eq!(infra.status.code(), Some(1));
+}
+
+#[test]
+fn json_report_is_byte_identical_and_roundtrips_as_a_baseline() {
+    let root = workspace_root();
+    let bin = env!("CARGO_BIN_EXE_flow-analyze");
+    let run = || {
+        let out = Command::new(bin)
+            .args(["check", "--root"])
+            .arg(&root)
+            .args(["--format", "json"])
+            .output()
+            .expect("spawn flow-analyze");
+        assert_eq!(out.status.code(), Some(0), "workspace must be clean");
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "two JSON runs must be byte-identical");
+
+    // The emitted report doubles as a baseline: feeding it back into
+    // the differ must pass (same counts by definition).
+    let tmp = std::env::temp_dir().join(format!("flow-analyze-report-{}.json", std::process::id()));
+    std::fs::write(&tmp, &first).expect("write report");
+    let roundtrip = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&tmp)
+        .output()
+        .expect("spawn flow-analyze");
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        roundtrip.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&roundtrip.stderr)
+    );
+}
+
+#[test]
+fn committed_baseline_matches_current_suppression_counts() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("crates/flow-analyze/analyze-baseline.json"))
+        .expect("analyze-baseline.json is committed");
+    let base = flow_analyze::baseline::parse(&text).expect("baseline parses");
+    let report = check_workspace(&root).expect("workspace scan");
+    let counts = report.suppression_counts();
+    let failures = flow_analyze::baseline::compare(&counts, &base);
+    assert!(failures.is_empty(), "ratchet violations: {failures:#?}");
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_check() {
+    let bin = env!("CARGO_BIN_EXE_flow-analyze");
+    let tmp = std::env::temp_dir().join(format!("flow-analyze-stale-{}", std::process::id()));
+    let crate_src = tmp.join("crates/flow-stats/src");
+    let analyze_dir = tmp.join("crates/flow-analyze");
+    std::fs::create_dir_all(&crate_src).expect("mkdir");
+    std::fs::create_dir_all(&analyze_dir).expect("mkdir");
+    std::fs::write(tmp.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(crate_src.join("lib.rs"), "pub fn noop() {}\n").expect("write source");
+    std::fs::write(
+        analyze_dir.join("allowlist.txt"),
+        "L1 crates/flow-stats/src/gone.rs -- this file no longer exists\n",
+    )
+    .expect("write allowlist");
+    let out = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(&tmp)
+        .output()
+        .expect("spawn flow-analyze");
+    let _ = std::fs::remove_dir_all(&tmp);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale allowlist entries must fail; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("stale"),
+        "stale entry must be reported as an error"
+    );
 }

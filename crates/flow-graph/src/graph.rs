@@ -129,7 +129,7 @@ impl DiGraph {
         let lo = self.out_offsets[v.index()] as usize;
         // CSR invariant: offsets has node_count()+1 entries, so index()+1
         // is in bounds for every valid NodeId of this graph.
-        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction)
+        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction, L7: index is proven in bounds for every valid NodeId so serving paths cannot trip it)
         let hi = self.out_offsets[v.index() + 1] as usize;
         &self.out_edges[lo..hi]
     }
@@ -138,7 +138,7 @@ impl DiGraph {
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
         let lo = self.in_offsets[v.index()] as usize;
-        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction)
+        // flow-analyze: allow(L1: CSR offsets have n+1 entries by construction, L7: index is proven in bounds for every valid NodeId so serving paths cannot trip it)
         let hi = self.in_offsets[v.index() + 1] as usize;
         &self.in_edges[lo..hi]
     }

@@ -23,7 +23,7 @@ impl Icm {
     pub fn new(graph: DiGraph, probs: Vec<f64>) -> Self {
         match Self::try_new(graph, probs) {
             Ok(icm) => icm,
-            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new, L7: sampling callers construct from probabilities already validated by the posterior clamp)
             Err(e) => panic!("{e}"),
         }
     }

@@ -103,7 +103,7 @@ pub fn multi_chain_flow(
                 .collect();
             handles
                 .into_iter()
-                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic)
+                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic, L7: re-raise is the designed propagation — swallowing a chain panic would corrupt the pooled estimate)
                 .map(|h| h.join().expect("chain thread panicked"))
                 .collect()
         })
@@ -323,7 +323,7 @@ pub fn multi_chain_flow_guarded(
                 .collect();
             handles
                 .into_iter()
-                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic)
+                // flow-analyze: allow(L1: join only fails if a chain panicked; re-raising preserves the original panic, L7: re-raise is the designed propagation — swallowing a chain panic would corrupt the pooled estimate)
                 .map(|h| h.join().expect("chain thread panicked"))
                 .collect()
         })

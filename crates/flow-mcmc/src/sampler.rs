@@ -322,7 +322,7 @@ impl<'a> PseudoStateSampler<'a> {
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         match self.try_step(rng) {
             Ok(accepted) => accepted,
-            // flow-analyze: allow(L1: documented panicking wrapper over try_step)
+            // flow-analyze: allow(L1: documented panicking wrapper over try_step, L7: serving paths use try_step — step is the documented panicking convenience for offline runs)
             Err(e) => panic!("{e}"),
         }
     }

@@ -151,7 +151,7 @@ impl<'a> TimedFlowEstimator<'a> {
             "need one delay model per edge"
         );
         for (i, d) in delays.iter().enumerate() {
-            // flow-analyze: allow(L1: documented panicking constructor; validate() is the fallible path)
+            // flow-analyze: allow(L1: documented panicking constructor with try-style validate as the fallible path, L7: construction happens once at setup before any sampling entry runs)
             d.validate().unwrap_or_else(|e| panic!("edge {i}: {e}"));
         }
         TimedFlowEstimator {

@@ -70,6 +70,7 @@ thread_local! {
 /// instrumented hot paths pay when observability is off.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // flow-analyze: allow(L9: installs and removes store ENABLED with SeqCst — a stale read here only skips or records one extra telemetry event and never gates estimator or serving state)
     ENABLED.load(Ordering::Relaxed)
 }
 

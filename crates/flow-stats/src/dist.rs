@@ -41,7 +41,7 @@ impl Beta {
     pub fn new(alpha: f64, beta: f64) -> Self {
         match Self::try_new(alpha, beta) {
             Ok(b) => b,
-            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new, L7: moment matching clamps both parameters positive before calling new)
             Err(e) => panic!("invalid Beta parameters: {e}"),
         }
     }

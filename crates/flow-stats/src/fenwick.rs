@@ -47,7 +47,7 @@ impl WeightTree {
     pub fn new(weights: &[f64]) -> Self {
         match Self::try_new(weights) {
             Ok(t) => t,
-            // flow-analyze: allow(L1: documented panicking wrapper over try_new)
+            // flow-analyze: allow(L1: documented panicking wrapper over try_new, L7: sampler state weights are normalized finite by construction)
             Err(e) => panic!("{e}"),
         }
     }
@@ -172,7 +172,7 @@ impl WeightTree {
     pub fn debug_check(&self) {
         if cfg!(feature = "debug-invariants") {
             if let Err(e) = self.check_consistency() {
-                // flow-analyze: allow(L1: tripwire panic is the debug-invariants contract)
+                // flow-analyze: allow(L1: tripwire panic is the debug-invariants contract, L7: compiled out of release serving builds — the panic exists only under the debug-invariants feature)
                 panic!("weight-tree invariant violated: {e}");
             }
         }

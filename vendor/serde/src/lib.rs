@@ -76,6 +76,21 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
 
 // ---- primitive impls ----
 
+// `Value` is its own wire form (upstream `serde_json::Value` carries
+// the same identity impls) — lets callers parse free-form documents
+// and inspect them with [`Value::get`].
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
