@@ -1,12 +1,23 @@
 //! `bench_sampler` — the observability overhead baseline.
 //!
-//! Produces `BENCH_sampler.json` (path overridable as the first CLI
-//! argument): sampler steps/sec and parallel-estimator wall time with
-//! the flow-obs recorder disabled vs enabled, plus a micro-benchmark
-//! of the disabled fast path (one relaxed atomic load per call). The
-//! acceptance criterion is that the disabled-recorder overhead stays
-//! under 5% of sampler step time; the JSON records the measured value
-//! so CI can archive it next to the trace artifacts.
+//! Produces `BENCH_sampler.json` (schema `flow-bench/sampler-v2`, path
+//! overridable as the first CLI argument): sampler steps/sec and
+//! parallel-estimator wall time with the flow-obs recorder disabled vs
+//! enabled, plus a micro-benchmark of the disabled fast path (one
+//! relaxed atomic load per call). Two hard acceptance gates (exit 1):
+//!
+//! * the **enabled**-recorder slowdown of the sampler hot loop stays
+//!   within 10% — the hot loop accumulates counters in plain struct
+//!   fields and dispatches them once per `run()` batch, so an enabled
+//!   recorder costs a handful of dispatched calls per ten thousand
+//!   steps, not two per step;
+//! * the **disabled**-recorder overhead stays under 5% of step time.
+//!
+//! The v2 schema separates *counted increments* per step (logical
+//! telemetry, ~2/step, unchanged by batching) from *dispatched
+//! recorder calls* per step (what actually costs time, ~7 per `run()`
+//! batch), so the JSON records both semantics-preserved counting and
+//! the real dispatch rate CI ratchets on via `repro perf diff`.
 //!
 //! Wall-clock timing is the entire point of this binary.
 #![allow(clippy::disallowed_methods)]
@@ -17,9 +28,10 @@ use flow_icm::Icm;
 use flow_mcmc::{
     multi_chain_flow_guarded, McmcConfig, ProposalKind, PseudoStateSampler, RunBudget,
 };
-use flow_obs::{MemorySink, ScopedRecorder};
+use flow_obs::{Event, MemorySink, Recorder, ScopedRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -78,6 +90,57 @@ fn parallel_wall_ms(icm: &Icm, sink_node: NodeId) -> f64 {
     ms
 }
 
+/// Counts every dispatched recorder invocation — events, counters,
+/// gauges, histograms, timings — without storing anything, so the
+/// measurement itself stays cheap.
+#[derive(Default)]
+struct CallCountingSink {
+    calls: AtomicU64,
+}
+
+impl CallCountingSink {
+    fn bump(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Recorder for CallCountingSink {
+    fn event(&self, _event: &Event) {
+        self.bump();
+    }
+    fn counter(&self, _name: &'static str, _delta: u64) {
+        self.bump();
+    }
+    fn gauge(&self, _name: &'static str, _value: f64) {
+        self.bump();
+    }
+    fn histogram(&self, _name: &'static str, _value: f64) {
+        self.bump();
+    }
+    fn timing(&self, _name: &'static str, _nanos: u64) {
+        self.bump();
+    }
+}
+
+/// Measures how many recorder calls the sampler actually dispatches
+/// per step: the hot loop batches its counters, so this is a handful
+/// per `run()` invocation rather than ~2 per step.
+fn dispatched_calls_per_step(icm: &Icm, seed: u64) -> f64 {
+    const STEPS: u64 = 100_000;
+    let sink = Arc::new(CallCountingSink::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = PseudoStateSampler::new(icm, ProposalKind::ResultingActivity, &mut rng);
+    {
+        let _r = ScopedRecorder::install(sink.clone());
+        // Same batch size the throughput loop uses, so the dispatch
+        // amortization matches what the slowdown number measured.
+        for _ in 0..STEPS / 10_000 {
+            sampler.run(10_000, &mut rng);
+        }
+    }
+    sink.calls.load(Ordering::Relaxed) as f64 / STEPS as f64
+}
+
 /// Micro-benchmarks the disabled recorder path: ns per counter call
 /// when no recorder is installed (a relaxed atomic load + branch).
 fn disabled_ns_per_call() -> f64 {
@@ -98,16 +161,17 @@ fn main() {
     let parallel_icm = scaling_icm(PARALLEL_EDGES, 42);
     let parallel_sink = NodeId((parallel_icm.node_count() - 1) as u32);
 
-    eprintln!("[1/5] sampler throughput, recorder disabled ...");
+    eprintln!("[1/6] sampler throughput, recorder disabled ...");
     let (sps_disabled, steps_disabled) = sampler_throughput(&throughput_icm, 1);
 
-    eprintln!("[2/5] sampler throughput, recorder enabled (memory sink) ...");
+    eprintln!("[2/6] sampler throughput, recorder enabled (memory sink) ...");
     let sink = Arc::new(MemorySink::new());
-    let (sps_enabled, steps_enabled, obs_calls_per_step) = {
+    let (sps_enabled, steps_enabled, counted_increments_per_step) = {
         let _r = ScopedRecorder::install(sink.clone());
         let (sps, steps) = sampler_throughput(&throughput_icm, 1);
-        // Empirical obs calls per step: every terminal counter the hot
-        // loop can hit, summed from the sink's registry.
+        // Logical telemetry per step: every terminal counter the hot
+        // loop can hit, summed from the sink's registry. Batching must
+        // leave this unchanged (~2/step) — only the dispatch rate drops.
         let total: u64 = [
             "sampler.steps",
             "sampler.lazy_loops",
@@ -127,42 +191,52 @@ fn main() {
         )
     };
 
-    eprintln!("[3/5] parallel estimator, recorder disabled ...");
+    eprintln!("[3/6] dispatched recorder calls per step ...");
+    let dispatched_per_step = dispatched_calls_per_step(&throughput_icm, 1);
+
+    eprintln!("[4/6] parallel estimator, recorder disabled ...");
     let par_disabled_ms = parallel_wall_ms(&parallel_icm, parallel_sink);
 
-    eprintln!("[4/5] parallel estimator, recorder enabled ...");
+    eprintln!("[5/6] parallel estimator, recorder enabled ...");
     let par_enabled_ms = {
         let _r = ScopedRecorder::install(Arc::new(MemorySink::new()));
         parallel_wall_ms(&parallel_icm, parallel_sink)
     };
 
-    eprintln!("[5/5] disabled fast-path micro-benchmark ...");
+    eprintln!("[6/6] disabled fast-path micro-benchmark ...");
     let ns_per_call = disabled_ns_per_call();
 
-    // The honest disabled-overhead number: measured cost of one
-    // disabled call, times how often the hot loop makes one, as a
-    // fraction of the measured step time.
+    // Disabled overhead: cost of one disabled call times the dispatch
+    // rate, as a fraction of step time. With batched counters the
+    // disabled path makes at most one `enabled()` probe per flush, so
+    // the enabled-run dispatch rate is a conservative upper bound.
     let step_ns_disabled = 1e9 / sps_disabled;
-    let disabled_overhead_pct = 100.0 * ns_per_call * obs_calls_per_step / step_ns_disabled;
+    let disabled_overhead_pct = 100.0 * ns_per_call * dispatched_per_step / step_ns_disabled;
     let enabled_slowdown_pct = 100.0 * (1.0 - sps_enabled / sps_disabled);
+    const ENABLED_BUDGET_PCT: f64 = 10.0;
+    const DISABLED_BUDGET_PCT: f64 = 5.0;
 
     let json = format!(
-        "{{\n  \"bench\": \"sampler\",\n  \"throughput_edges\": {te},\n  \"sampler\": {{\n    \"steps_per_sec_disabled\": {sd:.0},\n    \"steps_per_sec_enabled\": {se:.0},\n    \"steps_timed_disabled\": {std},\n    \"steps_timed_enabled\": {ste},\n    \"enabled_slowdown_pct\": {esp:.2}\n  }},\n  \"parallel_estimator\": {{\n    \"edges\": {pe},\n    \"chains\": {pc},\n    \"samples_per_chain\": {ps},\n    \"wall_ms_disabled\": {pd:.1},\n    \"wall_ms_enabled\": {pen:.1}\n  }},\n  \"disabled_path\": {{\n    \"ns_per_call\": {nc:.3},\n    \"obs_calls_per_step\": {ocs:.3},\n    \"overhead_pct\": {dop:.3},\n    \"budget_pct\": 5.0,\n    \"within_budget\": {wb}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sampler\",\n  \"schema\": \"flow-bench/sampler-v2\",\n  \"throughput_edges\": {te},\n  \"sampler\": {{\n    \"steps_per_sec_disabled\": {sd:.0},\n    \"steps_per_sec_enabled\": {se:.0},\n    \"steps_timed_disabled\": {std},\n    \"steps_timed_enabled\": {ste},\n    \"enabled_slowdown_pct\": {esp:.2},\n    \"enabled_budget_pct\": {eb},\n    \"enabled_within_budget\": {ewb}\n  }},\n  \"counters\": {{\n    \"counted_increments_per_step\": {cis:.3},\n    \"dispatched_calls_per_step\": {dcs:.5}\n  }},\n  \"parallel_estimator\": {{\n    \"edges\": {pe},\n    \"chains\": {pc},\n    \"samples_per_chain\": {ps},\n    \"wall_ms_disabled\": {pd:.1},\n    \"wall_ms_enabled\": {pen:.1}\n  }},\n  \"disabled_path\": {{\n    \"ns_per_call\": {nc:.3},\n    \"overhead_pct\": {dop:.4},\n    \"budget_pct\": {db},\n    \"within_budget\": {wb}\n  }}\n}}\n",
         te = THROUGHPUT_EDGES,
         sd = sps_disabled,
         se = sps_enabled,
         std = steps_disabled,
         ste = steps_enabled,
         esp = enabled_slowdown_pct,
+        eb = ENABLED_BUDGET_PCT,
+        ewb = enabled_slowdown_pct <= ENABLED_BUDGET_PCT,
+        cis = counted_increments_per_step,
+        dcs = dispatched_per_step,
         pe = PARALLEL_EDGES,
         pc = PARALLEL_CHAINS,
         ps = PARALLEL_SAMPLES,
         pd = par_disabled_ms,
         pen = par_enabled_ms,
         nc = ns_per_call,
-        ocs = obs_calls_per_step,
         dop = disabled_overhead_pct,
-        wb = disabled_overhead_pct <= 5.0,
+        db = DISABLED_BUDGET_PCT,
+        wb = disabled_overhead_pct <= DISABLED_BUDGET_PCT,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => {
@@ -174,10 +248,20 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if disabled_overhead_pct > 5.0 {
+    let mut failed = false;
+    if enabled_slowdown_pct > ENABLED_BUDGET_PCT {
         eprintln!(
-            "error: disabled-recorder overhead {disabled_overhead_pct:.2}% exceeds the 5% budget"
+            "error: enabled-recorder slowdown {enabled_slowdown_pct:.2}% exceeds the {ENABLED_BUDGET_PCT}% budget"
         );
+        failed = true;
+    }
+    if disabled_overhead_pct > DISABLED_BUDGET_PCT {
+        eprintln!(
+            "error: disabled-recorder overhead {disabled_overhead_pct:.2}% exceeds the {DISABLED_BUDGET_PCT}% budget"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -22,6 +22,13 @@
 //! `sampler.steps` counter, not wall time), and the fault-free
 //! resilience overhead must stay within 5%.
 //!
+//! The result file (schema `flow-bench/serve-v2`) embeds a
+//! `runtime_stats` section: the [`flow_obs::StatsAggregator`] snapshot
+//! (schema `flow-obs/stats-v1`, the same document `repro serve
+//! --stats-out` writes) aggregated over the cold and warm batches, so
+//! the bench records latency quantiles, cache hit ratio, shed/retry
+//! counts with the exact shape the serving runtime reports.
+//!
 //! Wall-clock timing is the entire point of this binary.
 #![allow(clippy::disallowed_methods)]
 
@@ -29,7 +36,7 @@ use flow_bench::scaling_icm;
 use flow_graph::NodeId;
 use flow_icm::Icm;
 use flow_mcmc::{FlowEstimator, McmcConfig};
-use flow_obs::{MemorySink, ScopedRecorder};
+use flow_obs::{MemorySink, MultiSink, Recorder, ScopedRecorder, StatsAggregator};
 use flow_serve::{
     BreakerConfig, ExecutorConfig, FlowQuery, QueryOutcome, RetryPolicy, ServeCache, ServeConfig,
     ServeEngine,
@@ -97,6 +104,10 @@ fn main() {
     let (naive_s, naive_estimates) = naive_wall_s(&icm, &queries, mcmc);
 
     eprintln!("[2/4] batched: one execute_batch over the same mix ...");
+    // The aggregator listens to both the cold and the warm batch so the
+    // embedded runtime_stats section covers a hit-free and an all-hit
+    // window; its per-event cost is part of what the speedup measures.
+    let agg = Arc::new(StatsAggregator::new());
     let mut engine = ServeEngine::new(ServeConfig {
         mcmc,
         // Tolerance is not under test here; keep the sample budget
@@ -106,8 +117,12 @@ fn main() {
         ..Default::default()
     });
     let start = Instant::now();
-    let cold = engine.execute_batch(&icm, &queries);
+    let cold = {
+        let _r = ScopedRecorder::install(agg.clone());
+        engine.execute_batch(&icm, &queries)
+    };
     let batched_s = start.elapsed().as_secs_f64();
+    agg.roll_windows();
 
     // Sanity: the two strategies answer the same questions.
     for ((q, outcome), naive) in queries.iter().zip(&cold).zip(&naive_estimates) {
@@ -128,10 +143,12 @@ fn main() {
     let sink = Arc::new(MemorySink::new());
     let start = Instant::now();
     let warm = {
-        let _r = ScopedRecorder::install(sink.clone());
+        let sinks: Vec<Arc<dyn Recorder>> = vec![sink.clone(), agg.clone()];
+        let _r = ScopedRecorder::install(Arc::new(MultiSink::new(sinks)));
         engine.execute_batch(&icm, &queries)
     };
     let warm_s = start.elapsed().as_secs_f64();
+    agg.roll_windows();
     let warm_steps = sink.counter_value("sampler.steps");
     let warm_hits = warm
         .iter()
@@ -199,9 +216,17 @@ fn main() {
     let warm_qps = n / warm_s;
     let speedup = naive_s / batched_s;
 
+    // The runtime snapshot, re-indented to sit as a nested object.
+    let stats_embedded = agg
+        .snapshot()
+        .render_json()
+        .trim_end()
+        .replace('\n', "\n  ");
+
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"resilience\": {{\n    \"bare_wall_s\": {rb:.3},\n    \"resilient_wall_s\": {rr:.3},\n    \"overhead_pct\": {ro:.2},\n    \"budget_pct\": 5.0\n  }},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"schema\": \"flow-bench/serve-v2\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"resilience\": {{\n    \"bare_wall_s\": {rb:.3},\n    \"resilient_wall_s\": {rr:.3},\n    \"overhead_pct\": {ro:.2},\n    \"budget_pct\": 5.0\n  }},\n  \"runtime_stats\": {rs},\n  \"pass\": {pass}\n}}\n",
         me = MODEL_EDGES,
+        rs = stats_embedded,
         q = queries.len(),
         sp = SAMPLES,
         ns = naive_s,

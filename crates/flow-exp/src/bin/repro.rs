@@ -3,8 +3,11 @@
 //! ```text
 //! repro <subcommand> [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume]
 //!                    [--trace PATH] [--metrics]
-//! repro report <trace.jsonl>
+//! repro report <trace.jsonl> [--by-query]
 //! repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]
+//!                             [--trace PATH] [--stats-out PATH]
+//! repro perf diff [--baseline PATH] [--bench PATH]... [--append PATH]
+//!                 [--label NAME]
 //!
 //! subcommands:
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
@@ -23,7 +26,13 @@
 //! `--trace PATH` records the run's structured event stream to a
 //! deterministic JSONL file (same seed → byte-identical trace);
 //! `--metrics` prints a counter/timing summary to stderr on exit.
-//! `report` renders a recorded trace back into ascii tables.
+//! `report` renders a recorded trace back into ascii tables; with
+//! `--by-query` it instead reconstructs the causal span tree per query
+//! trace and prints each query's critical path and phase breakdown.
+//! `report` exits 2 on usage errors (missing path argument), 1 on
+//! infrastructure errors (unreadable file, or a file with zero
+//! parseable events); a trace whose final line was torn by a killed
+//! writer still renders its intact prefix and exits 0.
 //!
 //! `serve` batch-serves a JSONL query file through the flow-serve
 //! engine, writing `serve_results.jsonl` + `serve_stats.json` to
@@ -34,10 +43,22 @@
 //! retry attempts, `--breaker-k` sets the per-chain circuit-breaker
 //! trip threshold (0 disables), `--no-resilience` disables all three
 //! for overhead measurement, and `--inject POINT` (fault-inject builds
-//! only) arms a named serving-path fault point. Exit codes: 0 = every
-//! query ended ok, degraded, rejected, or shed; 1 = infrastructure
-//! error (bad query file, unwritable output); 2 = usage error; 3 = at
-//! least one query ended in a hard (non-degraded) error.
+//! only) arms a named serving-path fault point. `--trace PATH` writes
+//! the serving path's causal JSONL trace (every span/event carries the
+//! query's deterministic trace id; two identical invocations produce
+//! byte-identical traces), and `--stats-out PATH` writes the aggregated
+//! runtime stats snapshot (latency quantiles, shed rate, cache hit
+//! ratio, retries, breaker transitions; schema `flow-obs/stats-v1`).
+//! Exit codes: 0 = every query ended ok, degraded, rejected, or shed;
+//! 1 = infrastructure error (bad query file, unwritable output); 2 =
+//! usage error; 3 = at least one query ended in a hard (non-degraded)
+//! error.
+//!
+//! `perf diff` compares the committed bench result files against
+//! `perf-baseline.json` and exits 3 if any baselined metric regressed
+//! beyond its noise band, 1 on missing/unparseable files or schema
+//! drift, 0 when all metrics hold. `--append PATH` appends the
+//! normalized run to a JSONL trajectory file.
 
 use flow_exp::runners::{self, ExpConfig};
 use flow_exp::{CheckpointStore, Output};
@@ -47,12 +68,65 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table1|table3|ablation|appendix|flow|all> \
          [--scale S] [--seed N] [--out DIR] [--no-csv] [--resume] [--trace PATH] [--metrics]\n\
-         repro report <trace.jsonl>\n\
+         repro report <trace.jsonl> [--by-query]\n\
          repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]\n\
                      [--admission-steps N] [--retries N] [--breaker-k K]\n\
-                     [--no-resilience] [--inject POINT]"
+                     [--no-resilience] [--inject POINT]\n\
+                     [--trace PATH] [--stats-out PATH]\n\
+         repro perf diff [--baseline PATH] [--bench PATH]... [--append PATH] [--label NAME]"
     );
     std::process::exit(2);
+}
+
+fn run_perf_command(args: &[String]) -> ! {
+    // Only `perf diff` exists today; an explicit match keeps room for
+    // `perf bless` later without repurposing flags.
+    if args.get(1).map(String::as_str) != Some("diff") {
+        usage();
+    }
+    let mut perf_args = runners::perf::PerfDiffArgs::default();
+    let mut bench_files: Vec<String> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                perf_args.baseline = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--bench" => {
+                i += 1;
+                bench_files.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--append" => {
+                i += 1;
+                perf_args.append = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--label" => {
+                i += 1;
+                perf_args.label = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if !bench_files.is_empty() {
+        perf_args.bench_files = bench_files;
+    }
+    match runners::perf::run_perf_diff(&perf_args, &Output::stdout_only()) {
+        Ok(runners::perf::PerfVerdict::Clean) => std::process::exit(0),
+        Ok(runners::perf::PerfVerdict::Regressed) => {
+            eprintln!("error: performance regression beyond the baseline noise band");
+            std::process::exit(3);
+        }
+        Ok(runners::perf::PerfVerdict::MissingMetrics) => {
+            eprintln!("error: baselined metrics missing from the current bench output");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: perf diff failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_serve_command(args: &[String]) -> ! {
@@ -104,6 +178,14 @@ fn run_serve_command(args: &[String]) -> ! {
                 i += 1;
                 serve_args.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                serve_args.trace = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--stats-out" => {
+                i += 1;
+                serve_args.stats_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             positional if serve_args.queries.is_empty() && !positional.starts_with('-') => {
                 serve_args.queries = positional.to_string();
             }
@@ -140,9 +222,22 @@ fn main() {
     if command == "serve" {
         run_serve_command(&args);
     }
+    if command == "perf" {
+        run_perf_command(&args);
+    }
     if command == "report" {
         let Some(path) = args.get(1) else { usage() };
-        match runners::trace_report::run_report(path, &Output::stdout_only()) {
+        if path.starts_with('-') {
+            usage();
+        }
+        let mut by_query = false;
+        for flag in &args[2..] {
+            match flag.as_str() {
+                "--by-query" => by_query = true,
+                _ => usage(),
+            }
+        }
+        match runners::trace_report::run_report(path, by_query, &Output::stdout_only()) {
             Ok(_) => return,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -16,6 +16,8 @@ pub mod fig07_rmse;
 pub mod fig08_tags;
 pub mod fig11_multimodal;
 pub mod flow_query;
+pub mod perf;
+pub mod query_report;
 pub mod serve;
 pub mod table1;
 pub mod table3;

@@ -17,6 +17,16 @@
 //! With `--cache-dir` the estimate cache is loaded before the batch and
 //! saved after it, so a second invocation serves warm hits across
 //! processes.
+//!
+//! With `--trace PATH` the batch runs under a JSONL sink and the causal
+//! event stream is written after it: every span and event carries its
+//! query's deterministic trace id (derived from the query key and batch
+//! index, never a clock), so two identical invocations produce
+//! byte-identical trace files — asserted by the CI observability job.
+//! With `--stats-out PATH` a [`flow_obs::StatsAggregator`] listens to
+//! the same stream and its snapshot (latency quantiles, shed rate,
+//! cache hit ratio, retries, breaker transitions; schema
+//! `flow-obs/stats-v1`) is written as JSON.
 
 use crate::output::Output;
 use flow_core::{FlowError, FlowResult};
@@ -30,6 +40,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Options for the `serve` subcommand. The resilience knobs default to
 /// "engine default" when zero/`None`.
@@ -51,6 +62,10 @@ pub struct ServeArgs {
     pub no_resilience: bool,
     /// Fault point to arm for chaos runs (fault-inject builds only).
     pub inject: Option<String>,
+    /// Write the batch's causal JSONL trace here.
+    pub trace: Option<String>,
+    /// Write the aggregated runtime stats snapshot (JSON) here.
+    pub stats_out: Option<String>,
 }
 
 /// What the batch did, for the CLI's exit-code contract: queries that
@@ -239,7 +254,57 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<ServeReport> {
         preloaded
     ));
 
+    // Telemetry for --trace / --stats-out, installed as a *scoped*
+    // (thread-local) recorder so concurrent tests never observe each
+    // other's events; the executor re-installs the caller's recorder
+    // inside its worker threads, so worker spans land here too.
+    let jsonl = args
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(flow_obs::JsonlSink::new()));
+    let agg = args
+        .stats_out
+        .as_ref()
+        .map(|_| Arc::new(flow_obs::StatsAggregator::new()));
+    let recorder = {
+        let mut sinks: Vec<Arc<dyn flow_obs::Recorder>> = Vec::new();
+        if let Some(j) = &jsonl {
+            sinks.push(j.clone());
+        }
+        if let Some(a) = &agg {
+            sinks.push(a.clone());
+        }
+        match sinks.len() {
+            0 => None,
+            1 => Some(flow_obs::ScopedRecorder::install(
+                sinks.pop().expect("len checked"),
+            )),
+            _ => Some(flow_obs::ScopedRecorder::install(Arc::new(
+                flow_obs::MultiSink::new(sinks),
+            ))),
+        }
+    };
+
     let outcomes = engine.execute_batch(&icm, &queries);
+
+    // A batch boundary is the aggregator's logical window roll — the
+    // windowed counters advance per batch, never per wall-clock tick.
+    if let Some(a) = &agg {
+        a.roll_windows();
+    }
+    drop(recorder);
+    if let (Some(path), Some(sink)) = (&args.trace, &jsonl) {
+        sink.write_to(Path::new(path)).map_err(|e| FlowError::Io {
+            detail: format!("cannot write trace {path}: {e}"),
+        })?;
+        out.line(format!("trace: wrote {path} ({} events)", sink.len()));
+    }
+    if let (Some(path), Some(a)) = (&args.stats_out, &agg) {
+        std::fs::write(path, a.snapshot().render_json()).map_err(|e| FlowError::Io {
+            detail: format!("cannot write stats {path}: {e}"),
+        })?;
+        out.line(format!("stats: wrote {path}"));
+    }
 
     let mut report = ServeReport::default();
     for o in &outcomes {
@@ -387,6 +452,45 @@ mod tests {
         );
         assert!(cold_stats.contains("\"cache_hits\": 0"), "{cold_stats}");
         assert!(warm_stats.contains("\"cache_hits\": 3"), "{warm_stats}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_serve_results() {
+        // --trace / --stats-out must be pure observers: the results
+        // file is byte-identical with them on or off, and two traced
+        // runs produce byte-identical trace files.
+        let dir = std::env::temp_dir().join(format!("flowexp-serve-trace-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries = dir.join("queries.jsonl");
+        std::fs::write(&queries, QUERY_FILE).unwrap();
+        let run = |sub: &str, traced: bool| {
+            let args = ServeArgs {
+                queries: queries.display().to_string(),
+                seed: 11,
+                trace: traced.then(|| dir.join(format!("{sub}.trace.jsonl")).display().to_string()),
+                stats_out: traced
+                    .then(|| dir.join(format!("{sub}.stats.json")).display().to_string()),
+                ..Default::default()
+            };
+            run_serve(&args, &Output::to_dir(dir.join(sub))).unwrap();
+            std::fs::read_to_string(dir.join(sub).join("serve_results.jsonl")).unwrap()
+        };
+        let plain = run("plain", false);
+        let traced_a = run("ta", true);
+        let traced_b = run("tb", true);
+        assert_eq!(plain, traced_a, "tracing must not change answers");
+        assert_eq!(traced_a, traced_b);
+        let trace_a = std::fs::read_to_string(dir.join("ta.trace.jsonl")).unwrap();
+        let trace_b = std::fs::read_to_string(dir.join("tb.trace.jsonl")).unwrap();
+        assert_eq!(trace_a, trace_b, "serve traces must be byte-identical");
+        assert!(trace_a.contains("serve.query.resolved"));
+        let stats = std::fs::read_to_string(dir.join("ta.stats.json")).unwrap();
+        assert!(
+            stats.contains("\"schema\": \"flow-obs/stats-v1\""),
+            "{stats}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -122,9 +122,12 @@ pub fn render_trace(events: &[TraceEvent], out: &Output) -> usize {
     events.len()
 }
 
-/// Reads a JSONL trace from `path` and renders it. Returns an error
-/// string suitable for the CLI on IO failure.
-pub fn run_report(path: &str, out: &Output) -> Result<usize, String> {
+/// Reads a JSONL trace from `path` and renders it — the run-level view
+/// by default, the causal per-query view with `by_query`. Returns an
+/// error string suitable for the CLI on IO failure (missing/unreadable
+/// file, or a file with no parseable events at all; a *truncated*
+/// trace still renders its intact prefix).
+pub fn run_report(path: &str, by_query: bool, out: &Output) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
     let events = parse_trace(&text);
@@ -132,6 +135,10 @@ pub fn run_report(path: &str, out: &Output) -> Result<usize, String> {
         return Err(format!("trace {path} contains no parseable events"));
     }
     out.line(format!("trace: {path} ({} events)", events.len()));
+    if by_query {
+        super::query_report::render_by_query(&events, out);
+        return Ok(events.len());
+    }
     Ok(render_trace(&events, out))
 }
 
@@ -180,6 +187,26 @@ mod tests {
 
     #[test]
     fn run_report_rejects_missing_file() {
-        assert!(run_report("/nonexistent/trace.jsonl", &Output::stdout_only()).is_err());
+        assert!(run_report("/nonexistent/trace.jsonl", false, &Output::stdout_only()).is_err());
+    }
+
+    #[test]
+    fn run_report_rejects_empty_and_renders_truncated_traces() {
+        let dir = std::env::temp_dir().join(format!("flowexp-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(
+            run_report(empty.to_str().unwrap(), false, &Output::stdout_only()).is_err(),
+            "an empty trace is an infra error, not a silent no-op"
+        );
+        // A torn final line (killed run) still renders the intact prefix.
+        let torn = dir.join("torn.jsonl");
+        let good =
+            "{\"event\":\"chain.finish\",\"chain\":0,\"step\":10,\"fields\":{\"samples\":5}}\n";
+        std::fs::write(&torn, format!("{good}{}", &good[..good.len() / 2])).unwrap();
+        let n = run_report(torn.to_str().unwrap(), false, &Output::stdout_only()).unwrap();
+        assert_eq!(n, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

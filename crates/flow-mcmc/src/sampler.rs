@@ -137,6 +137,23 @@ impl From<ConditionInitError> for flow_core::FlowError {
     }
 }
 
+/// Telemetry counters accumulated in plain fields on the hot step path
+/// and dispatched in one batch per `run`/`try_run` call (plus at every
+/// tree rebuild, which checkpoint capture triggers). Batching keeps the
+/// enabled-path overhead within the ≤10% budget `BENCH_sampler.json`
+/// pins: a dispatched counter costs a thread-local + lock round-trip,
+/// a field increment costs one add.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingObs {
+    steps: u64,
+    lazy_loops: u64,
+    empty_proposals: u64,
+    mh_rejects: u64,
+    condition_rejects: u64,
+    accepts: u64,
+    tree_rebuilds: u64,
+}
+
 /// A Metropolis–Hastings chain over the pseudo-states of one ICM.
 #[derive(Clone, Debug)]
 pub struct PseudoStateSampler<'a> {
@@ -150,6 +167,7 @@ pub struct PseudoStateSampler<'a> {
     accepted: u64,
     updates_since_rebuild: u64,
     rebuild_every: u64,
+    pending: PendingObs,
 }
 
 impl<'a> PseudoStateSampler<'a> {
@@ -230,6 +248,7 @@ impl<'a> PseudoStateSampler<'a> {
             accepted: 0,
             updates_since_rebuild: 0,
             rebuild_every: 1 << 20,
+            pending: PendingObs::default(),
         }
     }
 
@@ -259,9 +278,39 @@ impl<'a> PseudoStateSampler<'a> {
     /// rebuilt from scratch) stays bit-identical to the original.
     pub fn rebuild_tree(&mut self) {
         let _rebuild = flow_obs::span("fenwick.rebuild");
-        flow_obs::counter("sampler.tree_rebuilds", 1);
+        self.pending.tree_rebuilds += 1;
         self.tree.rebuild();
         self.updates_since_rebuild = 0;
+        // Checkpoint capture rebuilds before serialising, so flushing
+        // here also publishes the batch-accumulated step counters of
+        // callers that drive `try_step` directly.
+        self.flush_obs_counters();
+    }
+
+    /// Dispatches the batch-accumulated telemetry counters to the
+    /// active recorder and zeroes the batch. `run`/`try_run` call this
+    /// once per invocation; callers stepping the chain manually can
+    /// call it at their own boundaries. Counters accumulated while no
+    /// recorder is installed are discarded, matching the per-step
+    /// dispatch semantics this batching replaced.
+    pub fn flush_obs_counters(&mut self) {
+        let p = std::mem::take(&mut self.pending);
+        if !flow_obs::enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("sampler.steps", p.steps),
+            ("sampler.lazy_loops", p.lazy_loops),
+            ("sampler.empty_proposals", p.empty_proposals),
+            ("sampler.mh_rejects", p.mh_rejects),
+            ("sampler.condition_rejects", p.condition_rejects),
+            ("sampler.accepts", p.accepts),
+            ("sampler.tree_rebuilds", p.tree_rebuilds),
+        ] {
+            if value > 0 {
+                flow_obs::counter(name, value);
+            }
+        }
     }
 
     /// The proposal convention this chain uses.
@@ -336,7 +385,7 @@ impl<'a> PseudoStateSampler<'a> {
     /// the step counter.
     pub fn try_step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> FlowResult<bool> {
         self.steps += 1;
-        flow_obs::counter("sampler.steps", 1);
+        self.pending.steps += 1;
         if fault::fires("sampler.kill_chain") {
             return Err(FlowError::ChainStalled {
                 chain: 0,
@@ -345,14 +394,14 @@ impl<'a> PseudoStateSampler<'a> {
             });
         }
         if rng.random::<f64>() < Self::LAZINESS {
-            flow_obs::counter("sampler.lazy_loops", 1);
+            self.pending.lazy_loops += 1;
             return Ok(false);
         }
         let Some(i) = self.tree.sample(rng) else {
             // All proposal weights are zero (e.g. every edge has p = 0
             // and is inactive): the chain is already at the target's
             // only mass point.
-            flow_obs::counter("sampler.empty_proposals", 1);
+            self.pending.empty_proposals += 1;
             return Ok(false);
         };
         let e = EdgeId(i as u32);
@@ -395,7 +444,7 @@ impl<'a> PseudoStateSampler<'a> {
         }
 
         if accept_prob < 1.0 && rng.random::<f64>() > accept_prob {
-            flow_obs::counter("sampler.mh_rejects", 1);
+            self.pending.mh_rejects += 1;
             return Ok(false);
         }
 
@@ -406,7 +455,7 @@ impl<'a> PseudoStateSampler<'a> {
             let ok = self.conditions_hold_scratch();
             if !ok {
                 self.state.flip(e);
-                flow_obs::counter("sampler.condition_rejects", 1);
+                self.pending.condition_rejects += 1;
                 return Ok(false);
             }
         } else {
@@ -419,10 +468,10 @@ impl<'a> PseudoStateSampler<'a> {
         })?;
         self.accepted += 1;
         self.updates_since_rebuild += 1;
-        flow_obs::counter("sampler.accepts", 1);
+        self.pending.accepts += 1;
         if self.updates_since_rebuild >= self.rebuild_every {
             let _rebuild = flow_obs::span("fenwick.rebuild");
-            flow_obs::counter("sampler.tree_rebuilds", 1);
+            self.pending.tree_rebuilds += 1;
             self.tree.rebuild();
             self.updates_since_rebuild = 0;
         }
@@ -442,18 +491,30 @@ impl<'a> PseudoStateSampler<'a> {
         for _ in 0..n {
             self.step(rng);
         }
+        self.flush_obs_counters();
     }
 
     /// Performs up to `n` fallible chain updates, stopping at the first
     /// error. Returns the number of accepted proposals.
     pub fn try_run<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> FlowResult<usize> {
         let mut accepted = 0;
+        let mut failure = None;
         for _ in 0..n {
-            if self.try_step(rng)? {
-                accepted += 1;
+            match self.try_step(rng) {
+                Ok(true) => accepted += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
             }
         }
-        Ok(accepted)
+        // Steps taken before a mid-run error still count.
+        self.flush_obs_counters();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(accepted),
+        }
     }
 
     /// True iff the current state carries the flow `source ~> sink`.

@@ -19,6 +19,13 @@
 //! * **resumability** — the outcome carries a checkpoint of the final
 //!   chain state, so the *next* query for the same chain can continue
 //!   where this one stopped.
+//!
+//! Telemetry emitted here (the `mcmc.burn_in`/`mcmc.sampling` spans and
+//! budget degradation events) carries no explicit trace coordinate:
+//! when the caller runs this under a `flow_obs::TraceContext` — as the
+//! serve executor does per plan — every event inherits the query's
+//! trace ambiently, so a `repro report --by-query` can attribute chain
+//! work to the query that caused it.
 
 use crate::budget::DegradationReason;
 use crate::checkpoint::ChainCheckpoint;

@@ -296,3 +296,101 @@ fn instrumented_run_matches_uninstrumented() {
     let recorded = run(true);
     assert_eq!(plain, recorded, "telemetry must not consume RNG draws");
 }
+
+/// Two aggregators fed the identical event stream must render
+/// byte-identical snapshots — the quantile sketch and windowed
+/// counters are pure functions of the stream, with no clocks or
+/// iteration-order dependence.
+#[test]
+fn stats_snapshot_is_deterministic_for_identical_streams() {
+    let run = || {
+        let agg = Arc::new(flow_obs::StatsAggregator::new());
+        {
+            let _r = ScopedRecorder::install(agg.clone());
+            for i in 0..200u64 {
+                flow_obs::counter("serve.cache.hit", i % 2);
+                flow_obs::counter("serve.cache.miss", (i + 1) % 2);
+                flow_obs::event(|| {
+                    flow_obs::Event::new("serve.query.resolved")
+                        .trace(0xDEAD_BEEF_CAFE_0000 + i)
+                        .u64("query", i)
+                });
+            }
+            // Timings land in the quantile sketch; feed a fixed ramp.
+            let sink = flow_obs::current_recorder().expect("recorder installed");
+            for i in 1..=100u64 {
+                sink.timing("serve.plan", i * 1_000);
+            }
+        }
+        agg.roll_windows();
+        agg.snapshot()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.render_json(), b.render_json());
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.serve.cache_hits, 100);
+    assert_eq!(a.serve.cache_hit_ratio, 0.5);
+    // The sketch's p50 of the 1k..100k ns ramp sits near 50k within
+    // the DDSketch ±5% relative-error bound.
+    let p50 = a.quantiles["serve.plan"].p50;
+    assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.06, "p50 = {p50}");
+}
+
+/// Window rollover: counts recorded after a roll land in a fresh
+/// window; closed windows retain per-batch subtotals oldest-first and
+/// the all-time total is unaffected by rolling.
+#[test]
+fn windowed_counters_roll_at_batch_boundaries() {
+    let agg = Arc::new(flow_obs::StatsAggregator::new());
+    {
+        let _r = ScopedRecorder::install(agg.clone());
+        flow_obs::counter("serve.shed", 3);
+        agg.roll_windows();
+        flow_obs::counter("serve.shed", 5);
+        agg.roll_windows();
+        flow_obs::counter("serve.shed", 7);
+    }
+    let snap = agg.snapshot();
+    let c = &snap.counters["serve.shed"];
+    assert_eq!(c.total, 15);
+    assert_eq!(c.open_window, 7);
+    assert_eq!(c.closed_windows, vec![3, 5]);
+    assert_eq!(snap.windows_rolled, 2);
+    assert_eq!(snap.serve.shed, 15);
+}
+
+/// Running the estimator under an ambient TraceContext (as the serve
+/// executor does per plan) must not change what the chains compute:
+/// trace stamping touches telemetry metadata only, never the RNG
+/// streams. Estimates must match bit-for-bit with traces on, off, and
+/// absent entirely.
+#[test]
+fn trace_context_is_rng_neutral() {
+    let icm = diamond_icm();
+    let config = McmcConfig {
+        samples: 400,
+        ..Default::default()
+    };
+    let run = |record: bool, trace: Option<u64>| -> f64 {
+        let sink = Arc::new(flow_obs::JsonlSink::new());
+        let _r = record.then(|| ScopedRecorder::install(sink));
+        let _t = trace.map(flow_obs::TraceContext::enter);
+        multi_chain_flow_guarded(
+            &icm,
+            NodeId(0),
+            NodeId(3),
+            config,
+            2,
+            13,
+            RunBudget::unlimited(),
+            1,
+            false,
+        )
+        .value
+    };
+    let untraced = run(true, None);
+    let traced = run(true, Some(0x7_1ace_1d00));
+    let bare = run(false, None);
+    assert_eq!(untraced, traced, "trace ids must not consume RNG draws");
+    assert_eq!(bare, traced, "tracing on/off must be bit-equal");
+}

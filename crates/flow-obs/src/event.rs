@@ -67,11 +67,16 @@ impl fmt::Display for FieldValue {
 /// `chain` and `step` are *logical* coordinates: the chain index within
 /// a multi-chain run and the sampler step count at emission time. They
 /// are never wall-clock derived, which is what makes JSONL traces from
-/// two runs of the same seed byte-identical.
+/// two runs of the same seed byte-identical. `trace` is the causal
+/// coordinate: the deterministic [`TraceId`](crate::TraceContext) of
+/// the query the work belongs to, also clock-free.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Dotted event name, e.g. `watchdog.stall` (taxonomy: DESIGN.md §10).
     pub name: &'static str,
+    /// Trace (query) the event belongs to; `None` for unattributed work.
+    /// Filled in from the ambient [`crate::TraceContext`] when absent.
+    pub trace: Option<u64>,
     /// Chain index the event belongs to; `None` for run-level events.
     /// Filled in from the ambient [`crate::ChainContext`] when absent.
     pub chain: Option<u64>,
@@ -86,10 +91,17 @@ impl Event {
     pub fn new(name: &'static str) -> Self {
         Event {
             name,
+            trace: None,
             chain: None,
             step: None,
             fields: Vec::new(),
         }
+    }
+
+    /// Sets the trace (query) coordinate.
+    pub fn trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Sets the chain coordinate.

@@ -39,6 +39,7 @@
 //! The event taxonomy, the trace determinism rules, and the overhead
 //! budget are specified in DESIGN.md §10 ("Observability contract").
 
+pub mod agg;
 pub mod event;
 pub mod recorder;
 pub mod registry;
@@ -46,8 +47,11 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
+pub use agg::{QuantileSketch, StatsAggregator, StatsSnapshot, WindowedCounter};
 pub use event::{Event, FieldValue};
-pub use recorder::{current_recorder, enabled, set_global, ChainContext, Recorder, ScopedRecorder};
+pub use recorder::{
+    current_recorder, enabled, set_global, ChainContext, Recorder, ScopedRecorder, TraceContext,
+};
 pub use registry::{FixedHistogram, MetricsRegistry, MetricsSnapshot, TimingStat};
 pub use sink::{JsonlSink, MemorySink, MultiSink, StderrSummarySink};
 pub use span::Span;
@@ -56,7 +60,8 @@ pub use trace::{parse_line, parse_trace, TraceEvent, TraceValue};
 /// Records a structured event. The closure runs only when a recorder
 /// is installed, so event construction costs nothing when telemetry is
 /// off. Events built without an explicit chain inherit the ambient
-/// [`ChainContext`], if any.
+/// [`ChainContext`], and events without an explicit trace inherit the
+/// ambient [`TraceContext`], if any.
 #[inline]
 pub fn record_event<F: FnOnce() -> Event>(build: F) {
     if !enabled() {
@@ -65,6 +70,9 @@ pub fn record_event<F: FnOnce() -> Event>(build: F) {
     let mut e = build();
     if e.chain.is_none() {
         e.chain = recorder::current_chain();
+    }
+    if e.trace.is_none() {
+        e.trace = recorder::current_trace();
     }
     recorder::with_recorder(|r| r.event(&e));
 }

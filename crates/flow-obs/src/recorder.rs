@@ -64,6 +64,8 @@ thread_local! {
     static LOCAL: RefCell<Option<Arc<dyn Recorder>>> = const { RefCell::new(None) };
     /// Ambient chain coordinate stamped onto chain-less events.
     static CHAIN: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Ambient trace (query) coordinate stamped onto trace-less events.
+    static TRACE: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// True while any recorder is installed. This is the only cost the
@@ -173,6 +175,43 @@ impl Drop for ChainContext {
 /// The ambient chain coordinate, if a [`ChainContext`] is active.
 pub(crate) fn current_chain() -> Option<u64> {
     CHAIN.with(Cell::get)
+}
+
+/// RAII guard declaring "work on this thread serves trace (query) `t`".
+///
+/// A trace id is a deterministic, clock-free identifier for one query:
+/// the serving layer derives it from the canonical query key and the
+/// query's index in its batch, so two runs of one seed stamp identical
+/// ids. Events built without an explicit trace, and spans opened while
+/// the context is alive, inherit this id — which is what lets a flat
+/// JSONL trace be re-grouped into per-query span trees afterwards.
+/// `!Send` for the same reason as [`ScopedRecorder`].
+pub struct TraceContext {
+    prev: Option<u64>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl TraceContext {
+    /// Marks the current thread as serving trace `trace` until drop.
+    pub fn enter(trace: u64) -> Self {
+        let prev = TRACE.with(|t| t.replace(Some(trace)));
+        TraceContext {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for TraceContext {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        TRACE.with(|t| t.set(prev));
+    }
+}
+
+/// The ambient trace coordinate, if a [`TraceContext`] is active.
+pub(crate) fn current_trace() -> Option<u64> {
+    TRACE.with(Cell::get)
 }
 
 /// The recorder the current thread would dispatch to (thread-local

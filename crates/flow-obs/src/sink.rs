@@ -150,11 +150,15 @@ impl Recorder for StderrSummarySink {
 
 // ------------------------------------------------------------ JsonlSink
 
-/// One buffered trace row: `stream` orders chains (0 = run-level
-/// events, chain c = c+1), `seq` orders rows within a stream.
+/// One buffered trace row. `stream` is a two-level key: untraced
+/// events order by chain (`(0, 0)` = run-level, chain c = `(0, c+1)`);
+/// traced events order by their trace id (`(1, trace)`), because a
+/// trace — one query's causal history — is single-writer by the serve
+/// execution model (planner thread first, then exactly one worker).
+/// `seq` orders rows within a stream.
 #[derive(Debug)]
 struct Row {
-    stream: u64,
+    stream: (u64, u64),
     seq: u64,
     line: String,
 }
@@ -162,18 +166,22 @@ struct Row {
 #[derive(Debug, Default)]
 struct JsonlState {
     rows: Vec<Row>,
-    seqs: BTreeMap<u64, u64>,
+    seqs: BTreeMap<(u64, u64), u64>,
 }
 
 /// Deterministic JSONL trace sink.
 ///
-/// Events are serialised immediately and buffered per logical stream
-/// (run-level, chain 0, chain 1, ...). [`JsonlSink::render`] sorts by
-/// `(stream, sequence)` so the output is byte-identical across runs of
-/// the same seed no matter how worker threads interleave — each stream
-/// is single-writer by the DESIGN.md §10 determinism rules. Counters,
-/// gauges, histograms, and wall-clock timings are deliberately ignored:
-/// only the deterministic event channel reaches the trace.
+/// Events are serialised immediately and buffered per logical stream:
+/// run-level, then chain 0, chain 1, ... for untraced events, then one
+/// stream per trace id for traced events. [`JsonlSink::render`] sorts
+/// by `(stream, sequence)` so the output is byte-identical across runs
+/// of the same seed no matter how worker threads interleave — each
+/// stream is single-writer by the DESIGN.md §10/§14 determinism rules
+/// (a chain has one owning thread; a trace is planned on the batch
+/// thread and executed by exactly one worker, never concurrently).
+/// Counters, gauges, histograms, and wall-clock timings are
+/// deliberately ignored: only the deterministic event channel reaches
+/// the trace.
 #[derive(Debug, Default)]
 pub struct JsonlSink {
     state: Mutex<JsonlState>,
@@ -218,7 +226,10 @@ impl JsonlSink {
 impl Recorder for JsonlSink {
     fn event(&self, event: &Event) {
         let line = render_jsonl(event);
-        let stream = event.chain.map(|c| c.saturating_add(1)).unwrap_or(0);
+        let stream = match event.trace {
+            Some(t) => (1, t),
+            None => (0, event.chain.map(|c| c.saturating_add(1)).unwrap_or(0)),
+        };
         let mut guard = lock(&self.state);
         let st = &mut *guard;
         let seq = st.seqs.entry(stream).or_insert(0);
@@ -233,12 +244,16 @@ impl Recorder for JsonlSink {
 }
 
 /// Serialises one event as a single JSON line (no trailing newline).
-/// Key order is fixed (`event`, `chain`, `step`, `fields`) and field
-/// order follows the event builder, so output is deterministic.
+/// Key order is fixed (`event`, `trace`, `chain`, `step`, `fields`)
+/// and field order follows the event builder, so output is
+/// deterministic.
 pub fn render_jsonl(event: &Event) -> String {
     let mut s = String::with_capacity(64);
     s.push_str("{\"event\":");
     push_json_str(&mut s, event.name);
+    if let Some(t) = event.trace {
+        let _ = write!(s, ",\"trace\":{t}");
+    }
     if let Some(c) = event.chain {
         let _ = write!(s, ",\"chain\":{c}");
     }
@@ -372,6 +387,14 @@ mod tests {
              \"fields\":{\"acceptance_rate\":0.015,\"attempt\":1,\
              \"note\":\"a\\\"b\\\\c\\nd\"}}"
         );
+        let t = Event::new("serve.plan.start")
+            .trace(0xBEEF)
+            .chain(2)
+            .step(7);
+        assert_eq!(
+            render_jsonl(&t),
+            "{\"event\":\"serve.plan.start\",\"trace\":48879,\"chain\":2,\"step\":7}"
+        );
     }
 
     #[test]
@@ -401,6 +424,35 @@ mod tests {
             })
             .collect();
         assert_eq!(names, ["run.start", "a", "d", "b", "c"]);
+    }
+
+    #[test]
+    fn jsonl_sink_gives_each_trace_its_own_stream() {
+        let sink = JsonlSink::new();
+        // Two traced queries interleaved with untraced run/chain events,
+        // simulating planner + worker arrival order. Traced events must
+        // regroup per trace after all untraced streams.
+        sink.event(&Event::new("q.plan").trace(7));
+        sink.event(&Event::new("run.start"));
+        sink.event(&Event::new("q.plan").trace(3));
+        sink.event(&Event::new("q.exec").trace(7));
+        sink.event(&Event::new("chain.step").chain(0));
+        sink.event(&Event::new("q.exec").trace(3));
+        sink.event(&Event::new("q.done").trace(7));
+        let out = sink.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "{\"event\":\"run.start\"}",
+                "{\"event\":\"chain.step\",\"chain\":0}",
+                "{\"event\":\"q.plan\",\"trace\":3}",
+                "{\"event\":\"q.exec\",\"trace\":3}",
+                "{\"event\":\"q.plan\",\"trace\":7}",
+                "{\"event\":\"q.exec\",\"trace\":7}",
+                "{\"event\":\"q.done\",\"trace\":7}",
+            ]
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! where the time went.
 
 use crate::event::Event;
-use crate::recorder::{current_chain, enabled, with_recorder};
+use crate::recorder::{current_chain, current_trace, enabled, with_recorder};
 use std::time::Instant;
 
 /// RAII phase timer. Construct via [`crate::span`] or
@@ -21,6 +21,7 @@ use std::time::Instant;
 #[must_use = "a span records its phase when dropped; binding it to `_` drops it immediately"]
 pub struct Span {
     name: &'static str,
+    trace: Option<u64>,
     chain: Option<u64>,
     step: Option<u64>,
     start: Option<Instant>,
@@ -34,18 +35,22 @@ impl Span {
         if !enabled() {
             return Span {
                 name,
+                trace: None,
                 chain: None,
                 step: None,
                 start: None,
             };
         }
+        let trace = current_trace();
         let chain = chain.or_else(current_chain);
         let mut enter = Event::new("span.enter").str("span", name);
+        enter.trace = trace;
         enter.chain = chain;
         enter.step = step;
         with_recorder(|r| r.event(&enter));
         Span {
             name,
+            trace,
             chain,
             step,
             start: Some(Instant::now()),
@@ -60,6 +65,7 @@ impl Drop for Span {
         };
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut exit = Event::new("span.exit").str("span", self.name);
+        exit.trace = self.trace;
         exit.chain = self.chain;
         exit.step = self.step;
         with_recorder(|r| {

@@ -9,7 +9,11 @@
 /// One scalar value parsed from a trace line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceValue {
-    /// Any JSON number (integers are represented exactly up to 2^53).
+    /// A non-negative JSON integer, kept exact. Trace ids are full
+    /// 64-bit hashes, so routing them through `f64` would round away
+    /// their low bits and break cross-event joins.
+    U64(u64),
+    /// Any other JSON number.
     Num(f64),
     /// A JSON boolean.
     Bool(bool),
@@ -21,7 +25,21 @@ impl TraceValue {
     /// Numeric view of the value, if it is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            TraceValue::U64(v) => Some(*v as f64),
             TraceValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned view: integers parse losslessly, floats only
+    /// when they are integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            TraceValue::U64(v) => Some(*v),
+            // flow-analyze: allow(L3: integrality test — fract() of an integral f64 is exactly 0.0)
+            TraceValue::Num(v) if v.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(v) => {
+                Some(*v as u64)
+            }
             _ => None,
         }
     }
@@ -32,6 +50,8 @@ impl TraceValue {
 pub struct TraceEvent {
     /// The dotted event name.
     pub name: String,
+    /// Trace (query) coordinate, when present.
+    pub trace: Option<u64>,
     /// Chain coordinate, when present.
     pub chain: Option<u64>,
     /// Logical step coordinate, when present.
@@ -49,6 +69,12 @@ impl TraceEvent {
     /// Numeric field lookup shorthand.
     pub fn num(&self, key: &str) -> Option<f64> {
         self.field(key).and_then(TraceValue::as_f64)
+    }
+
+    /// Exact unsigned field lookup — required for id-valued fields
+    /// (`plan_trace`) that must join against the `trace` coordinate.
+    pub fn uint(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(TraceValue::as_u64)
     }
 }
 
@@ -71,6 +97,7 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
     }
     let mut ev = TraceEvent {
         name: String::new(),
+        trace: None,
         chain: None,
         step: None,
         fields: Vec::new(),
@@ -82,11 +109,13 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
                 ev.name = s;
                 saw_name = true;
             }
-            ("chain", Json::Num(n)) => ev.chain = to_u64(n),
-            ("step", Json::Num(n)) => ev.step = to_u64(n),
+            ("trace", Json::U64(n)) => ev.trace = Some(n),
+            ("chain", Json::U64(n)) => ev.chain = Some(n),
+            ("step", Json::U64(n)) => ev.step = Some(n),
             ("fields", Json::Obj(pairs)) => {
                 for (k, v) in pairs {
                     let tv = match v {
+                        Json::U64(n) => TraceValue::U64(n),
                         Json::Num(n) => TraceValue::Num(n),
                         Json::Bool(b) => TraceValue::Bool(b),
                         Json::Str(s) => TraceValue::Str(s),
@@ -105,15 +134,9 @@ pub fn parse_line(line: &str) -> Option<TraceEvent> {
     }
 }
 
-fn to_u64(n: f64) -> Option<u64> {
-    if (0.0..=u64::MAX as f64).contains(&n) {
-        Some(n as u64)
-    } else {
-        None
-    }
-}
-
 enum Json {
+    /// Non-negative integer token, kept exact (see [`TraceValue::U64`]).
+    U64(u64),
     Num(f64),
     Bool(bool),
     Str(String),
@@ -191,7 +214,7 @@ impl Cur<'_> {
             b't' => self.parse_keyword("true").map(|_| Json::Bool(true)),
             b'f' => self.parse_keyword("false").map(|_| Json::Bool(false)),
             b'n' => self.parse_keyword("null").map(|_| Json::Null),
-            _ => self.parse_number().map(Json::Num),
+            _ => self.parse_number(),
         }
     }
 
@@ -205,7 +228,7 @@ impl Cur<'_> {
         }
     }
 
-    fn parse_number(&mut self) -> Option<f64> {
+    fn parse_number(&mut self) -> Option<Json> {
         let start = self.i;
         while matches!(
             self.peek(),
@@ -214,7 +237,12 @@ impl Cur<'_> {
             self.bump();
         }
         let text = std::str::from_utf8(self.b.get(start..self.i)?).ok()?;
-        text.parse::<f64>().ok()
+        // Plain unsigned integers stay exact; everything else (floats,
+        // negatives, exponents) takes the f64 path.
+        if let Ok(n) = text.parse::<u64>() {
+            return Some(Json::U64(n));
+        }
+        text.parse::<f64>().ok().map(Json::Num)
     }
 
     fn parse_string(&mut self) -> Option<String> {
@@ -312,5 +340,84 @@ mod tests {
         assert!(parse_line("{\"event\":\"a\"").is_none());
         assert!(parse_line("{\"event\":\"a\"} trailing").is_none());
         assert!(parse_line("").is_none());
+    }
+
+    #[test]
+    fn round_trips_the_trace_coordinate() {
+        let e = Event::new("serve.plan.start").trace(42).chain(1).step(10);
+        let p = parse_line(&render_jsonl(&e)).unwrap();
+        assert_eq!(p.trace, Some(42));
+        assert_eq!(p.chain, Some(1));
+        // Traces parsed from pre-v2 lines (no trace key) stay None.
+        let old = parse_line("{\"event\":\"legacy\",\"chain\":3}").unwrap();
+        assert_eq!(old.trace, None);
+    }
+
+    #[test]
+    fn full_width_trace_ids_round_trip_exactly() {
+        // Trace ids are 64-bit hashes; every bit matters for joining
+        // `plan_trace` fields against `trace` coordinates. 2^53-rounding
+        // through f64 must never happen.
+        let id = 0x1a29_dae1_e81f_c793_u64; // needs >53 bits
+        let e = Event::new("serve.query.planned")
+            .trace(id)
+            .u64("plan_trace", id)
+            .u64("query", 3);
+        let p = parse_line(&render_jsonl(&e)).unwrap();
+        assert_eq!(p.trace, Some(id));
+        assert_eq!(p.uint("plan_trace"), Some(id));
+        assert_eq!(p.uint("query"), Some(3));
+        assert_eq!(p.num("query"), Some(3.0), "f64 view still works");
+        assert_eq!(p.uint("missing"), None);
+    }
+
+    #[test]
+    fn recovers_from_a_truncated_final_line() {
+        // A killed run tears the last line mid-object; every line
+        // before the tear must still parse.
+        let mut text = String::new();
+        for i in 0..5u64 {
+            text.push_str(&render_jsonl(
+                &Event::new("sample").trace(9).chain(0).step(i),
+            ));
+            text.push('\n');
+        }
+        let torn = render_jsonl(&Event::new("sample").trace(9).chain(0).step(5));
+        text.push_str(&torn[..torn.len() / 2]);
+        let events = parse_trace(&text);
+        assert_eq!(events.len(), 5, "intact prefix survives the torn tail");
+        assert!(events.iter().all(|e| e.trace == Some(9)));
+    }
+
+    #[test]
+    fn recovers_interleaved_chain_streams() {
+        // Lines from two chains (distinct traces) interleaved at the
+        // file level: parsing keeps every event and the per-chain
+        // sub-streams re-separate cleanly by coordinate.
+        let mut text = String::new();
+        for step in 0..4u64 {
+            for chain in 0..2u64 {
+                let e = Event::new("sample")
+                    .trace(100 + chain)
+                    .chain(chain)
+                    .step(step);
+                text.push_str(&render_jsonl(&e));
+                text.push('\n');
+            }
+        }
+        let events = parse_trace(&text);
+        assert_eq!(events.len(), 8);
+        for chain in 0..2u64 {
+            let steps: Vec<u64> = events
+                .iter()
+                .filter(|e| e.chain == Some(chain))
+                .filter_map(|e| e.step)
+                .collect();
+            assert_eq!(steps, [0, 1, 2, 3], "chain {chain} stream is ordered");
+            assert!(events
+                .iter()
+                .filter(|e| e.chain == Some(chain))
+                .all(|e| e.trace == Some(100 + chain)));
+        }
     }
 }

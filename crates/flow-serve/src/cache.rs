@@ -154,6 +154,9 @@ impl ServeCache {
             }
             _ => false,
         };
+        // The lookup event inherits the planner's ambient TraceContext,
+        // so a query's trace records whether it touched a warm entry.
+        flow_obs::event(|| flow_obs::Event::new("serve.cache.lookup").bool("hit", found));
         if found {
             self.hits += 1;
             flow_obs::counter("serve.cache.hit", 1);

@@ -208,6 +208,7 @@ impl ServeEngine {
         let mut origin: Vec<usize> = Vec::new();
         let mut short_circuited: Vec<(usize, u64)> = Vec::new();
         for (i, plan) in batch.plans.iter().enumerate() {
+            let _t = flow_obs::TraceContext::enter(plan.trace());
             match self.breaker.decide(plan.chain_key()) {
                 BreakerDecision::ShortCircuit { failures } => short_circuited.push((i, failures)),
                 BreakerDecision::Allow | BreakerDecision::Probe => {
@@ -231,6 +232,7 @@ impl ServeEngine {
         // signal either way.
         for (slot, status) in statuses.iter().enumerate() {
             let plan = &batch.plans[origin[slot]];
+            let _t = flow_obs::TraceContext::enter(plan.trace());
             match status {
                 PlanStatus::Completed(out) => {
                     let stall_like = out.degradation.iter().any(|d| {
@@ -250,6 +252,7 @@ impl ServeEngine {
 
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
         for (i, early) in batch.early.iter().enumerate() {
+            let _t = flow_obs::TraceContext::enter(batch.traces.get(i).copied().unwrap_or(0));
             match early {
                 Some(EarlyResolution::Hit(estimate, hw, samples)) => {
                     let tolerance = queries
@@ -279,14 +282,34 @@ impl ServeEngine {
             self.fold_plan(&batch.plans[origin[slot]], status, &mut outcomes);
         }
 
-        outcomes
+        let outcomes: Vec<QueryOutcome> = outcomes
             .into_iter()
             .map(|o| {
                 o.unwrap_or(QueryOutcome::Failed(FlowError::Io {
                     detail: "query matched no plan and no early resolution".into(),
                 }))
             })
-            .collect()
+            .collect();
+
+        // Terminal per-query marker: the last event of every trace,
+        // naming how the query was ultimately served.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let trace = batch.traces.get(i).copied().unwrap_or(0);
+            flow_obs::event(|| {
+                let e = flow_obs::Event::new("serve.query.resolved")
+                    .trace(trace)
+                    .u64("query", i as u64);
+                match outcome {
+                    QueryOutcome::Answered(a) => e
+                        .str("path", served_label(a.served))
+                        .u64("samples", a.samples)
+                        .u64("degraded", a.degradation.len() as u64),
+                    QueryOutcome::Rejected { .. } => e.str("path", "rejected"),
+                    QueryOutcome::Failed(_) => e.str("path", "failed"),
+                }
+            });
+        }
+        outcomes
     }
 
     fn answered(&mut self, answer: Answer) -> QueryOutcome {
@@ -316,6 +339,7 @@ impl ServeEngine {
     ) {
         match &plan.work {
             PlanWork::Refine { entry, base, .. } => {
+                let _t = flow_obs::TraceContext::enter(entry.trace);
                 let reason = DegradationReason::BreakerOpen {
                     failures,
                     cached_samples: base.samples,
@@ -337,6 +361,7 @@ impl ServeEngine {
             }
             PlanWork::Shared { entries, .. } => {
                 for entry in entries {
+                    let _t = flow_obs::TraceContext::enter(entry.trace);
                     let reason = DegradationReason::BreakerOpen {
                         failures,
                         cached_samples: 0,
@@ -369,6 +394,7 @@ impl ServeEngine {
             (PlanWork::Shared { entries, seed, .. }, PlanStatus::Completed(outcome)) => {
                 self.stats.steps += outcome.steps;
                 for (slot, entry) in entries.iter().enumerate() {
+                    let _t = flow_obs::TraceContext::enter(entry.trace);
                     let counts = outcome
                         .counts
                         .get(slot)
@@ -402,6 +428,7 @@ impl ServeEngine {
                 }
             }
             (PlanWork::Refine { entry, base, .. }, PlanStatus::Completed(outcome)) => {
+                let _t = flow_obs::TraceContext::enter(entry.trace);
                 self.stats.steps += outcome.steps;
                 let fresh = outcome
                     .counts
@@ -474,6 +501,15 @@ impl ServeEngine {
             served,
             degradation,
         }
+    }
+}
+
+fn served_label(served: Served) -> &'static str {
+    match served {
+        Served::Fresh => "fresh",
+        Served::CacheHit => "cache_hit",
+        Served::WarmRefinement => "warm_refinement",
+        Served::ShortCircuited => "short_circuited",
     }
 }
 

@@ -28,7 +28,7 @@ use crate::plan::Plan;
 use flow_core::{fault, FlowError, FlowResult};
 use flow_icm::Icm;
 use flow_mcmc::SharedChainOutcome;
-use flow_obs::ScopedRecorder;
+use flow_obs::{ScopedRecorder, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -162,6 +162,9 @@ pub fn run_plans_report(
     let mut queued_steps: u64 = 0;
     let mut queue: VecDeque<&Plan> = VecDeque::new();
     for plan in plans {
+        // Admission decisions (shed/reject events) record under the
+        // plan's primary trace.
+        let _t = TraceContext::enter(plan.trace());
         let cost = plan.estimated_steps();
         // The fault harness can saturate admission wholesale, modelling
         // a pool that cannot drain.
@@ -229,6 +232,12 @@ pub fn run_plans_report(
                     };
                     let Some(plan) = plan else { break };
                     flow_obs::gauge("serve.queue.depth", depth as f64);
+                    // Everything this plan does — start/finish markers,
+                    // retries, chain spans inside shared_chain_flows —
+                    // records under its primary trace, which also gives
+                    // the deterministic JSONL sink a single-writer
+                    // stream per plan.
+                    let _t = TraceContext::enter(plan.trace());
                     flow_obs::event(|| {
                         flow_obs::Event::new("serve.plan.start").u64("plan", plan.id as u64)
                     });

@@ -20,6 +20,15 @@
 //! pure function of the *question*, not of batch composition — so a
 //! query's trajectory (and hence its estimate, bit for bit) is the same
 //! whether it runs alone, in a group, or against a warm cache.
+//!
+//! Planning also mints each query's **trace id** ([`trace_id`]): a
+//! deterministic, clock-free causal coordinate derived from the
+//! canonical key hash and the query's batch index. The planner enters
+//! the query's [`flow_obs::TraceContext`] while resolving it (so cache
+//! lookups and rejections carry the trace) and every [`PlanEntry`]
+//! carries its query's trace; the executor re-enters the plan's
+//! primary trace around execution, and `serve.query.planned` link
+//! events tie every member query to the plan that serves it.
 
 use crate::cache::{CacheEntry, ServeCache};
 use crate::key::QueryKey;
@@ -93,6 +102,20 @@ pub fn mix64(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Domain separator for trace ids, so a trace can never collide with a
+/// chain seed derived from the same key hash.
+const TRACE_DOMAIN: u64 = 0x7_1ace_1d00;
+
+/// Deterministic trace id for the `query_index`-th query of a batch.
+///
+/// A pure function of the canonical key hash and the batch position —
+/// no clocks, no randomness — so two runs of the same batch mint
+/// byte-identical trace ids. Rejected queries (no canonical key) use
+/// `key_hash = 0`; the batch index still makes their traces unique.
+pub fn trace_id(key_hash: u64, query_index: usize) -> u64 {
+    mix64(key_hash ^ TRACE_DOMAIN, query_index as u64)
+}
+
 /// One query's slot inside a plan.
 #[derive(Clone, Debug)]
 pub struct PlanEntry {
@@ -102,6 +125,8 @@ pub struct PlanEntry {
     pub key: QueryKey,
     /// Resolved tolerance for this query.
     pub tolerance: f64,
+    /// The query's causal trace id ([`trace_id`]).
+    pub trace: u64,
 }
 
 /// The sampling work one plan performs.
@@ -150,6 +175,17 @@ impl Plan {
         match &self.work {
             PlanWork::Shared { chain_key, .. } => *chain_key,
             PlanWork::Refine { entry, .. } => entry.key.chain_key(),
+        }
+    }
+
+    /// The plan's primary trace: the first member query's trace id.
+    /// Execution-side telemetry (worker spans, chain events,
+    /// degradations) is recorded under this trace; `serve.query.planned`
+    /// link events connect every member query's own trace to it.
+    pub fn trace(&self) -> u64 {
+        match &self.work {
+            PlanWork::Shared { entries, .. } => entries.first().map_or(0, |e| e.trace),
+            PlanWork::Refine { entry, .. } => entry.trace,
         }
     }
 
@@ -253,6 +289,9 @@ pub struct BatchPlan {
     pub early: Vec<Option<EarlyResolution>>,
     /// Sampling plans, densely numbered from zero.
     pub plans: Vec<Plan>,
+    /// Per-query trace ids, aligned with the submitted batch
+    /// (rejected and cache-hit queries included).
+    pub traces: Vec<u64>,
 }
 
 /// Plans a batch: canonicalize every query, serve what the cache can,
@@ -264,6 +303,7 @@ pub fn plan_batch(
     queries: &[FlowQuery],
 ) -> BatchPlan {
     let mut early: Vec<Option<EarlyResolution>> = vec![None; queries.len()];
+    let mut traces: Vec<u64> = vec![0; queries.len()];
     let mut refines: Vec<(PlanEntry, Box<CacheEntry>, usize)> = Vec::new();
     let mut groups: HashMap<u64, Vec<PlanEntry>> = HashMap::new();
     let mut group_order: Vec<u64> = Vec::new();
@@ -273,8 +313,11 @@ pub fn plan_batch(
         let key = match QueryKey::canonical(q.source, &q.target, &q.conditions, &config.mcmc, icm) {
             Ok(k) => k,
             Err(e) => {
+                let trace = trace_id(0, i);
+                traces[i] = trace;
                 flow_obs::event(|| {
                     flow_obs::Event::new("serve.query.rejected")
+                        .trace(trace)
                         .u64("query", i as u64)
                         .str("error", e.to_string())
                 });
@@ -282,6 +325,11 @@ pub fn plan_batch(
                 continue;
             }
         };
+        let trace = trace_id(key.hash64(), i);
+        traces[i] = trace;
+        // Everything resolved for this query — cache lookup included —
+        // records under its trace.
+        let _t = flow_obs::TraceContext::enter(trace);
         match cache.lookup(&key) {
             Some(entry) if entry.half_width() <= tolerance => {
                 early[i] = Some(EarlyResolution::Hit(
@@ -304,6 +352,7 @@ pub fn plan_batch(
                         query_index: i,
                         key,
                         tolerance,
+                        trace,
                     },
                     base,
                     extra,
@@ -318,6 +367,7 @@ pub fn plan_batch(
                     query_index: i,
                     key,
                     tolerance,
+                    trace,
                 });
             }
         }
@@ -377,7 +427,32 @@ pub fn plan_batch(
             deadline,
         });
     }
-    BatchPlan { early, plans }
+
+    // Link events: one per planned query, recorded under the *member*
+    // query's own trace and naming the plan (and its primary trace)
+    // that will serve it. The trace-tree reconstructor joins member
+    // traces to execution telemetry through these.
+    for plan in &plans {
+        let plan_trace = plan.trace();
+        let entries: &[PlanEntry] = match &plan.work {
+            PlanWork::Shared { entries, .. } => entries,
+            PlanWork::Refine { entry, .. } => std::slice::from_ref(entry),
+        };
+        for e in entries {
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.query.planned")
+                    .trace(e.trace)
+                    .u64("query", e.query_index as u64)
+                    .u64("plan", plan.id as u64)
+                    .u64("plan_trace", plan_trace)
+            });
+        }
+    }
+    BatchPlan {
+        early,
+        plans,
+        traces,
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +562,32 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(seed_of(&solo, 0), seed_of(&batch, 0));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_unique_per_query() {
+        let model = icm();
+        let cfg = planner_config();
+        let queries = vec![
+            FlowQuery::flow(NodeId(0), NodeId(3)),
+            FlowQuery::flow(NodeId(0), NodeId(4)),
+            // Same canonical key as query 0, different batch position.
+            FlowQuery::flow(NodeId(0), NodeId(3)),
+        ];
+        let a = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg, &queries);
+        let b = plan_batch(&model, &mut ServeCache::new(1 << 20), &cfg, &queries);
+        assert_eq!(a.traces, b.traces, "trace ids are a pure batch function");
+        let mut uniq = a.traces.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "batch index separates identical keys");
+        for p in &a.plans {
+            if let PlanWork::Shared { entries, .. } = &p.work {
+                for e in entries {
+                    assert_eq!(a.traces[e.query_index], e.trace);
+                }
+            }
+        }
     }
 
     #[test]
