@@ -34,7 +34,7 @@ use crate::source::SourceFile;
 /// determinism set: deadlines and worker pools use wall time and
 /// unordered maps by design, and the determinism that matters (chain
 /// trajectories) is enforced by contract tests instead.
-pub const CORE: [&str; 8] = [
+pub const CORE: [&str; 9] = [
     "crates/flow-stats/src/",
     "crates/flow-icm/src/",
     "crates/flow-mcmc/src/",
@@ -43,6 +43,7 @@ pub const CORE: [&str; 8] = [
     "crates/flow-core/src/",
     "crates/flow-obs/src/",
     "crates/flow-serve/src/",
+    "crates/flow-stream/src/",
 ];
 
 /// The serving persistence layer: where crash-safe cache recovery

@@ -85,6 +85,23 @@ pub enum FlowError {
         /// Deterministic hint for when a retry is likely to be admitted.
         retry_after_ms: u64,
     },
+
+    /// Streaming ingest refused a cascade event. Unlike
+    /// [`FlowError::Parse`] (which covers unreadable input), the event
+    /// may be perfectly well-formed and still rejected: it can name a
+    /// cascade already sealed into an earlier epoch (`late`), repeat an
+    /// activation the cascade already holds (`duplicate`), or reference
+    /// nodes/edges outside the stream's graph. One record is dropped and
+    /// counted; the stream itself keeps flowing.
+    RejectedEvent {
+        /// 1-based line number of the offending event in the log.
+        line: usize,
+        /// Machine-readable rejection class: `malformed`, `late`,
+        /// `duplicate`, or `inconsistent`.
+        reason: &'static str,
+        /// Human-readable description of what was wrong.
+        detail: String,
+    },
 }
 
 /// Whether an error class is worth retrying.
@@ -119,7 +136,8 @@ impl FlowError {
             | FlowError::NonFiniteWeight { .. }
             | FlowError::GraphInconsistency { .. }
             | FlowError::Checkpoint { .. }
-            | FlowError::Parse { .. } => Transience::Permanent,
+            | FlowError::Parse { .. }
+            | FlowError::RejectedEvent { .. } => Transience::Permanent,
         }
     }
 
@@ -167,6 +185,11 @@ impl fmt::Display for FlowError {
                 detail,
                 retry_after_ms,
             } => write!(f, "overloaded: {detail}; retry after {retry_after_ms}ms"),
+            FlowError::RejectedEvent {
+                line,
+                reason,
+                detail,
+            } => write!(f, "rejected event at line {line} ({reason}): {detail}"),
         }
     }
 }
@@ -248,6 +271,14 @@ mod tests {
                 },
                 "retry after 25ms",
             ),
+            (
+                FlowError::RejectedEvent {
+                    line: 12,
+                    reason: "late",
+                    detail: "cascade 3 sealed in epoch 1".into(),
+                },
+                "line 12 (late)",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -291,6 +322,11 @@ mod tests {
             FlowError::Checkpoint { detail: "".into() },
             FlowError::Parse {
                 line: 1,
+                detail: "".into(),
+            },
+            FlowError::RejectedEvent {
+                line: 1,
+                reason: "duplicate",
                 detail: "".into(),
             },
         ];

@@ -26,6 +26,8 @@
 //! | `serve.cache_write_corrupt`  | flow-serve   | cache persistence torn mid-write     |
 //! | `serve.worker_stall`         | flow-serve   | serving worker stalls on a plan      |
 //! | `serve.queue_saturate`       | flow-serve   | admission budget saturated per plan  |
+//! | `stream.event_corrupt`       | flow-stream  | ingest event line corrupted mid-read |
+//! | `stream.swap_torn_write`     | flow-stream  | epoch snapshot write torn mid-file   |
 
 /// What an armed fault point does, and when.
 #[derive(Debug, Clone, Copy, PartialEq)]

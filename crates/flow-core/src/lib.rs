@@ -18,8 +18,10 @@
 
 pub mod error;
 pub mod fault;
+pub mod fnv;
 
 pub use error::{FlowError, FlowResult, Transience};
+pub use fnv::Fnv64;
 
 /// Asserts a structural invariant in `debug-invariants` builds.
 ///

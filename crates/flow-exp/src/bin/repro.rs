@@ -6,6 +6,7 @@
 //! repro report <trace.jsonl> [--by-query]
 //! repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]
 //!                             [--trace PATH] [--stats-out PATH]
+//! repro stream <events.jsonl> [--snap-dir DIR] [--out DIR] [--seed N]
 //! repro perf diff [--baseline PATH] [--bench PATH]... [--append PATH]
 //!                 [--label NAME]
 //!
@@ -54,6 +55,18 @@
 //! usage error; 3 = at least one query ended in a hard (non-degraded)
 //! error.
 //!
+//! `stream` replays a JSONL cascade event log through the streaming
+//! pipeline (see `flow-stream`): every `{"seal": true}` marker seals an
+//! epoch — the delta is learned incrementally, the model snapshot is
+//! persisted atomically under `--snap-dir` (default `<out>/snapshots`),
+//! the new version is hot-swapped into a serving engine, and a fixed
+//! graph-derived query set is served, writing
+//! `stream_serve_epoch{N}.jsonl` per epoch plus `stream_stats.json`.
+//! Rejected events (malformed/late/duplicate/inconsistent) are counted,
+//! reported, and dropped without aborting the replay. Exit codes: 0 =
+//! replay completed and the warm-vs-cold swap-equivalence check held,
+//! 1 = infrastructure error, 2 = usage error, 3 = equivalence mismatch.
+//!
 //! `perf diff` compares the committed bench result files against
 //! `perf-baseline.json` and exits 3 if any baselined metric regressed
 //! beyond its noise band, 1 on missing/unparseable files or schema
@@ -73,6 +86,7 @@ fn usage() -> ! {
                      [--admission-steps N] [--retries N] [--breaker-k K]\n\
                      [--no-resilience] [--inject POINT]\n\
                      [--trace PATH] [--stats-out PATH]\n\
+         repro stream <events.jsonl> [--snap-dir DIR] [--out DIR] [--seed N]\n\
          repro perf diff [--baseline PATH] [--bench PATH]... [--append PATH] [--label NAME]"
     );
     std::process::exit(2);
@@ -213,6 +227,54 @@ fn run_serve_command(args: &[String]) -> ! {
     }
 }
 
+fn run_stream_command(args: &[String]) -> ! {
+    let mut stream_args = runners::stream::StreamArgs::default();
+    let mut out_dir = Some("results".to_string());
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--snap-dir" => {
+                i += 1;
+                stream_args.snap_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-csv" => out_dir = None,
+            "--seed" => {
+                i += 1;
+                stream_args.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            positional if stream_args.events.is_empty() && !positional.starts_with('-') => {
+                stream_args.events = positional.to_string();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if stream_args.events.is_empty() {
+        usage();
+    }
+    let out = match &out_dir {
+        Some(d) => Output::to_dir(d),
+        None => Output::stdout_only(),
+    };
+    match runners::stream::run_stream(&stream_args, &out) {
+        // Exit 3 marks a swap-equivalence violation — the warm engine
+        // answered the final model differently than a cold one would.
+        Ok(report) if !report.equivalence_ok => std::process::exit(3),
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: stream failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -221,6 +283,9 @@ fn main() {
     let command = args[0].clone();
     if command == "serve" {
         run_serve_command(&args);
+    }
+    if command == "stream" {
+        run_stream_command(&args);
     }
     if command == "perf" {
         run_perf_command(&args);

@@ -19,6 +19,7 @@ pub mod flow_query;
 pub mod perf;
 pub mod query_report;
 pub mod serve;
+pub mod stream;
 pub mod table1;
 pub mod table3;
 pub mod trace_report;

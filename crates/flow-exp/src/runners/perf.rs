@@ -1,6 +1,7 @@
 //! `repro perf diff` — the performance-regression ratchet.
 //!
-//! Bench binaries (`bench_sampler`, `bench_serve`) write versioned
+//! Bench binaries (`bench_sampler`, `bench_serve`, `bench_stream`)
+//! write versioned
 //! JSON result files. This runner normalizes them into a flat metric
 //! map (`<bench>.<dotted.path> -> number`), compares the map against
 //! the committed `perf-baseline.json`, and reports every metric that
@@ -457,7 +458,7 @@ pub enum PerfVerdict {
 pub struct PerfDiffArgs {
     /// Baseline path (default `perf-baseline.json`).
     pub baseline: String,
-    /// Current bench result files (default the two committed names).
+    /// Current bench result files (default the three committed names).
     pub bench_files: Vec<String>,
     /// Optional trajectory file to append the normalized run to.
     pub append: Option<String>,
@@ -469,7 +470,11 @@ impl Default for PerfDiffArgs {
     fn default() -> Self {
         PerfDiffArgs {
             baseline: "perf-baseline.json".into(),
-            bench_files: vec!["BENCH_sampler.json".into(), "BENCH_serve.json".into()],
+            bench_files: vec![
+                "BENCH_sampler.json".into(),
+                "BENCH_serve.json".into(),
+                "BENCH_stream.json".into(),
+            ],
             append: None,
             label: "local".into(),
         }

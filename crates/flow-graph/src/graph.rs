@@ -381,7 +381,7 @@ impl GraphBuilder {
             let mut counts = vec![0u32; n + 1];
             for e in 0..m {
                 // flow-analyze: allow(L1: keys(e) < n is the builder's add_edge invariant)
-                counts[keys(e) + 1] += 1;
+                counts[keys(e) + 1] += 1; // flow-analyze: allow(L7: same add_edge invariant — keys(e) < n, so the index is always in bounds)
             }
             for i in 0..n {
                 // flow-analyze: allow(L1: i + 1 <= n and counts has n + 1 slots)

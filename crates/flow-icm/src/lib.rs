@@ -28,6 +28,7 @@
 
 pub mod evidence;
 pub mod exact;
+pub mod fingerprint;
 pub mod model;
 pub mod query;
 pub mod state;
@@ -37,6 +38,7 @@ mod beta_icm;
 
 pub use beta_icm::{BetaIcm, ExtendError};
 pub use evidence::{AttributedEvidence, AttributedRecord};
+pub use fingerprint::model_fingerprint;
 pub use model::Icm;
 pub use query::FlowCondition;
 pub use state::{ActiveState, PseudoState};

@@ -231,6 +231,59 @@ impl SinkSummary {
         }
     }
 
+    /// Merges another summary over the **same sink and parent list**
+    /// into this one, summing per-characteristic observation and leak
+    /// counts and the skip counters.
+    ///
+    /// This is the incremental-learning primitive: because rows are
+    /// exact integer counts and the row order is re-derived by the same
+    /// deterministic sort [`SinkSummary::build`] uses, merging the
+    /// summaries of two episode batches is **bit-identical** to building
+    /// one summary from the concatenated episodes —
+    /// `build(a) ∪ build(b) == build(a ++ b)` — which `flow-stream`'s
+    /// epoch deltas rely on (property-tested there and below).
+    ///
+    /// Fails with [`flow_core::FlowError::GraphInconsistency`] when the
+    /// summaries disagree on sink or parent order (their characteristics
+    /// would index different bits).
+    pub fn merge(&mut self, other: &SinkSummary) -> flow_core::FlowResult<()> {
+        if self.sink != other.sink || self.parents != other.parents {
+            return Err(flow_core::FlowError::GraphInconsistency {
+                detail: format!(
+                    "cannot merge summaries for sink {} ({} parents) and sink {} ({} parents)",
+                    self.sink,
+                    self.parents.len(),
+                    other.sink,
+                    other.parents.len()
+                ),
+            });
+        }
+        // Keyed by the set-bit index list — the same total order the
+        // builder sorts rows by — so the merged order needs no rehash.
+        let mut merged: std::collections::BTreeMap<Vec<usize>, SummaryRow> =
+            std::mem::take(&mut self.rows)
+                .into_iter()
+                .map(|r| (r.characteristic.iter_ones().collect(), r))
+                .collect();
+        for row in &other.rows {
+            let key: Vec<usize> = row.characteristic.iter_ones().collect();
+            match merged.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let slot = e.get_mut();
+                    slot.count += row.count;
+                    slot.leaks += row.leaks;
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(row.clone());
+                }
+            }
+        }
+        self.rows = merged.into_values().collect();
+        self.skipped_spontaneous += other.skipped_spontaneous;
+        self.skipped_uninformative += other.skipped_uninformative;
+        Ok(())
+    }
+
     /// Number of distinct characteristics ω.
     pub fn width(&self) -> usize {
         self.rows.len()
@@ -572,6 +625,54 @@ mod tests {
         let betas = filtered_betas(&s);
         assert_eq!(betas[0], Beta::new(5.0, 7.0)); // 1+4, 1+6
         assert_eq!(betas[1], Beta::uniform()); // no unambiguous evidence
+    }
+
+    fn random_episodes(seed: u64, count: usize, parents: &[NodeId], sink: NodeId) -> Vec<Episode> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut episodes = Vec::new();
+        for _ in 0..count {
+            let mut acts = Vec::new();
+            for (t, p) in parents.iter().enumerate() {
+                if rng.random::<f64>() < 0.5 {
+                    acts.push((*p, t as u32));
+                }
+            }
+            if rng.random::<f64>() < 0.4 {
+                acts.push((sink, rng.random_range(0..(parents.len() as u32 + 2))));
+            }
+            episodes.push(Episode::new(acts));
+        }
+        episodes
+    }
+
+    #[test]
+    fn merge_is_bit_identical_to_batch_build() {
+        let parents = vec![n(0), n(1), n(2)];
+        let sink = n(9);
+        let episodes = random_episodes(99, 80, &parents, sink);
+        for timing in [TimingAssumption::AnyEarlier, TimingAssumption::PreviousStep] {
+            for split in [0, 1, 37, 79, 80] {
+                let (a, b) = episodes.split_at(split);
+                let mut inc = SinkSummary::build(sink, parents.clone(), a, timing);
+                inc.merge(&SinkSummary::build(sink, parents.clone(), b, timing))
+                    .unwrap();
+                let batch = SinkSummary::build(sink, parents.clone(), &episodes, timing);
+                assert_eq!(inc.rows, batch.rows, "split at {split}");
+                assert_eq!(inc.skipped_spontaneous, batch.skipped_spontaneous);
+                assert_eq!(inc.skipped_uninformative, batch.skipped_uninformative);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_coordinates() {
+        let mut a = SinkSummary::from_rows(n(9), vec![n(0)], vec![]);
+        let wrong_sink = SinkSummary::from_rows(n(8), vec![n(0)], vec![]);
+        let wrong_parents = SinkSummary::from_rows(n(9), vec![n(1)], vec![]);
+        assert!(a.merge(&wrong_sink).is_err());
+        assert!(a.merge(&wrong_parents).is_err());
     }
 
     #[test]

@@ -209,6 +209,35 @@ impl ServeCache {
         flow_obs::gauge("serve.cache.bytes", self.bytes as f64);
     }
 
+    /// Drops every entry whose model version differs from
+    /// `fingerprint`, returning how many were removed.
+    ///
+    /// This is the hot-swap hook: when a new model version is installed
+    /// (e.g. a `flow-stream` epoch seal), entries keyed on older
+    /// fingerprints can never hit again — their keys embed the old
+    /// version — so they are reclaimed eagerly instead of aging out
+    /// through the LRU byte budget. Each sweep mirrors to `flow-obs` as
+    /// `serve.cache.invalidate`.
+    pub fn invalidate_stale(&mut self, fingerprint: u64) -> usize {
+        let stale: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.entry.model_version != fingerprint)
+            .map(|(h, _)| *h)
+            .collect();
+        let removed = stale.len();
+        for hash in stale {
+            if let Some(gone) = self.slots.remove(&hash) {
+                self.bytes -= gone.bytes;
+            }
+        }
+        if removed > 0 {
+            flow_obs::counter("serve.cache.invalidate", removed as u64);
+            flow_obs::gauge("serve.cache.bytes", self.bytes as f64);
+        }
+        removed
+    }
+
     /// Cache hits since construction (or load).
     pub fn hits(&self) -> u64 {
         self.hits
@@ -544,6 +573,26 @@ mod tests {
                 rng_state: [1, 2, 3, 4],
             },
         }
+    }
+
+    #[test]
+    fn invalidate_stale_drops_only_old_versions() {
+        let old_model = icm();
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let new_model = Icm::new(g, vec![0.7, 0.4, 0.5, 0.61]);
+        let mut cache = ServeCache::new(1 << 20);
+        cache.insert(entry_for(&old_model, 1, 100));
+        cache.insert(entry_for(&old_model, 3, 100));
+        cache.insert(entry_for(&new_model, 3, 100));
+        let bytes_before = cache.bytes();
+        let new_fp = crate::key::model_fingerprint(&new_model);
+        assert_eq!(cache.invalidate_stale(new_fp), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() < bytes_before);
+        // The surviving entry still answers its key.
+        assert!(cache.lookup(&entry_for(&new_model, 3, 100).key).is_some());
+        // Idempotent: nothing left to drop.
+        assert_eq!(cache.invalidate_stale(new_fp), 0);
     }
 
     #[test]

@@ -187,6 +187,22 @@ impl ServeEngine {
         self.stats
     }
 
+    /// Installs a new model version: eagerly invalidates every cache
+    /// entry keyed on a different fingerprint and returns how many were
+    /// dropped.
+    ///
+    /// The model itself is still passed per batch ([`Self::execute_batch`]),
+    /// so a swap cannot interrupt in-flight work — the current batch
+    /// holds `&mut self` and finishes on the model it was handed; the
+    /// next batch simply arrives with the new `Icm` whose fingerprint
+    /// now matches the surviving entries. Calling this is an eager-
+    /// reclamation optimization plus telemetry hook, not a correctness
+    /// requirement: stale entries can never hit anyway because the
+    /// fingerprint is part of every key.
+    pub fn install_model(&mut self, fingerprint: u64) -> usize {
+        self.cache.invalidate_stale(fingerprint)
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config

@@ -34,63 +34,10 @@ use flow_icm::query::normalize_conditions;
 use flow_icm::{FlowCondition, Icm};
 use flow_mcmc::{McmcConfig, ProposalKind, SharedTarget};
 
-/// 64-bit FNV-1a accumulator.
-#[derive(Clone, Copy, Debug)]
-pub struct Fnv64(u64);
-
-impl Fnv64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A fresh accumulator at the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv64(Self::OFFSET)
-    }
-
-    /// Folds raw bytes into the hash.
-    pub fn bytes(mut self, bytes: &[u8]) -> Self {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-        self
-    }
-
-    /// Folds a `u64` (little-endian bytes) into the hash.
-    pub fn u64(self, v: u64) -> Self {
-        self.bytes(&v.to_le_bytes())
-    }
-
-    /// The accumulated hash.
-    pub fn finish(self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Fingerprints an ICM: node/edge counts, every edge's endpoints, and
-/// the exact bit pattern of every activation probability. Cache entries
-/// carry this as their model version; any retraining that changes a
-/// single probability ulp invalidates them.
-pub fn model_fingerprint(icm: &Icm) -> u64 {
-    let g = icm.graph();
-    let mut h = Fnv64::new()
-        .u64(g.node_count() as u64)
-        .u64(g.edge_count() as u64);
-    for e in g.edges() {
-        let (u, v) = g.endpoints(e);
-        h = h
-            .u64(u64::from(u.0))
-            .u64(u64::from(v.0))
-            .u64(icm.probability(e).to_bits());
-    }
-    h.finish()
-}
+// Both hoisted to shared crates so `flow-stream`'s registry and this
+// cache hash models identically; re-exported here for existing callers.
+pub use flow_core::Fnv64;
+pub use flow_icm::model_fingerprint;
 
 /// The resolved chain-shaping parameters of an [`McmcConfig`]: the
 /// burn-in and thinning actually used for a given edge count, plus the

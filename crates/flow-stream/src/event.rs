@@ -1,0 +1,242 @@
+//! The streaming event-log format: JSONL, one record per line.
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! {"graph": {"nodes": 8, "edges": [[0,1],[0,2],[1,3]]}}
+//! {"cascade": 1, "node": 0, "t": 0}
+//! {"cascade": 1, "node": 1, "t": 1, "parent": 0}
+//! {"cascade": 1, "node": 3, "t": 2, "text": "RT @u1: launch #flow"}
+//! {"seal": true}
+//! ```
+//!
+//! The first non-comment line must be the **graph header** fixing the
+//! node universe and edge set every later event is validated against.
+//! Each event line records one node activation in one cascade at one
+//! logical time. Attribution is optional and comes in two forms:
+//!
+//! * `"parent": u` — an explicit attributed edge-firing `u → node`;
+//! * `"text": "RT @u1: …"` — a raw tweet body; the nearest retweet
+//!   ancestor parsed by [`flow_twitter::parse::parse_tweet`] is the
+//!   parent, with handles resolved through the `u<id>` convention of
+//!   [`flow_twitter::corpus::Corpus`]. Text without retweet syntax is
+//!   an ordinary unattributed activation.
+//!
+//! `{"seal": true}` marks an epoch boundary: the ingestor closes every
+//! open cascade into an [`crate::EpochDelta`].
+//!
+//! Parsing is hand-written over the vendored value-model serde, like
+//! `flow-serve`'s query files: malformed lines surface as typed errors
+//! carrying the 1-based line number.
+
+use flow_graph::NodeId;
+use flow_twitter::corpus::Corpus;
+use flow_twitter::parse::parse_tweet;
+use serde::{Deserialize, Error as SerdeError, Value};
+
+/// The graph header: the node universe and edge set of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Directed edges as `(src, dst)` pairs, in edge-id order.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl GraphSpec {
+    /// Builds the [`flow_graph::DiGraph`] this header describes.
+    pub fn to_graph(&self) -> flow_graph::DiGraph {
+        flow_graph::graph::graph_from_edges(self.nodes, &self.edges)
+    }
+}
+
+impl Deserialize for GraphSpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let edges = match v.get("edges") {
+            Some(Value::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let Value::Array(pair) = item else {
+                        return Err(SerdeError::msg("each edge must be a [src, dst] array"));
+                    };
+                    match pair.as_slice() {
+                        [u, w] => out.push((u32::from_value(u)?, u32::from_value(w)?)),
+                        _ => {
+                            return Err(SerdeError::msg("each edge must have exactly 2 elements"));
+                        }
+                    }
+                }
+                out
+            }
+            _ => return Err(SerdeError::msg("graph header needs an `edges` array")),
+        };
+        Ok(GraphSpec {
+            nodes: serde::field(v, "nodes")?,
+            edges,
+        })
+    }
+}
+
+/// One cascade activation event, after attribution resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// Cascade (information object) the activation belongs to.
+    pub cascade: u64,
+    /// The node that activated.
+    pub node: NodeId,
+    /// Logical activation time within the cascade.
+    pub t: u32,
+    /// Attributed parent (`None` = unattributed activation).
+    pub parent: Option<NodeId>,
+}
+
+/// One classified line of the event log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventLine {
+    /// The graph header.
+    Graph(GraphSpec),
+    /// An activation event.
+    Event(StreamEvent),
+    /// An epoch-seal marker.
+    Seal,
+    /// A comment or blank line.
+    Skip,
+}
+
+fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, SerdeError> {
+    match v.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(inner) => T::from_value(inner)
+            .map(Some)
+            .map_err(|e| SerdeError(format!("field `{name}`: {}", e.0))),
+    }
+}
+
+/// Classifies and parses one raw line. Returns a human-readable reason
+/// on malformed input; the ingestor wraps it into the typed
+/// [`flow_core::FlowError::RejectedEvent`] with the line number.
+pub fn parse_line(raw: &str) -> Result<EventLine, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(EventLine::Skip);
+    }
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    if let Some(g) = v.get("graph") {
+        return GraphSpec::from_value(g)
+            .map(EventLine::Graph)
+            .map_err(|e| e.0);
+    }
+    if v.get("seal").is_some() {
+        return Ok(EventLine::Seal);
+    }
+    let cascade: u64 = serde::field(&v, "cascade").map_err(|e: SerdeError| e.0)?;
+    let node: u32 = serde::field(&v, "node").map_err(|e: SerdeError| e.0)?;
+    let t: u32 = serde::field(&v, "t").map_err(|e: SerdeError| e.0)?;
+    // Explicit `parent` wins over `text`; a tweet body without retweet
+    // syntax is simply unattributed.
+    let parent = match opt_field::<u32>(&v, "parent").map_err(|e| e.0)? {
+        Some(p) => Some(NodeId(p)),
+        None => match opt_field::<String>(&v, "text").map_err(|e| e.0)? {
+            Some(text) => {
+                let parsed = parse_tweet(&text);
+                match parsed.direct_parent() {
+                    Some(handle) => Some(Corpus::user_of_handle(handle).ok_or_else(|| {
+                        format!("retweet ancestor `@{handle}` is not a `u<id>` handle")
+                    })?),
+                    None => None,
+                }
+            }
+            None => None,
+        },
+    };
+    Ok(EventLine::Event(StreamEvent {
+        cascade,
+        node: NodeId(node),
+        t,
+        parent,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blanks_skip() {
+        assert_eq!(parse_line(""), Ok(EventLine::Skip));
+        assert_eq!(parse_line("  # hello"), Ok(EventLine::Skip));
+    }
+
+    #[test]
+    fn graph_header_parses() {
+        let line = r#"{"graph": {"nodes": 4, "edges": [[0,1],[1,3]]}}"#;
+        let EventLine::Graph(g) = parse_line(line).unwrap() else {
+            panic!("expected graph header");
+        };
+        assert_eq!(g.nodes, 4);
+        assert_eq!(g.edges, vec![(0, 1), (1, 3)]);
+        let graph = g.to_graph();
+        assert_eq!(graph.node_count(), 4);
+        assert_eq!(graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn seal_marker_parses() {
+        assert_eq!(parse_line(r#"{"seal": true}"#), Ok(EventLine::Seal));
+        assert_eq!(parse_line(r#"{"seal": 1}"#), Ok(EventLine::Seal));
+    }
+
+    #[test]
+    fn unattributed_event_parses() {
+        let EventLine::Event(e) = parse_line(r#"{"cascade": 7, "node": 2, "t": 3}"#).unwrap()
+        else {
+            panic!("expected event");
+        };
+        assert_eq!(e.cascade, 7);
+        assert_eq!(e.node, NodeId(2));
+        assert_eq!(e.t, 3);
+        assert_eq!(e.parent, None);
+    }
+
+    #[test]
+    fn explicit_parent_attribution() {
+        let EventLine::Event(e) =
+            parse_line(r#"{"cascade": 1, "node": 2, "t": 1, "parent": 0}"#).unwrap()
+        else {
+            panic!("expected event");
+        };
+        assert_eq!(e.parent, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn tweet_text_attribution_via_retweet_chain() {
+        let line = r#"{"cascade": 1, "node": 3, "t": 2, "text": "RT @u1: RT @u0: m9 #flow"}"#;
+        let EventLine::Event(e) = parse_line(line).unwrap() else {
+            panic!("expected event");
+        };
+        // Nearest ancestor = direct parent.
+        assert_eq!(e.parent, Some(NodeId(1)));
+    }
+
+    #[test]
+    fn tweet_text_without_retweet_is_unattributed() {
+        let line = r#"{"cascade": 1, "node": 3, "t": 2, "text": "original words #flow"}"#;
+        let EventLine::Event(e) = parse_line(line).unwrap() else {
+            panic!("expected event");
+        };
+        assert_eq!(e.parent, None);
+    }
+
+    #[test]
+    fn malformed_lines_report_reasons() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"cascade": 1, "node": 2}"#).is_err(), "no t");
+        assert!(
+            parse_line(r#"{"graph": {"nodes": 2}}"#).is_err(),
+            "no edges"
+        );
+        // A retweet ancestor outside the corpus handle convention is
+        // unresolvable, hence malformed.
+        let bad = r#"{"cascade": 1, "node": 3, "t": 2, "text": "RT @alice: hi"}"#;
+        assert!(parse_line(bad).is_err());
+    }
+}

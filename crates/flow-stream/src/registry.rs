@@ -1,0 +1,550 @@
+//! Versioned model registry: atomic epoch snapshots and hot-swap into
+//! the serving layer.
+//!
+//! **Snapshot atomicity.** Each sealed epoch persists the full learning
+//! state as `epoch-NNNNNN.snap`, written to a temporary file and
+//! `rename`d into place — readers only ever see complete files. Every
+//! snapshot ends with an FNV-1a checksum line over everything above it;
+//! a torn or bit-rotted file fails the checksum and
+//! [`SnapshotStore::load_latest`] falls back to the newest intact
+//! epoch. The `stream.swap_torn_write` fault point truncates the
+//! rendered snapshot mid-file to drill exactly that path.
+//!
+//! **Hot-swap.** [`ModelRegistry::swap_into`] installs the current
+//! serve fingerprint into a [`ServeEngine`]: cache entries keyed under
+//! older fingerprints are invalidated eagerly, and because the engine
+//! takes the model per batch, in-flight batches finish on the model
+//! version they started with.
+//!
+//! The snapshot body is a line-oriented text format (like the
+//! checkpoint and perf-baseline files elsewhere in the workspace):
+//!
+//! ```text
+//! flowstream-snapshot v1
+//! epoch=2
+//! fingerprint=0123456789abcdef
+//! timing=any_earlier
+//! graph nodes=4 edges=4
+//! e 0 1
+//! b 3ff0000000000000 4000000000000000
+//! s sink=3 parents=1,2 spont=0 uninf=1 rows=1
+//! r ones=0 count=3 leaks=1
+//! crc=9ab65f3c42d1e807
+//! ```
+
+use crate::delta::EpochDelta;
+use crate::model::StreamModel;
+use flow_core::{fault, FlowError, FlowResult, Fnv64};
+use flow_graph::{graph::GraphBuilder, NodeId};
+use flow_icm::BetaIcm;
+use flow_learn::summary::{SinkSummary, SummaryRow, TimingAssumption};
+use flow_serve::ServeEngine;
+use flow_stats::dist::Beta;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// On-disk store of sealed-epoch snapshots.
+#[derive(Clone, Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn corrupt(detail: impl Into<String>) -> FlowError {
+    FlowError::Checkpoint {
+        detail: detail.into(),
+    }
+}
+
+fn io_err(e: std::io::Error) -> FlowError {
+    FlowError::Io {
+        detail: e.to_string(),
+    }
+}
+
+fn timing_name(t: TimingAssumption) -> &'static str {
+    match t {
+        TimingAssumption::AnyEarlier => "any_earlier",
+        TimingAssumption::PreviousStep => "previous_step",
+    }
+}
+
+fn timing_of(name: &str) -> FlowResult<TimingAssumption> {
+    match name {
+        "any_earlier" => Ok(TimingAssumption::AnyEarlier),
+        "previous_step" => Ok(TimingAssumption::PreviousStep),
+        other => Err(corrupt(format!("unknown timing assumption `{other}`"))),
+    }
+}
+
+/// Renders the snapshot body (everything above the `crc=` line).
+fn render(model: &StreamModel) -> String {
+    let mut out = String::new();
+    let graph = model.graph();
+    let _ = writeln!(out, "flowstream-snapshot v1");
+    let _ = writeln!(out, "epoch={}", model.epoch());
+    let _ = writeln!(out, "fingerprint={:016x}", model.serve_fingerprint());
+    let _ = writeln!(out, "timing={}", timing_name(model.timing()));
+    let _ = writeln!(
+        out,
+        "graph nodes={} edges={}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        let _ = writeln!(out, "e {} {}", u.0, v.0);
+    }
+    for b in model.beta().params() {
+        let _ = writeln!(
+            out,
+            "b {:016x} {:016x}",
+            b.alpha().to_bits(),
+            b.beta().to_bits()
+        );
+    }
+    for s in model.summaries() {
+        let parents = s
+            .parents
+            .iter()
+            .map(|p| p.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "s sink={} parents={} spont={} uninf={} rows={}",
+            s.sink.0,
+            parents,
+            s.skipped_spontaneous,
+            s.skipped_uninformative,
+            s.rows.len()
+        );
+        for row in &s.rows {
+            let ones = row
+                .characteristic
+                .iter_ones()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                out,
+                "r ones={} count={} leaks={}",
+                ones, row.count, row.leaks
+            );
+        }
+    }
+    out
+}
+
+fn checksum(body: &str) -> u64 {
+    Fnv64::new().bytes(body.as_bytes()).finish()
+}
+
+/// Splits `key=value`, requiring `key`.
+fn kv<'a>(token: &'a str, key: &str) -> FlowResult<&'a str> {
+    token
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| corrupt(format!("expected `{key}=…`, found `{token}`")))
+}
+
+fn parse_u64(s: &str, what: &str) -> FlowResult<u64> {
+    s.parse::<u64>()
+        .map_err(|_| corrupt(format!("bad {what} `{s}`")))
+}
+
+fn parse_bits(s: &str, what: &str) -> FlowResult<f64> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| corrupt(format!("bad {what} bits `{s}`")))
+}
+
+/// Parses a comma-separated id list; empty string = empty list.
+fn parse_ids(s: &str, what: &str) -> FlowResult<Vec<u64>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|tok| parse_u64(tok, what)).collect()
+}
+
+/// Parses a verified snapshot body back into a model.
+fn parse_snapshot(text: &str) -> FlowResult<StreamModel> {
+    // The final line must be the checksum over everything before it.
+    let Some(crc_at) = text.rfind("crc=") else {
+        return Err(corrupt("snapshot is missing its crc line"));
+    };
+    let (body, crc_line) = text.split_at(crc_at);
+    let stated = u64::from_str_radix(crc_line.trim_start_matches("crc=").trim(), 16)
+        .map_err(|_| corrupt("unreadable crc line"))?;
+    let actual = checksum(body);
+    if stated != actual {
+        return Err(corrupt(format!(
+            "checksum mismatch: file says {stated:016x}, content hashes to {actual:016x}"
+        )));
+    }
+
+    let mut lines = body.lines();
+    if lines.next() != Some("flowstream-snapshot v1") {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let epoch = parse_u64(kv(lines.next().unwrap_or(""), "epoch")?, "epoch")?;
+    // The stored serve fingerprint is advisory (recomputed on load).
+    let _advisory_fingerprint = kv(lines.next().unwrap_or(""), "fingerprint")?;
+    let timing = timing_of(kv(lines.next().unwrap_or(""), "timing")?)?;
+    let graph_line = lines.next().unwrap_or("");
+    let mut head = graph_line.split_whitespace();
+    if head.next() != Some("graph") {
+        return Err(corrupt(format!(
+            "expected graph line, found `{graph_line}`"
+        )));
+    }
+    let nodes = parse_u64(kv(head.next().unwrap_or(""), "nodes")?, "node count")? as usize;
+    let edge_count = parse_u64(kv(head.next().unwrap_or(""), "edges")?, "edge count")? as usize;
+
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let line = lines.next().unwrap_or("");
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("e") {
+            return Err(corrupt(format!("expected edge line, found `{line}`")));
+        }
+        let u = parse_u64(toks.next().unwrap_or(""), "edge src")? as u32;
+        let v = parse_u64(toks.next().unwrap_or(""), "edge dst")? as u32;
+        edges.push((u, v));
+    }
+    // The checksum guards integrity, not validity: a hand-edited file
+    // with a recomputed crc can still name impossible edges, so the
+    // graph is built fallibly — never through the panicking fixture
+    // constructor.
+    let mut builder = GraphBuilder::new(nodes);
+    for &(u, v) in &edges {
+        builder
+            .add_edge(NodeId(u), NodeId(v))
+            .map_err(|e| corrupt(format!("invalid stored edge ({u},{v}): {e}")))?;
+    }
+    let graph = builder.build();
+
+    let mut params = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let line = lines.next().unwrap_or("");
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("b") {
+            return Err(corrupt(format!("expected beta line, found `{line}`")));
+        }
+        let a = parse_bits(toks.next().unwrap_or(""), "alpha")?;
+        let b = parse_bits(toks.next().unwrap_or(""), "beta")?;
+        params.push(Beta::try_new(a, b).map_err(|e| corrupt(format!("invalid stored Beta: {e}")))?);
+    }
+    let beta = BetaIcm::new(graph.clone(), params);
+
+    let mut summaries = Vec::new();
+    while let Some(line) = lines.next() {
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("s") {
+            return Err(corrupt(format!("expected summary line, found `{line}`")));
+        }
+        let sink = parse_u64(kv(toks.next().unwrap_or(""), "sink")?, "sink")? as u32;
+        let parents: Vec<NodeId> = parse_ids(kv(toks.next().unwrap_or(""), "parents")?, "parent")?
+            .into_iter()
+            .map(|p| NodeId(p as u32))
+            .collect();
+        let spont = parse_u64(kv(toks.next().unwrap_or(""), "spont")?, "spont counter")?;
+        let uninf = parse_u64(kv(toks.next().unwrap_or(""), "uninf")?, "uninf counter")?;
+        let nrows = parse_u64(kv(toks.next().unwrap_or(""), "rows")?, "row count")? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let line = lines.next().unwrap_or("");
+            let mut toks = line.split_whitespace();
+            if toks.next() != Some("r") {
+                return Err(corrupt(format!("expected row line, found `{line}`")));
+            }
+            let ones = parse_ids(kv(toks.next().unwrap_or(""), "ones")?, "characteristic bit")?;
+            let count = parse_u64(kv(toks.next().unwrap_or(""), "count")?, "row count")?;
+            let leaks = parse_u64(kv(toks.next().unwrap_or(""), "leaks")?, "row leaks")?;
+            if leaks > count {
+                return Err(corrupt(format!("row has leaks {leaks} > count {count}")));
+            }
+            let mut characteristic = flow_graph::BitSet::new(parents.len());
+            for one in ones {
+                let bit = one as usize;
+                if bit >= parents.len() {
+                    return Err(corrupt(format!(
+                        "characteristic bit {bit} out of range for {} parents",
+                        parents.len()
+                    )));
+                }
+                characteristic.set(bit, true);
+            }
+            rows.push(SummaryRow {
+                characteristic,
+                count,
+                leaks,
+            });
+        }
+        let mut summary = SinkSummary::from_rows(NodeId(sink), parents, rows);
+        summary.skipped_spontaneous = spont;
+        summary.skipped_uninformative = uninf;
+        summaries.push(summary);
+    }
+    Ok(StreamModel::from_parts(beta, summaries, timing, epoch))
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir` (created on first persist).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SnapshotStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snapshot_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch:06}.snap"))
+    }
+
+    /// Atomically persists `model` as its epoch's snapshot: render,
+    /// checksum, write to `*.tmp`, rename into place.
+    pub fn persist(&self, model: &StreamModel) -> FlowResult<PathBuf> {
+        std::fs::create_dir_all(&self.dir).map_err(io_err)?;
+        let body = render(model);
+        let mut text = format!("{body}crc={:016x}\n", checksum(&body));
+        // A torn write loses the file's tail — including the crc line —
+        // which is exactly what the checksum must catch on load.
+        if fault::fires("stream.swap_torn_write") {
+            text.truncate(text.len() * 3 / 5);
+        }
+        let final_path = self.snapshot_path(model.epoch());
+        let tmp_path = final_path.with_extension("snap.tmp");
+        std::fs::write(&tmp_path, &text).map_err(io_err)?;
+        std::fs::rename(&tmp_path, &final_path).map_err(io_err)?;
+        Ok(final_path)
+    }
+
+    /// Loads and checksum-verifies one snapshot file.
+    pub fn load(&self, path: &Path) -> FlowResult<StreamModel> {
+        let text = std::fs::read_to_string(path).map_err(io_err)?;
+        parse_snapshot(&text)
+    }
+
+    /// Loads the newest epoch that passes its checksum, skipping
+    /// corrupt or torn snapshots. Returns `None` on an empty store.
+    pub fn load_latest(&self) -> FlowResult<Option<(PathBuf, StreamModel)>> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut snaps: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "snap")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("epoch-"))
+            })
+            .collect();
+        snaps.sort();
+        for path in snaps.into_iter().rev() {
+            match self.load(&path) {
+                Ok(model) => return Ok(Some((path, model))),
+                Err(_) => {
+                    flow_obs::counter("stream.snapshot_skipped", 1);
+                    continue;
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// What one hot-swap did.
+#[derive(Clone, Debug)]
+pub struct SwapReport {
+    /// Epoch of the installed model.
+    pub epoch: u64,
+    /// Serve fingerprint now embedded in cache keys.
+    pub fingerprint: u64,
+    /// Cache entries reclaimed because they referenced older models.
+    pub invalidated: usize,
+}
+
+/// What sealing one epoch did.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch number after the delta was applied.
+    pub epoch: u64,
+    /// Serve fingerprint of the updated model.
+    pub fingerprint: u64,
+    /// Where the snapshot landed (`None` when running store-less).
+    pub snapshot: Option<PathBuf>,
+}
+
+/// The live model plus its optional snapshot store.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    model: StreamModel,
+    store: Option<SnapshotStore>,
+}
+
+impl ModelRegistry {
+    /// A registry serving `model`, persisting epochs into `store` when
+    /// one is given.
+    pub fn new(model: StreamModel, store: Option<SnapshotStore>) -> Self {
+        ModelRegistry { model, store }
+    }
+
+    /// Resumes from the newest intact snapshot in `store`, or starts
+    /// `fresh()` when the store is empty.
+    pub fn recover(store: SnapshotStore, fresh: impl FnOnce() -> StreamModel) -> FlowResult<Self> {
+        let model = match store.load_latest()? {
+            Some((_, model)) => model,
+            None => fresh(),
+        };
+        Ok(ModelRegistry {
+            model,
+            store: Some(store),
+        })
+    }
+
+    /// The live model.
+    pub fn model(&self) -> &StreamModel {
+        &self.model
+    }
+
+    /// Applies one epoch's delta and persists the resulting snapshot.
+    pub fn seal_epoch(&mut self, delta: &EpochDelta) -> FlowResult<EpochReport> {
+        self.model.apply(delta)?;
+        let snapshot = match &self.store {
+            Some(store) => Some(store.persist(&self.model)?),
+            None => None,
+        };
+        Ok(EpochReport {
+            epoch: self.model.epoch(),
+            fingerprint: self.model.serve_fingerprint(),
+            snapshot,
+        })
+    }
+
+    /// Hot-swaps the current model version into a serving engine:
+    /// installs the fingerprint and eagerly reclaims cache entries
+    /// keyed under older models. In-flight batches are untouched — the
+    /// engine takes its model per batch, so work that started on an
+    /// older version completes on it.
+    pub fn swap_into(&self, engine: &mut ServeEngine) -> SwapReport {
+        let fingerprint = self.model.serve_fingerprint();
+        let invalidated = engine.install_model(fingerprint);
+        flow_obs::counter("stream.swaps", 1);
+        flow_obs::event(|| {
+            flow_obs::Event::new("stream.swap")
+                .u64("epoch", self.model.epoch())
+                .u64("fingerprint", fingerprint)
+                .u64("invalidated", invalidated as u64)
+        });
+        SwapReport {
+            epoch: self.model.epoch(),
+            fingerprint,
+            invalidated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{IngestConfig, Ingestor};
+    use flow_graph::graph::graph_from_edges;
+    use flow_learn::summary::TimingAssumption;
+
+    fn diamond() -> flow_graph::DiGraph {
+        graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    fn trained_model() -> StreamModel {
+        let mut ing = Ingestor::with_graph(diamond(), IngestConfig::default());
+        let lines = [
+            r#"{"cascade": 1, "node": 0, "t": 0}"#,
+            r#"{"cascade": 1, "node": 1, "t": 1, "parent": 0}"#,
+            r#"{"cascade": 2, "node": 1, "t": 0}"#,
+            r#"{"cascade": 2, "node": 3, "t": 2}"#,
+        ];
+        for (i, line) in lines.iter().enumerate() {
+            ing.push_line(i + 1, line).unwrap();
+        }
+        let mut model = StreamModel::new(diamond(), TimingAssumption::AnyEarlier);
+        model.apply(&ing.seal_epoch()).unwrap();
+        model
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flow-stream-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_bit() {
+        let dir = tmp_dir("roundtrip");
+        let store = SnapshotStore::new(&dir);
+        let model = trained_model();
+        let path = store.persist(&model).unwrap();
+        let loaded = store.load(&path).unwrap();
+        assert_eq!(loaded.epoch(), model.epoch());
+        assert_eq!(loaded.state_fingerprint(), model.state_fingerprint());
+        assert_eq!(loaded.serve_fingerprint(), model.serve_fingerprint());
+        // Persisting the loaded model reproduces the file byte-for-byte.
+        let dir2 = tmp_dir("roundtrip2");
+        let path2 = SnapshotStore::new(&dir2).persist(&loaded).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_checksum_and_latest_falls_back() {
+        let dir = tmp_dir("fallback");
+        let store = SnapshotStore::new(&dir);
+        let mut model = trained_model();
+        let good = store.persist(&model).unwrap();
+        model.apply(&EpochDelta::default()).unwrap();
+        let newer = store.persist(&model).unwrap();
+        assert_ne!(good, newer);
+        // Flip a byte in the newer snapshot's body.
+        let mut bytes = std::fs::read(&newer).unwrap();
+        bytes[40] ^= 0x20;
+        std::fs::write(&newer, &bytes).unwrap();
+        let err = store.load(&newer).unwrap_err();
+        assert!(matches!(err, FlowError::Checkpoint { .. }), "{err}");
+        let (latest_path, latest) = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest_path, good);
+        assert_eq!(latest.epoch(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_prefers_snapshot_over_fresh() {
+        let dir = tmp_dir("recover");
+        let store = SnapshotStore::new(&dir);
+        let model = trained_model();
+        store.persist(&model).unwrap();
+        let reg = ModelRegistry::recover(SnapshotStore::new(&dir), || {
+            StreamModel::new(diamond(), TimingAssumption::AnyEarlier)
+        })
+        .unwrap();
+        assert_eq!(reg.model().epoch(), 1);
+        assert_eq!(reg.model().state_fingerprint(), model.state_fingerprint());
+        // Empty store → fresh model.
+        let empty = tmp_dir("recover-empty");
+        let reg = ModelRegistry::recover(SnapshotStore::new(&empty), || {
+            StreamModel::new(diamond(), TimingAssumption::AnyEarlier)
+        })
+        .unwrap();
+        assert_eq!(reg.model().epoch(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,19 +15,22 @@
 //! inlined passthroughs in normal builds).
 #![cfg(feature = "fault-inject")]
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use flow_core::fault::{self, FaultSpec};
 use flow_core::FlowError;
 use flow_graph::graph::graph_from_edges;
 use flow_graph::NodeId;
 use flow_icm::Icm;
+use flow_learn::summary::TimingAssumption;
 use flow_mcmc::{
     multi_chain_flow_guarded, DegradationReason, FlowEstimator, McmcConfig, ProposalKind,
     PseudoStateSampler, RunBudget,
 };
+use flow_obs::{FieldValue, MemorySink, ScopedRecorder};
 use flow_serve::{FlowQuery, QueryOutcome, ServeCache, ServeConfig, ServeEngine};
 use flow_stats::{Beta, WeightTree};
+use flow_stream::{IngestConfig, Ingestor, Push, SnapshotStore, StreamModel};
 use flow_twitter::read_tsv_lossy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -437,4 +440,103 @@ fn truncated_ingest_lines_are_recorded_not_fatal() {
         })
         .collect();
     assert_eq!(lines, vec![2, 3]);
+}
+
+// ------------------------------------------------------ streaming path
+//
+// The streaming layer's contract under faults: a corrupted wire line
+// costs exactly that line (typed rejection + telemetry, the stream
+// keeps flowing), and a torn snapshot write is caught by the checksum
+// on load with fallback to the newest intact epoch.
+
+#[test]
+fn corrupted_stream_event_is_rejected_and_the_stream_flows_on() {
+    let _guard = armed();
+    let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+    let mut ing = Ingestor::with_graph(g, IngestConfig::default());
+    let sink = Arc::new(MemorySink::new());
+
+    fault::arm("stream.event_corrupt", FaultSpec::always(0.0));
+    let err = {
+        let _r = ScopedRecorder::install(sink.clone());
+        ing.push_line(1, r#"{"cascade": 1, "node": 0, "t": 0}"#)
+            .unwrap_err()
+    };
+    match err {
+        FlowError::RejectedEvent { line, reason, .. } => {
+            assert_eq!(line, 1);
+            assert_eq!(reason, "malformed");
+        }
+        other => panic!("expected RejectedEvent, got {other:?}"),
+    }
+    assert_eq!(fault::fired_count("stream.event_corrupt"), 1);
+    assert_eq!(ing.stats().rejected_malformed, 1);
+
+    // The drop is announced on the obs bus with its line and reason.
+    let rejects = sink.events_named("stream.reject");
+    assert_eq!(rejects.len(), 1);
+    assert!(rejects[0]
+        .fields
+        .iter()
+        .any(|(k, v)| *k == "reason" && matches!(v, FieldValue::Str(s) if s == "malformed")));
+
+    // Disarmed, the very same line is accepted: one torn read costs
+    // one event, never the stream.
+    fault::clear_all();
+    assert!(matches!(
+        ing.push_line(2, r#"{"cascade": 1, "node": 0, "t": 0}"#),
+        Ok(Push::Accepted)
+    ));
+    assert_eq!(ing.stats().accepted, 1);
+}
+
+#[test]
+fn torn_snapshot_write_fails_the_checksum_and_the_last_good_epoch_survives() {
+    let _guard = armed();
+    let dir = std::env::temp_dir().join(format!("flow-robust-snap-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = SnapshotStore::new(dir.clone());
+
+    // Two sealed epochs' worth of evidence on a 3-node chain.
+    let mut ing = Ingestor::with_graph(
+        graph_from_edges(3, &[(0, 1), (1, 2)]),
+        IngestConfig::default(),
+    );
+    ing.push_line(1, r#"{"cascade": 1, "node": 0, "t": 0}"#)
+        .unwrap();
+    ing.push_line(2, r#"{"cascade": 1, "node": 1, "t": 1, "parent": 0}"#)
+        .unwrap();
+    let delta1 = ing.seal_epoch();
+    ing.push_line(3, r#"{"cascade": 2, "node": 1, "t": 0}"#)
+        .unwrap();
+    ing.push_line(4, r#"{"cascade": 2, "node": 2, "t": 2}"#)
+        .unwrap();
+    let delta2 = ing.seal_epoch();
+
+    let mut model = StreamModel::new(
+        graph_from_edges(3, &[(0, 1), (1, 2)]),
+        TimingAssumption::AnyEarlier,
+    );
+    model.apply(&delta1).unwrap();
+    let fp1 = model.state_fingerprint();
+    let good = store.persist(&model).unwrap();
+
+    // Epoch 2's write is torn mid-file: the rename still lands, but the
+    // tail — checksum line included — is gone.
+    model.apply(&delta2).unwrap();
+    fault::arm("stream.swap_torn_write", FaultSpec::always(0.0));
+    let torn = store.persist(&model).unwrap();
+    assert_eq!(fault::fired_count("stream.swap_torn_write"), 1);
+    fault::clear_all();
+
+    let err = store.load(&torn).unwrap_err();
+    assert!(matches!(err, FlowError::Checkpoint { .. }));
+
+    // Recovery skips the torn epoch and lands on the newest intact one,
+    // bit-for-bit the state that was sealed there.
+    let (latest_path, latest) = store.load_latest().unwrap().expect("epoch 1 must survive");
+    assert_eq!(latest_path, good);
+    assert_eq!(latest.epoch(), 1);
+    assert_eq!(latest.state_fingerprint(), fp1);
+    std::fs::remove_dir_all(&dir).ok();
 }

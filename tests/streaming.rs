@@ -1,0 +1,172 @@
+//! Streaming integration contracts: ingest → seal epoch → hot-swap →
+//! serve. Pins the PR-level guarantees that a swap invalidates exactly
+//! the stale cache entries, that the swapped engine answers the new
+//! model byte-for-byte like a cold engine would, and that work
+//! submitted with an older model version still completes after a swap.
+
+use flow_graph::graph::graph_from_edges;
+use flow_graph::{DiGraph, NodeId};
+use flow_learn::summary::TimingAssumption;
+use flow_mcmc::McmcConfig;
+use flow_serve::{Answer, FlowQuery, QueryOutcome, ServeConfig, ServeEngine, Served};
+use flow_stream::{EpochDelta, IngestConfig, Ingestor, ModelRegistry, StreamModel};
+
+fn gadget() -> DiGraph {
+    graph_from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 4)])
+}
+
+fn serve_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        mcmc: McmcConfig {
+            samples: 2_000,
+            ..Default::default()
+        },
+        default_tolerance: 0.05,
+        engine_seed: seed,
+        ..Default::default()
+    }
+}
+
+fn queries() -> Vec<FlowQuery> {
+    vec![
+        FlowQuery::flow(NodeId(0), NodeId(4)),
+        FlowQuery::flow(NodeId(0), NodeId(3)),
+        FlowQuery::flow(NodeId(2), NodeId(4)),
+    ]
+}
+
+fn answer(outcome: &QueryOutcome) -> &Answer {
+    match outcome {
+        QueryOutcome::Answered(a) => a,
+        other => panic!("expected an answer, got {other:?}"),
+    }
+}
+
+fn seal(lines: &[String]) -> EpochDelta {
+    let mut ing = Ingestor::with_graph(gadget(), IngestConfig::default());
+    for (i, line) in lines.iter().enumerate() {
+        ing.push_line(i + 1, line)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+    }
+    ing.seal_epoch()
+}
+
+/// Epoch 1: the 0→1→3→4 spine fires in every cascade.
+fn epoch_one_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for c in 1..=5u64 {
+        lines.push(format!(r#"{{"cascade": {c}, "node": 0, "t": 0}}"#));
+        lines.push(format!(
+            r#"{{"cascade": {c}, "node": 1, "t": 1, "parent": 0}}"#
+        ));
+        lines.push(format!(
+            r#"{{"cascade": {c}, "node": 3, "t": 2, "parent": 1}}"#
+        ));
+        lines.push(format!(
+            r#"{{"cascade": {c}, "node": 4, "t": 3, "parent": 3}}"#
+        ));
+    }
+    lines
+}
+
+/// Epoch 2: node 0 keeps activating but nothing spreads (attributed
+/// evidence of failure), plus unattributed leaks feeding the tables.
+fn epoch_two_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for c in 6..=10u64 {
+        lines.push(format!(r#"{{"cascade": {c}, "node": 0, "t": 0}}"#));
+    }
+    for c in 11..=13u64 {
+        lines.push(format!(r#"{{"cascade": {c}, "node": 1, "t": 0}}"#));
+        lines.push(format!(r#"{{"cascade": {c}, "node": 3, "t": 2}}"#));
+    }
+    lines
+}
+
+#[test]
+fn hot_swap_invalidates_stale_entries_and_matches_a_cold_engine() {
+    let mut registry = ModelRegistry::new(
+        StreamModel::new(gadget(), TimingAssumption::AnyEarlier),
+        None,
+    );
+    registry.seal_epoch(&seal(&epoch_one_lines())).unwrap();
+
+    let mut engine = ServeEngine::new(serve_config(11));
+    let swap = registry.swap_into(&mut engine);
+    assert_eq!(swap.invalidated, 0, "nothing cached yet");
+
+    // Serve and warm the cache on model v1.
+    let icm_v1 = registry.model().serving_icm();
+    let v1_answers = engine.execute_batch(&icm_v1, &queries());
+    let warm = engine.execute_batch(&icm_v1, &queries());
+    for o in &warm {
+        assert_eq!(answer(o).served, Served::CacheHit);
+    }
+    let cached_entries = engine.cache().len();
+    assert!(cached_entries > 0);
+
+    // Epoch 2 changes the model; the swap must reclaim every v1 entry.
+    let report = registry.seal_epoch(&seal(&epoch_two_lines())).unwrap();
+    assert_ne!(report.fingerprint, swap.fingerprint, "model must move");
+    let swap2 = registry.swap_into(&mut engine);
+    assert_eq!(swap2.epoch, 2);
+    assert_eq!(
+        swap2.invalidated, cached_entries,
+        "every v1 cache entry is stale after the swap"
+    );
+    assert_eq!(engine.cache().len(), 0);
+
+    // Post-swap answers on the new model are byte-identical to a cold
+    // engine's — the warm engine carries nothing stale forward.
+    let icm_v2 = registry.model().serving_icm();
+    let swapped = engine.execute_batch(&icm_v2, &queries());
+    let mut cold = ServeEngine::new(serve_config(11));
+    let cold_answers = cold.execute_batch(&icm_v2, &queries());
+    for (s, c) in swapped.iter().zip(&cold_answers) {
+        let (s, c) = (answer(s), answer(c));
+        assert_eq!(s.served, Served::Fresh);
+        assert_eq!(
+            s.estimate.to_bits(),
+            c.estimate.to_bits(),
+            "swapped engine must answer the new model exactly like a cold one"
+        );
+        assert_eq!(s.samples, c.samples);
+        assert_eq!(s.half_width.to_bits(), c.half_width.to_bits());
+    }
+
+    // And the new model actually answers differently than v1 did.
+    assert!(
+        v1_answers
+            .iter()
+            .zip(&swapped)
+            .any(|(a, b)| answer(a).estimate.to_bits() != answer(b).estimate.to_bits()),
+        "epoch 2 evidence must change at least one served answer"
+    );
+}
+
+#[test]
+fn batches_on_an_older_model_still_complete_after_a_swap() {
+    let mut registry = ModelRegistry::new(
+        StreamModel::new(gadget(), TimingAssumption::AnyEarlier),
+        None,
+    );
+    registry.seal_epoch(&seal(&epoch_one_lines())).unwrap();
+    let icm_v1 = registry.model().serving_icm();
+
+    let mut engine = ServeEngine::new(serve_config(29));
+    registry.swap_into(&mut engine);
+    let before = engine.execute_batch(&icm_v1, &queries());
+
+    // The model moves and swaps in, but a client that planned its work
+    // against v1 still gets served — on v1, with the same bits as
+    // before the swap (the engine takes the model per batch, so a swap
+    // can never corrupt work pinned to an older version).
+    registry.seal_epoch(&seal(&epoch_two_lines())).unwrap();
+    registry.swap_into(&mut engine);
+    let after = engine.execute_batch(&icm_v1, &queries());
+    for (a, b) in before.iter().zip(&after) {
+        let (a, b) = (answer(a), answer(b));
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.samples, b.samples);
+    }
+}
