@@ -4,7 +4,8 @@
 //!
 //! * **`check`** — static analysis in two layers (no `syn`; the
 //!   vendor directory is the only dependency source): a token-level
-//!   pass enforcing the line lints L1–L6 over the core crates, and a
+//!   pass enforcing the line lints L1–L6 and L10 over the core crates
+//!   (L10 reaches every crate's sources), and a
 //!   workspace symbol graph ([`symbols`], [`graph`]) feeding the
 //!   interprocedural lints L7–L9 ([`interlints`]) — panic
 //!   reachability from serving/sampling entry points, dropped
@@ -77,7 +78,7 @@ impl CheckReport {
 }
 
 /// Scans every `.rs` file under the workspace's `crates/` tree,
-/// applies the workspace lint policy (line lints L1–L6 per
+/// applies the workspace lint policy (line lints L1–L6 and L10 per
 /// [`LintScope::for_path`], interprocedural lints L7–L9 over the
 /// whole graph) plus the allowlist at
 /// `crates/flow-analyze/allowlist.txt` (if present).
@@ -101,7 +102,7 @@ pub fn check_workspace(root: &Path) -> Result<CheckReport, String> {
     let mut raw = Vec::new();
     for file in &files {
         let scope = LintScope::for_path(&file.rel);
-        if scope.l1 || scope.l2 || scope.l3 || scope.l4 || scope.l5 {
+        if scope.l1 || scope.l2 || scope.l3 || scope.l4 || scope.l5 || scope.l10 {
             raw.extend(lints::lint_file_all(file, scope));
         }
     }

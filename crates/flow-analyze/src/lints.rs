@@ -22,6 +22,12 @@
 //!   panic there turns a recoverable cache corruption into an outage
 //!   and a swallowed error turns a failed save into silent data loss;
 //!   failures route through `FlowError::Io` or quarantine-and-continue.
+//! * **L10** — persisted-format schema strings render from the
+//!   [`flow_core::schema`] registry, never as bare literals: a writer
+//!   and reader that each spell the version by hand can silently
+//!   drift apart. The needle list is the registry itself, so the lint
+//!   can never lag a newly declared schema. Only
+//!   `crates/flow-core/src/schema.rs` may spell the names out.
 //!
 //! Each lint honours the `// flow-analyze: allow(Lx: reason)` escape
 //! comment and the allowlist file (see [`crate::allowlist`]).
@@ -97,6 +103,9 @@ pub struct LintScope {
     pub l5: bool,
     /// L6: no panicking or swallowed I/O in serving persistence paths.
     pub l6: bool,
+    /// L10: no bare persisted-format schema strings outside the
+    /// `flow_core::schema` registry.
+    pub l10: bool,
 }
 
 impl LintScope {
@@ -109,6 +118,7 @@ impl LintScope {
             l4: true,
             l5: true,
             l6: true,
+            l10: true,
         }
     }
 
@@ -121,6 +131,7 @@ impl LintScope {
             l4: false,
             l5: false,
             l6: false,
+            l10: false,
         }
     }
 
@@ -151,6 +162,10 @@ impl LintScope {
             l4: core,
             l5: core && !print_exempt,
             l6: persistence,
+            // L10 covers every crate's library and binary sources —
+            // bench/CLI writers drift just as silently as core readers
+            // — with the registry module itself as the sole exemption.
+            l10: rel.contains("/src/") && rel != "crates/flow-core/src/schema.rs",
         }
     }
 }
@@ -186,6 +201,9 @@ pub fn lint_file_all(file: &SourceFile, scope: LintScope) -> Vec<Finding> {
     }
     if scope.l6 {
         l6_io_error_handling(file, &mut findings);
+    }
+    if scope.l10 {
+        l10_schema_literals(file, &mut findings);
     }
     findings
 }
@@ -782,6 +800,67 @@ fn has_domain_arithmetic(stmt: &str) -> bool {
     false
 }
 
+// --------------------------------------------------------------- L10
+
+/// Bare persisted-format schema strings outside the registry module.
+///
+/// The needle list is built from the [`flow_core::schema`] constants
+/// themselves, so declaring a new schema automatically arms the lint
+/// for it — and this function contains no bare schema literal of its
+/// own. A needle inside a *string literal* fires (writers and readers
+/// must render through [`flow_core::schema::SchemaId`]); the same
+/// words in comments or doc text do not.
+fn l10_schema_literals(file: &SourceFile, findings: &mut Vec<Finding>) {
+    use flow_core::schema as reg;
+    const SCHEMAS: [reg::SchemaId; 8] = [
+        reg::SERVE_CACHE,
+        reg::STREAM_SNAPSHOT,
+        reg::OBS_STATS,
+        reg::PERF_BASELINE,
+        reg::PERF_RUN,
+        reg::BENCH_SERVE,
+        reg::BENCH_SAMPLER,
+        reg::BENCH_STREAM,
+    ];
+    for (i, raw) in file.raw.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let code = &file.code[i];
+        for id in SCHEMAS {
+            let Some(pos) = raw.find(id.name) else {
+                continue;
+            };
+            // Inside a string literal iff an odd number of quote
+            // delimiters precede the match on the cleaned line
+            // (cleaning keeps `"` delimiters and blanks comments
+            // entirely, so comment text contributes none).
+            let chars_before = raw[..pos].chars().count();
+            let quotes = code
+                .chars()
+                .take(chars_before)
+                .filter(|&c| c == '"')
+                .count();
+            if quotes % 2 == 1 {
+                push(
+                    findings,
+                    file,
+                    i + 1,
+                    "L10",
+                    format!(
+                        "bare schema string `{}`: render it from the `flow_core::schema` \
+                         registry (header `{}`, tag `{}`) so writer and reader stay in \
+                         lockstep",
+                        id.name,
+                        id.line_header(),
+                        id.tag()
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -927,6 +1006,36 @@ mod tests {
             "non-persistence serving code answers to L1 alone"
         );
         assert!(!LintScope::for_path("crates/flow-mcmc/src/sampler.rs").l6);
+    }
+
+    #[test]
+    fn l10_catches_bare_schema_strings() {
+        assert_eq!(lints_of("let h = \"flowserve-cache v3\";\n"), ["L10"]);
+        assert_eq!(lints_of("s.push_str(\"flow-bench/serve-v3\");\n"), ["L10"]);
+        // Comments and doc text may spell the names freely.
+        assert!(lints_of("// the flowserve-cache v3 header\n").is_empty());
+        assert!(lints_of("/// parses flow-obs/stats-v1 documents\n").is_empty());
+        // Rendering through the registry is the remediation.
+        assert!(lints_of("let h = flow_core::schema::SERVE_CACHE.line_header();\n").is_empty());
+        // Test code (golden vectors) is out of scope.
+        assert!(lints_of(
+            "#[cfg(test)]\nmod t {\n const H: &str = \"flowstream-snapshot v1\";\n}\n"
+        )
+        .is_empty());
+        // The escape comment works for L10 like every other lint.
+        assert!(lints_of(
+            "let h = \"flowstream-snapshot v1\"; // flow-analyze: allow(L10: golden vector)\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l10_scope_exempts_only_the_registry_module() {
+        assert!(!LintScope::for_path("crates/flow-core/src/schema.rs").l10);
+        assert!(LintScope::for_path("crates/flow-core/src/error.rs").l10);
+        assert!(LintScope::for_path("crates/flow-bench/src/bin/bench_serve.rs").l10);
+        assert!(LintScope::for_path("crates/flow-exp/src/runners/perf.rs").l10);
+        assert!(!LintScope::for_path("crates/flow-serve/tests/serving.rs").l10);
     }
 
     #[test]

@@ -22,7 +22,7 @@ USAGE:
     flow-analyze replay [--seed N] [--chains N] [--samples N]
                         [--nodes N] [--edges N]
 
-check   runs the line lints L1-L6 and the interprocedural lints
+check   runs the line lints L1-L6 + L10 and the interprocedural lints
         L7-L9 (panic reachability, error-drop taint, concurrency
         audit) over the core crates, honouring
         crates/flow-analyze/allowlist.txt and

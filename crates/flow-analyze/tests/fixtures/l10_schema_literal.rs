@@ -1,0 +1,21 @@
+//! Seeded L10 violations: a writer and a reader that each spell a
+//! persisted-format schema string by hand instead of rendering it from
+//! the `flow_core::schema` registry.
+
+/// Renders a snapshot header from a bare literal — the writer half of
+/// the drift the lint exists to prevent.
+pub fn render_header() -> String {
+    format!("{}\nepoch=0\n", "flowstream-snapshot v1")
+}
+
+/// Checks a cache header against a second bare literal — the reader
+/// half, free to disagree with the writer above.
+pub fn header_ok(line: &str) -> bool {
+    line == "flowserve-cache v3"
+}
+
+/// The escape hatch still applies per line.
+pub fn golden_vector() -> &'static str {
+    // flow-analyze: allow(L10: golden-file test vector)
+    "flow-obs/stats-v1"
+}

@@ -108,6 +108,17 @@ fn l9_fixture_trips_on_detached_workers_and_relaxed_gates_only() {
 }
 
 #[test]
+fn l10_fixture_trips_on_bare_schema_strings_only() {
+    let root = workspace_root();
+    let findings =
+        check_paths(&root, &[fixture("l10_schema_literal.rs")]).expect("fixture readable");
+    let l10: Vec<_> = findings.iter().filter(|f| f.lint == "L10").collect();
+    // The hand-spelled writer and reader literals fire; the
+    // escape-commented golden vector does not.
+    assert_eq!(l10.len(), 2, "expected 2 L10 findings, got {l10:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean_under_every_lint() {
     let root = workspace_root();
     let findings = check_paths(&root, &[fixture("clean.rs")]).expect("fixture readable");

@@ -16,13 +16,23 @@
 //! cold batch plus a cache save/load cycle with retry, breaker, and
 //! entry checksums disabled versus fully enabled (min of 2 reps each).
 //!
+//! A fifth section measures sharded serving on a multi-community
+//! workload: the same single-community query mix on an unsharded
+//! engine (chains walk the full `m`-edge multinomial) versus a
+//! `.shards(K)` engine (each query routes to its community's shard and
+//! walks `m/K` edges, shrinking burn-in and thinning linearly). The
+//! batched-throughput speedup is gated; the per-step `O(log m)` win is
+//! reported separately, ungated.
+//!
 //! Acceptance criteria (the binary exits non-zero when violated):
 //! batched throughput must be at least 2x naive, the warm batch must
 //! spend exactly zero sampler steps (checked via the flow-obs
-//! `sampler.steps` counter, not wall time), and the fault-free
-//! resilience overhead must stay within 5%.
+//! `sampler.steps` counter, not wall time), the fault-free resilience
+//! overhead must stay within 5%, and sharded batched throughput must
+//! be at least 2x unsharded on the multi-community mix (with every
+//! query actually routed and agreeing within tolerance).
 //!
-//! The result file (schema `flow-bench/serve-v2`) embeds a
+//! The result file (schema [`flow_core::schema::BENCH_SERVE`]) embeds a
 //! `runtime_stats` section: the [`flow_obs::StatsAggregator`] snapshot
 //! (schema `flow-obs/stats-v1`, the same document `repro serve
 //! --stats-out` writes) aggregated over the cold and warm batches, so
@@ -32,7 +42,7 @@
 //! Wall-clock timing is the entire point of this binary.
 #![allow(clippy::disallowed_methods)]
 
-use flow_bench::scaling_icm;
+use flow_bench::{multi_community_icm, scaling_icm};
 use flow_graph::NodeId;
 use flow_icm::Icm;
 use flow_mcmc::{FlowEstimator, McmcConfig};
@@ -54,6 +64,24 @@ const SOURCES: u32 = 4;
 const SINKS_PER_SOURCE: u32 = 8;
 /// Retained samples per chain.
 const SAMPLES: usize = 4_000;
+/// Communities (= shards) in the sharded section's model.
+const COMMUNITIES: u32 = 4;
+/// Edges per community; total model is `COMMUNITIES * COMMUNITY_EDGES`.
+const COMMUNITY_EDGES: usize = 300;
+/// Sinks queried per community in the sharded section.
+const COMMUNITY_SINKS: usize = 6;
+/// Retained samples per chain in the sharded section.
+const SHARD_SAMPLES: usize = 2_000;
+
+fn build_engine(config: ServeConfig) -> ServeEngine {
+    match ServeEngine::builder().config(config).build() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: invalid engine config: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn query_mix(icm: &Icm) -> Vec<FlowQuery> {
     let n = icm.node_count() as u32;
@@ -63,6 +91,28 @@ fn query_mix(icm: &Icm) -> Vec<FlowQuery> {
             // Spread sinks across the node range, skipping the source.
             let sink = (s + 1 + k * (n / (SINKS_PER_SOURCE + 1))).min(n - 1);
             queries.push(FlowQuery::flow(NodeId(s), NodeId(sink)));
+        }
+    }
+    queries
+}
+
+/// Per-community flow queries whose sinks are provably reachable from
+/// the community's first node, so every query routes to exactly one
+/// shard and keeps its chain busy on both serving paths.
+fn community_mix(icm: &Icm) -> Vec<FlowQuery> {
+    let n_each = icm.node_count() as u32 / COMMUNITIES;
+    let graph = icm.graph();
+    let mut queries = Vec::new();
+    for c in 0..COMMUNITIES {
+        let base = NodeId(c * n_each);
+        let reach = flow_graph::reachable(graph, &[base]);
+        let sinks: Vec<NodeId> = (c * n_each..(c + 1) * n_each)
+            .map(NodeId)
+            .filter(|&v| v != base && reach.contains(v))
+            .take(COMMUNITY_SINKS)
+            .collect();
+        for sink in sinks {
+            queries.push(FlowQuery::flow(base, sink));
         }
     }
     queries
@@ -97,18 +147,18 @@ fn main() {
     };
 
     eprintln!(
-        "[1/4] naive: {} independent estimates ({} samples each) ...",
+        "[1/5] naive: {} independent estimates ({} samples each) ...",
         queries.len(),
         SAMPLES
     );
     let (naive_s, naive_estimates) = naive_wall_s(&icm, &queries, mcmc);
 
-    eprintln!("[2/4] batched: one execute_batch over the same mix ...");
+    eprintln!("[2/5] batched: one execute_batch over the same mix ...");
     // The aggregator listens to both the cold and the warm batch so the
     // embedded runtime_stats section covers a hit-free and an all-hit
     // window; its per-event cost is part of what the speedup measures.
     let agg = Arc::new(StatsAggregator::new());
-    let mut engine = ServeEngine::new(ServeConfig {
+    let mut engine = build_engine(ServeConfig {
         mcmc,
         // Tolerance is not under test here; keep the sample budget
         // identical to the naive loop's.
@@ -139,7 +189,7 @@ fn main() {
         }
     }
 
-    eprintln!("[3/4] warm: the identical batch served from cache ...");
+    eprintln!("[3/5] warm: the identical batch served from cache ...");
     let sink = Arc::new(MemorySink::new());
     let start = Instant::now();
     let warm = {
@@ -160,7 +210,7 @@ fn main() {
         })
         .count();
 
-    eprintln!("[4/4] resilience overhead: retry+breaker+checksums off vs on ...");
+    eprintln!("[4/5] resilience overhead: retry+breaker+checksums off vs on ...");
     let dir = std::env::temp_dir().join(format!("bench-serve-resilience-{}", std::process::id()));
     let run_with_resilience = |enabled: bool| -> f64 {
         let mut best = f64::INFINITY;
@@ -185,7 +235,7 @@ fn main() {
                     ..base
                 }
             };
-            let mut engine = ServeEngine::new(config);
+            let mut engine = build_engine(config);
             let start = Instant::now();
             let outcomes = engine.execute_batch(&icm, &queries);
             let saved = engine.cache().save_to_dir_opts(&dir, enabled);
@@ -210,6 +260,70 @@ fn main() {
     std::fs::remove_dir_all(&dir).ok();
     let overhead_pct = (resilient_s - bare_s) / bare_s * 100.0;
 
+    eprintln!(
+        "[5/5] sharded: {COMMUNITIES}-community mix, unsharded vs --shards {COMMUNITIES} ..."
+    );
+    let community_icm = multi_community_icm(COMMUNITIES, COMMUNITY_EDGES, 7);
+    let shard_queries = community_mix(&community_icm);
+    let shard_config = |shards: u32| ServeConfig {
+        mcmc: McmcConfig {
+            samples: SHARD_SAMPLES,
+            ..Default::default()
+        },
+        default_tolerance: 1.0,
+        engine_seed: 42,
+        shards,
+        ..Default::default()
+    };
+
+    let mut flat = build_engine(shard_config(1));
+    let start = Instant::now();
+    let flat_outcomes = flat.execute_batch(&community_icm, &shard_queries);
+    let flat_s = start.elapsed().as_secs_f64();
+
+    let mut sharded = build_engine(shard_config(COMMUNITIES));
+    let start = Instant::now();
+    let sharded_outcomes = sharded.execute_batch(&community_icm, &shard_queries);
+    let sharded_s = start.elapsed().as_secs_f64();
+
+    // Same questions, same distribution: chains differ (shard slots
+    // enter the chain keys), so the answers are independent draws that
+    // must agree within estimator tolerance.
+    let mut max_gap = 0.0f64;
+    for ((q, f), s) in shard_queries
+        .iter()
+        .zip(&flat_outcomes)
+        .zip(&sharded_outcomes)
+    {
+        let (QueryOutcome::Answered(a), QueryOutcome::Answered(b)) = (f, s) else {
+            eprintln!("error: sharded-section query {q:?} was not answered on both paths");
+            std::process::exit(1);
+        };
+        max_gap = max_gap.max((a.estimate - b.estimate).abs());
+    }
+    if max_gap > 0.08 {
+        eprintln!("error: sharded answers diverge from unsharded by {max_gap:.3} (> 0.08)");
+        std::process::exit(1);
+    }
+    // Every query must actually take the sharded path — a fallback to
+    // the global engine would make the comparison vacuous.
+    let routed: u64 = sharded.shard_stats().iter().map(|s| s.queries).sum();
+    if routed != shard_queries.len() as u64 {
+        eprintln!(
+            "error: only {routed}/{} queries took the sharded path",
+            shard_queries.len()
+        );
+        std::process::exit(1);
+    }
+    let flat_steps = flat.stats().steps;
+    let sharded_steps = sharded.stats().steps;
+    let shard_n = shard_queries.len() as f64;
+    let shard_speedup = flat_s / sharded_s;
+    // The sub-multinomial's O(log m) per-proposal win, separated from
+    // the (dominant) linear shrink in burn-in and thinning steps.
+    let per_step_ns_flat = flat_s / flat_steps.max(1) as f64 * 1e9;
+    let per_step_ns_sharded = sharded_s / sharded_steps.max(1) as f64 * 1e9;
+
     let n = queries.len() as f64;
     let naive_qps = n / naive_s;
     let batched_qps = n / batched_s;
@@ -224,7 +338,8 @@ fn main() {
         .replace('\n', "\n  ");
 
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"schema\": \"flow-bench/serve-v2\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"resilience\": {{\n    \"bare_wall_s\": {rb:.3},\n    \"resilient_wall_s\": {rr:.3},\n    \"overhead_pct\": {ro:.2},\n    \"budget_pct\": 5.0\n  }},\n  \"runtime_stats\": {rs},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"schema\": \"{schema}\",\n  \"model_edges\": {me},\n  \"queries\": {q},\n  \"samples_per_chain\": {sp},\n  \"naive\": {{\n    \"wall_s\": {ns:.3},\n    \"qps\": {nq:.1}\n  }},\n  \"batched\": {{\n    \"wall_s\": {bs:.3},\n    \"qps\": {bq:.1},\n    \"speedup_vs_naive\": {su:.2},\n    \"required_speedup\": 2.0\n  }},\n  \"warm_cache\": {{\n    \"wall_s\": {ws:.4},\n    \"qps\": {wq:.1},\n    \"cache_hits\": {wh},\n    \"sampler_steps\": {wst}\n  }},\n  \"resilience\": {{\n    \"bare_wall_s\": {rb:.3},\n    \"resilient_wall_s\": {rr:.3},\n    \"overhead_pct\": {ro:.2},\n    \"budget_pct\": 5.0\n  }},\n  \"sharded\": {{\n    \"communities\": {sc},\n    \"model_edges\": {sme},\n    \"queries\": {sq},\n    \"samples_per_chain\": {ssp},\n    \"routed\": {srt},\n    \"unsharded_wall_s\": {sfs:.3},\n    \"unsharded_qps\": {sfq:.1},\n    \"unsharded_steps\": {sfst},\n    \"sharded_wall_s\": {sss:.3},\n    \"sharded_qps\": {ssq:.1},\n    \"sharded_steps\": {ssst},\n    \"speedup_vs_unsharded\": {ssu:.2},\n    \"required_speedup\": 2.0,\n    \"per_step_ns_unsharded\": {spf:.1},\n    \"per_step_ns_sharded\": {sps:.1},\n    \"per_step_speedup\": {spw:.2},\n    \"max_abs_disagreement\": {sdg:.4}\n  }},\n  \"runtime_stats\": {rs},\n  \"pass\": {pass}\n}}\n",
+        schema = flow_core::schema::BENCH_SERVE.tag(),
         me = MODEL_EDGES,
         rs = stats_embedded,
         q = queries.len(),
@@ -241,7 +356,26 @@ fn main() {
         rb = bare_s,
         rr = resilient_s,
         ro = overhead_pct,
-        pass = speedup >= 2.0 && warm_steps == 0 && overhead_pct <= 5.0,
+        sc = COMMUNITIES,
+        sme = community_icm.edge_count(),
+        sq = shard_queries.len(),
+        ssp = SHARD_SAMPLES,
+        srt = routed,
+        sfs = flat_s,
+        sfq = shard_n / flat_s,
+        sfst = flat_steps,
+        sss = sharded_s,
+        ssq = shard_n / sharded_s,
+        ssst = sharded_steps,
+        ssu = shard_speedup,
+        spf = per_step_ns_flat,
+        sps = per_step_ns_sharded,
+        spw = per_step_ns_flat / per_step_ns_sharded,
+        sdg = max_gap,
+        pass = speedup >= 2.0
+            && warm_steps == 0
+            && overhead_pct <= 5.0
+            && shard_speedup >= 2.0,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => {
@@ -270,6 +404,13 @@ fn main() {
     }
     if overhead_pct > 5.0 {
         eprintln!("error: resilience overhead {overhead_pct:.2}% exceeds the 5% budget");
+        std::process::exit(1);
+    }
+    if shard_speedup < 2.0 {
+        eprintln!(
+            "error: sharded speedup {shard_speedup:.2}x is below the 2x requirement \
+             (unsharded {flat_s:.3}s / sharded {sharded_s:.3}s)"
+        );
         std::process::exit(1);
     }
 }

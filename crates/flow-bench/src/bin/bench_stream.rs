@@ -27,7 +27,7 @@ use flow_bench::scaling_icm;
 use flow_graph::{DiGraph, NodeId};
 use flow_learn::summary::TimingAssumption;
 use flow_mcmc::McmcConfig;
-use flow_serve::{FlowQuery, QueryOutcome, ServeConfig, ServeEngine};
+use flow_serve::{FlowQuery, QueryOutcome, ServeEngine};
 use flow_stream::{EpochDelta, IngestConfig, Ingestor, ModelRegistry, SnapshotStore, StreamModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,15 +139,21 @@ fn main() {
         StreamModel::new(graph.clone(), TimingAssumption::AnyEarlier),
         Some(SnapshotStore::new(dir.clone())),
     );
-    let mut engine = ServeEngine::new(ServeConfig {
-        mcmc: McmcConfig {
+    let mut engine = match ServeEngine::builder()
+        .mcmc(McmcConfig {
             samples: SAMPLES,
             ..Default::default()
-        },
-        default_tolerance: 1.0,
-        engine_seed: 42,
-        ..Default::default()
-    });
+        })
+        .default_tolerance(1.0)
+        .engine_seed(42)
+        .build()
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: invalid engine config: {e}");
+            std::process::exit(1);
+        }
+    };
     let queries = warm_queries(&graph);
     let mut seal_s = 0.0;
     let mut swap_s = 0.0;
@@ -219,7 +225,8 @@ fn main() {
         && invalidated_final >= 1
         && events_per_sec >= MIN_EVENTS_PER_SEC;
     let json = format!(
-        "{{\n  \"bench\": \"stream\",\n  \"schema\": \"flow-bench/stream-v1\",\n  \"model_edges\": {me},\n  \"cascades\": {ca},\n  \"events\": {ev},\n  \"epochs\": {ep},\n  \"ingest\": {{\n    \"wall_s\": {is:.4},\n    \"events_per_sec\": {eps:.0},\n    \"required_events_per_sec\": {req:.0},\n    \"seal_extract_wall_s\": {sis:.4}\n  }},\n  \"seal\": {{\n    \"wall_s\": {ss:.4},\n    \"mean_ms_per_epoch\": {sm:.3}\n  }},\n  \"recover\": {{\n    \"load_latest_ms\": {rm:.3},\n    \"recovered_final_epoch\": {rok}\n  }},\n  \"swap\": {{\n    \"mean_us\": {su:.1},\n    \"invalidated_at_final\": {inv}\n  }},\n  \"equivalence\": {{\n    \"bit_identical\": {bi}\n  }},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"bench\": \"stream\",\n  \"schema\": \"{schema}\",\n  \"model_edges\": {me},\n  \"cascades\": {ca},\n  \"events\": {ev},\n  \"epochs\": {ep},\n  \"ingest\": {{\n    \"wall_s\": {is:.4},\n    \"events_per_sec\": {eps:.0},\n    \"required_events_per_sec\": {req:.0},\n    \"seal_extract_wall_s\": {sis:.4}\n  }},\n  \"seal\": {{\n    \"wall_s\": {ss:.4},\n    \"mean_ms_per_epoch\": {sm:.3}\n  }},\n  \"recover\": {{\n    \"load_latest_ms\": {rm:.3},\n    \"recovered_final_epoch\": {rok}\n  }},\n  \"swap\": {{\n    \"mean_us\": {su:.1},\n    \"invalidated_at_final\": {inv}\n  }},\n  \"equivalence\": {{\n    \"bit_identical\": {bi}\n  }},\n  \"pass\": {pass}\n}}\n",
+        schema = flow_core::schema::BENCH_STREAM.tag(),
         me = MODEL_EDGES,
         ca = CASCADES,
         ev = accepted,

@@ -86,6 +86,15 @@ pub enum FlowError {
         retry_after_ms: u64,
     },
 
+    /// A component was configured with an invalid or contradictory
+    /// combination of settings (zero workers, a non-finite tolerance,
+    /// conflicting cache options, …). Raised by validating builders at
+    /// construction time, before any work runs.
+    Config {
+        /// What was wrong with the configuration.
+        detail: String,
+    },
+
     /// Streaming ingest refused a cascade event. Unlike
     /// [`FlowError::Parse`] (which covers unreadable input), the event
     /// may be perfectly well-formed and still rejected: it can name a
@@ -137,6 +146,7 @@ impl FlowError {
             | FlowError::GraphInconsistency { .. }
             | FlowError::Checkpoint { .. }
             | FlowError::Parse { .. }
+            | FlowError::Config { .. }
             | FlowError::RejectedEvent { .. } => Transience::Permanent,
         }
     }
@@ -181,6 +191,7 @@ impl fmt::Display for FlowError {
                 write!(f, "parse error at line {line}: {detail}")
             }
             FlowError::Io { detail } => write!(f, "i/o error: {detail}"),
+            FlowError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             FlowError::Overloaded {
                 detail,
                 retry_after_ms,
@@ -279,6 +290,12 @@ mod tests {
                 },
                 "line 12 (late)",
             ),
+            (
+                FlowError::Config {
+                    detail: "worker pool must have at least one worker".into(),
+                },
+                "at least one worker",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -329,6 +346,7 @@ mod tests {
                 reason: "duplicate",
                 detail: "".into(),
             },
+            FlowError::Config { detail: "".into() },
         ];
         for err in permanent {
             assert_eq!(err.transience(), Transience::Permanent, "{err}");

@@ -19,9 +19,11 @@
 pub mod error;
 pub mod fault;
 pub mod fnv;
+pub mod schema;
 
 pub use error::{FlowError, FlowResult, Transience};
 pub use fnv::Fnv64;
+pub use schema::SchemaId;
 
 /// Asserts a structural invariant in `debug-invariants` builds.
 ///

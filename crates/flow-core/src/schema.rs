@@ -1,0 +1,170 @@
+//! The single registry of persisted-format schema identifiers.
+//!
+//! Every versioned text/JSON artifact the workspace writes — the serve
+//! cache, stream snapshots, stats snapshots, bench result files, the
+//! perf baseline and trajectory lines — declares its schema here as a
+//! [`SchemaId`] constant. Hoisting the identifiers into one module
+//! keeps writer and reader in lockstep by construction: bumping a
+//! version is a one-line change, and the flow-analyze `L10` lint fails
+//! the ratchet when a bare schema string literal appears anywhere else.
+//!
+//! Two rendering conventions predate this module and both survive:
+//!
+//! * **line headers** (`"flowserve-cache v3"`) — the first line of a
+//!   text artifact, rendered by [`SchemaId::line_header`] and checked
+//!   by [`parse_header`];
+//! * **tags** (`"flow-obs/stats-v1"`) — the `"schema"` field of a JSON
+//!   document, rendered by [`SchemaId::tag`].
+
+use crate::{FlowError, FlowResult};
+
+/// A named, versioned persisted-format identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemaId {
+    /// Format family name, e.g. `"flowserve-cache"`.
+    pub name: &'static str,
+    /// Format version, bumped on any incompatible layout change.
+    pub version: u32,
+}
+
+impl SchemaId {
+    /// Declares a schema identifier.
+    pub const fn new(name: &'static str, version: u32) -> Self {
+        SchemaId { name, version }
+    }
+
+    /// The first-line header form: `"<name> v<version>"`.
+    pub fn line_header(&self) -> String {
+        format!("{} v{}", self.name, self.version)
+    }
+
+    /// The JSON `"schema"` tag form: `"<name>-v<version>"`.
+    pub fn tag(&self) -> String {
+        format!("{}-v{}", self.name, self.version)
+    }
+
+    /// True when `line` is exactly this schema's line header.
+    pub fn matches_line(&self, line: &str) -> bool {
+        parse_header(line)
+            .is_some_and(|(name, version)| name == self.name && version == self.version)
+    }
+
+    /// True when `tag` is exactly this schema's JSON tag.
+    pub fn matches_tag(&self, tag: &str) -> bool {
+        tag.rsplit_once("-v")
+            .and_then(|(name, v)| v.parse::<u32>().ok().map(|v| (name, v)))
+            .is_some_and(|(name, version)| name == self.name && version == self.version)
+    }
+}
+
+/// Splits a `"<name> v<version>"` header line into its parts. Returns
+/// `None` when the line does not follow the convention.
+pub fn parse_header(line: &str) -> Option<(&str, u32)> {
+    let (name, v) = line.trim_end().rsplit_once(' ')?;
+    let version = v.strip_prefix('v')?.parse().ok()?;
+    if name.is_empty() || name.contains(' ') {
+        return None;
+    }
+    Some((name, version))
+}
+
+/// Checks that `line` carries `expected`'s header, with a typed
+/// [`FlowError::Parse`] naming both sides on mismatch. `line_no` is the
+/// 1-based position of the header line in the artifact.
+pub fn expect_header(line: &str, line_no: usize, expected: SchemaId) -> FlowResult<()> {
+    if expected.matches_line(line) {
+        Ok(())
+    } else {
+        Err(FlowError::Parse {
+            line: line_no,
+            detail: format!(
+                "unsupported schema header {:?} (expected {:?})",
+                line.trim_end(),
+                expected.line_header()
+            ),
+        })
+    }
+}
+
+/// The flow-serve on-disk chain-statistics cache (`cache.txt`). v3
+/// added the shard field to the persisted query-key text form.
+pub const SERVE_CACHE: SchemaId = SchemaId::new("flowserve-cache", 3);
+
+/// The flow-stream epoch snapshot files (`epoch-*.snap`).
+pub const STREAM_SNAPSHOT: SchemaId = SchemaId::new("flowstream-snapshot", 1);
+
+/// The flow-obs stats-aggregator snapshot (`repro serve --stats-out`).
+pub const OBS_STATS: SchemaId = SchemaId::new("flow-obs/stats", 1);
+
+/// The committed perf baseline (`perf-baseline.json`).
+pub const PERF_BASELINE: SchemaId = SchemaId::new("flow-perf/baseline", 1);
+
+/// One normalized perf run appended to `BENCH_trajectory.jsonl`.
+pub const PERF_RUN: SchemaId = SchemaId::new("flow-perf/run", 1);
+
+/// `bench_serve`'s result file (`BENCH_serve.json`). v3 added the
+/// sharded section.
+pub const BENCH_SERVE: SchemaId = SchemaId::new("flow-bench/serve", 3);
+
+/// `bench_sampler`'s result file (`BENCH_sampler.json`).
+pub const BENCH_SAMPLER: SchemaId = SchemaId::new("flow-bench/sampler", 2);
+
+/// `bench_stream`'s result file (`BENCH_stream.json`).
+pub const BENCH_STREAM: SchemaId = SchemaId::new("flow-bench/stream", 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_header_round_trips() {
+        let h = SERVE_CACHE.line_header();
+        assert_eq!(h, "flowserve-cache v3");
+        assert_eq!(parse_header(&h), Some(("flowserve-cache", 3)));
+        assert!(SERVE_CACHE.matches_line(&h));
+        assert!(!STREAM_SNAPSHOT.matches_line(&h));
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        let t = OBS_STATS.tag();
+        assert_eq!(t, "flow-obs/stats-v1");
+        assert!(OBS_STATS.matches_tag(&t));
+        assert!(!OBS_STATS.matches_tag("flow-obs/stats-v2"));
+        assert!(!PERF_RUN.matches_tag(&t));
+    }
+
+    #[test]
+    fn parse_header_rejects_malformed_lines() {
+        assert_eq!(parse_header("no version here"), None);
+        assert_eq!(parse_header("name v"), None);
+        assert_eq!(parse_header("name vx1"), None);
+        assert_eq!(parse_header(" v1"), None);
+        assert_eq!(parse_header("name v1 extra v2"), None);
+    }
+
+    #[test]
+    fn expect_header_reports_both_sides() {
+        assert!(expect_header("flowstream-snapshot v1", 1, STREAM_SNAPSHOT).is_ok());
+        let err = expect_header("flowstream-snapshot v9", 1, STREAM_SNAPSHOT).unwrap_err();
+        match err {
+            FlowError::Parse { line, detail } => {
+                assert_eq!(line, 1);
+                assert!(detail.contains("v9") && detail.contains("flowstream-snapshot v1"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn versions_match_their_documented_tags() {
+        // The L10 lint exempts only this module; these assertions keep
+        // the constant table honest against accidental renames.
+        assert_eq!(STREAM_SNAPSHOT.line_header(), "flowstream-snapshot v1");
+        assert_eq!(PERF_BASELINE.tag(), "flow-perf/baseline-v1");
+        assert_eq!(PERF_RUN.tag(), "flow-perf/run-v1");
+        assert_eq!(BENCH_SERVE.tag(), "flow-bench/serve-v3");
+        assert_eq!(BENCH_SAMPLER.tag(), "flow-bench/sampler-v2");
+        assert_eq!(BENCH_STREAM.tag(), "flow-bench/stream-v1");
+    }
+}

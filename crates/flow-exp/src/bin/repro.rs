@@ -84,7 +84,7 @@ fn usage() -> ! {
          repro report <trace.jsonl> [--by-query]\n\
          repro serve <queries.jsonl> [--cache-dir DIR] [--out DIR] [--seed N]\n\
                      [--admission-steps N] [--retries N] [--breaker-k K]\n\
-                     [--no-resilience] [--inject POINT]\n\
+                     [--no-resilience] [--inject POINT] [--shards K]\n\
                      [--trace PATH] [--stats-out PATH]\n\
          repro stream <events.jsonl> [--snap-dir DIR] [--out DIR] [--seed N]\n\
          repro perf diff [--baseline PATH] [--bench PATH]... [--append PATH] [--label NAME]"
@@ -188,6 +188,13 @@ fn run_serve_command(args: &[String]) -> ! {
                 );
             }
             "--no-resilience" => serve_args.no_resilience = true,
+            "--shards" => {
+                i += 1;
+                serve_args.shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--inject" => {
                 i += 1;
                 serve_args.inject = Some(args.get(i).cloned().unwrap_or_else(|| usage()));

@@ -321,9 +321,10 @@ pub struct BaselineMetric {
 pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, BaselineMetric>, String> {
     let doc = parse_json(text).ok_or("baseline is not valid JSON")?;
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != "flow-perf/baseline-v1" {
+    let expected = flow_core::schema::PERF_BASELINE.tag();
+    if schema != expected {
         return Err(format!(
-            "unsupported baseline schema {schema:?} (expected \"flow-perf/baseline-v1\")"
+            "unsupported baseline schema {schema:?} (expected {expected:?})"
         ));
     }
     let Some(Json::Obj(metrics)) = doc.get("metrics") else {
@@ -421,7 +422,10 @@ pub fn diff_metrics(
 /// commit hash); metric order is sorted, so identical runs yield
 /// identical lines.
 pub fn trajectory_line(label: &str, metrics: &BTreeMap<String, f64>) -> String {
-    let mut s = String::from("{\"schema\":\"flow-perf/run-v1\",\"label\":");
+    let mut s = format!(
+        "{{\"schema\":\"{}\",\"label\":",
+        flow_core::schema::PERF_RUN.tag()
+    );
     s.push('"');
     for c in label.chars() {
         match c {

@@ -18,6 +18,11 @@
 //! saved after it, so a second invocation serves warm hits across
 //! processes.
 //!
+//! With `--shards K` (K > 1) the engine partitions the model into K
+//! shards and routes each query to the minimal shard set covering its
+//! relevant subgraph (DESIGN.md §16); `--shards 1` is byte-identical
+//! to the unsharded default.
+//!
 //! With `--trace PATH` the batch runs under a JSONL sink and the causal
 //! event stream is written after it: every span and event carries its
 //! query's deterministic trace id (derived from the query key and batch
@@ -66,6 +71,8 @@ pub struct ServeArgs {
     pub trace: Option<String>,
     /// Write the aggregated runtime stats snapshot (JSON) here.
     pub stats_out: Option<String>,
+    /// Shard count for the sharded router (0 or 1 = unsharded).
+    pub shards: u32,
 }
 
 /// What the batch did, for the CLI's exit-code contract: queries that
@@ -83,12 +90,40 @@ pub struct ServeReport {
 
 fn build_model(spec: &ModelSpec) -> Icm {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5E17_E000);
-    synthetic_icm(
-        &mut rng,
-        spec.nodes,
-        spec.edges,
-        skewed_probability_mixture(),
-    )
+    if spec.communities <= 1 {
+        return synthetic_icm(
+            &mut rng,
+            spec.nodes,
+            spec.edges,
+            skewed_probability_mixture(),
+        );
+    }
+    // Disjoint communities: generate each as its own random graph and
+    // lay them out side by side, so every community is a separate weak
+    // component and `--shards` routing has locality to exploit.
+    let per = spec.communities as usize;
+    let n_each = (spec.nodes / per).max(2);
+    let m_each = (spec.edges / per).max(1);
+    let mut prob = skewed_probability_mixture();
+    let mut builder = flow_graph::GraphBuilder::new(n_each * per);
+    let mut probs = Vec::new();
+    for c in 0..per {
+        let sub = flow_graph::generate::uniform_edges(&mut rng, n_each, m_each);
+        let base = (c * n_each) as u32;
+        for e in sub.edges() {
+            let (u, v) = sub.endpoints(e);
+            if builder
+                .add_edge(
+                    flow_graph::NodeId(base + u.0),
+                    flow_graph::NodeId(base + v.0),
+                )
+                .is_ok()
+            {
+                probs.push(prob(&mut rng));
+            }
+        }
+    }
+    Icm::new(builder.build(), probs)
 }
 
 fn outcome_jsonl(index: usize, outcome: &QueryOutcome) -> String {
@@ -213,6 +248,9 @@ fn resolve_config(args: &ServeArgs) -> ServeConfig {
         config.executor.retry = RetryPolicy::none();
         config.breaker = BreakerConfig::disabled();
     }
+    if args.shards > 0 {
+        config.shards = args.shards;
+    }
     config
 }
 
@@ -243,15 +281,21 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<ServeReport> {
         None => ServeCache::new(config.cache_bytes),
     };
     let preloaded = cache.len();
-    let mut engine = ServeEngine::with_cache(config, cache);
+    let shards = config.shards;
+    let mut engine = ServeEngine::builder().config(config).cache(cache).build()?;
 
     out.heading(&format!(
-        "serve — {} queries against a {}-node/{}-edge synthetic ICM (seed {}), {} cached entries preloaded",
+        "serve — {} queries against a {}-node/{}-edge synthetic ICM (seed {}), {} cached entries preloaded{}",
         queries.len(),
         icm.node_count(),
         icm.edge_count(),
         args.seed,
-        preloaded
+        preloaded,
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        }
     ));
 
     // Telemetry for --trace / --stats-out, installed as a *scoped*
@@ -387,6 +431,17 @@ pub fn run_serve(args: &ServeArgs, out: &Output) -> FlowResult<ServeReport> {
         stats.breaker_answers,
         engine.cache().quarantined()
     ));
+    if shards > 1 {
+        let per_shard = engine.shard_stats();
+        let routed: u64 = per_shard.iter().map(|s| s.queries).sum();
+        out.line(format!(
+            "sharding: {} shard engines served {} routed quer{} ({} on the global path)",
+            per_shard.len(),
+            routed,
+            if routed == 1 { "y" } else { "ies" },
+            stats.queries.saturating_sub(routed)
+        ));
+    }
 
     if let Some(dir) = &args.cache_dir {
         engine.cache().save_to_dir(Path::new(dir))?;
@@ -491,6 +546,33 @@ mod tests {
             stats.contains("\"schema\": \"flow-obs/stats-v1\""),
             "{stats}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_serve_answers_everything_and_shards_one_is_identical() {
+        let dir = std::env::temp_dir().join(format!("flowexp-serve-shards-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries = dir.join("queries.jsonl");
+        std::fs::write(&queries, QUERY_FILE).unwrap();
+        let run = |sub: &str, shards: u32| {
+            let args = ServeArgs {
+                queries: queries.display().to_string(),
+                seed: 5,
+                shards,
+                ..Default::default()
+            };
+            run_serve(&args, &Output::to_dir(dir.join(sub))).unwrap();
+            std::fs::read_to_string(dir.join(sub).join("serve_results.jsonl")).unwrap()
+        };
+        let unsharded = run("s0", 0);
+        let one = run("s1", 1);
+        assert_eq!(unsharded, one, "--shards 1 must be byte-identical");
+        let four = run("s4", 4);
+        for line in four.lines() {
+            assert!(line.contains("\"status\":\"answered\""), "{line}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

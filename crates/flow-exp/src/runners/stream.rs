@@ -81,6 +81,10 @@ fn serve_config(seed: u64) -> ServeConfig {
     }
 }
 
+fn serve_engine(seed: u64) -> FlowResult<ServeEngine> {
+    ServeEngine::builder().config(serve_config(seed)).build()
+}
+
 /// A fixed query set derived from the stream's graph alone: up to four
 /// nodes with out-edges each query up to two nodes with in-edges.
 /// Deterministic in the graph, independent of the evidence.
@@ -195,7 +199,7 @@ pub fn run_stream(args: &StreamArgs, out: &Output) -> FlowResult<StreamReport> {
     ));
 
     let mut ingestor = Ingestor::new(IngestConfig::default());
-    let mut engine = ServeEngine::new(serve_config(args.seed));
+    let mut engine = serve_engine(args.seed)?;
     let mut registry: Option<ModelRegistry> = None;
     let mut queries: Vec<FlowQuery> = Vec::new();
     let mut epochs: Vec<EpochRow> = Vec::new();
@@ -337,7 +341,7 @@ pub fn run_stream(args: &StreamArgs, out: &Output) -> FlowResult<StreamReport> {
     // Equivalence gate: a cold engine serving the final model must
     // produce the warm, swapped-through engine's answers byte-for-byte.
     let icm = registry.model().serving_icm();
-    let mut cold = ServeEngine::new(serve_config(args.seed));
+    let mut cold = serve_engine(args.seed)?;
     let cold_rendered = render_batch(&cold.execute_batch(&icm, &queries));
     let warm_rendered = render_batch(&final_outcomes);
     let equivalence_ok = cold_rendered == warm_rendered;

@@ -14,8 +14,12 @@
 //!   experiments (uniform-m, Erdős–Rényi, preferential attachment, and
 //!   deterministic fixtures).
 //! * [`traverse`] — BFS reachability (optionally restricted to an active
-//!   edge mask), multi-source reachability, and radius-bounded ego
-//!   subgraph extraction, all of which back flow-indicator evaluation.
+//!   edge mask), multi-source reachability, backward co-reachability,
+//!   and radius-bounded ego subgraph extraction, all of which back
+//!   flow-indicator evaluation and shard routing.
+//! * [`partition`] — the deterministic community-first edge partition
+//!   behind sharded serving: a stable shard id per edge, whole weak
+//!   components kept together whenever the shard count allows.
 //!
 //! The graph is deliberately minimal: no payloads on nodes or edges.
 //! Everything domain-specific lives in parallel vectors owned by the
@@ -24,12 +28,17 @@
 pub mod bitset;
 pub mod generate;
 pub mod graph;
+pub mod partition;
 pub mod paths;
 pub mod scc;
 pub mod traverse;
 
 pub use bitset::BitSet;
 pub use graph::{DiGraph, EdgeId, GraphBuilder, NodeId};
+pub use partition::{partition_edges, EdgePartition};
 pub use paths::{shortest_path_distances, shortest_path_to};
 pub use scc::{strongly_connected_components, Condensation};
-pub use traverse::{ego_subgraph, reachable, reachable_filtered, EgoSubgraph, Reachability};
+pub use traverse::{
+    co_reachable, ego_subgraph, reachable, reachable_filtered, relevant_edges, EgoSubgraph,
+    Reachability,
+};

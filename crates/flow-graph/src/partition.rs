@@ -1,0 +1,306 @@
+//! Deterministic edge partitioning for sharded serving.
+//!
+//! The sharded serve path (DESIGN.md §16) runs each query's chain over
+//! a *sub-multinomial* — the edges of one shard — so the partition must
+//! give every edge a stable shard id that is a pure function of the
+//! graph: same graph, same shards, on every machine and every run.
+//!
+//! The scheme is community-first:
+//!
+//! 1. Weakly-connected components are discovered by BFS in ascending
+//!    node-id order (deterministic).
+//! 2. If there are at least as many components as shards, whole
+//!    components are greedily packed onto the lightest shard (edge
+//!    count as weight; ties broken by lowest shard id), so no
+//!    component — and hence no possible flow — ever straddles shards.
+//! 3. Otherwise components are cut: nodes are laid out in component
+//!    BFS order and split into contiguous blocks balanced by
+//!    out-degree mass. A query whose relevant subgraph crosses a cut
+//!    is routed to the merged shard set or the global engine by the
+//!    flow-serve router; the partition itself stays oblivious.
+//!
+//! An edge belongs to its *source* node's shard. Shards can be empty
+//! (more shards than components on a sparse graph); the serving layer
+//! must tolerate that rather than assume coverage.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A stable assignment of every node and edge to one of `shards`
+/// shards.
+#[derive(Clone, Debug)]
+pub struct EdgePartition {
+    shards: u32,
+    node_shard: Vec<u32>,
+    edge_shard: Vec<u32>,
+    edge_counts: Vec<usize>,
+}
+
+impl EdgePartition {
+    /// Number of shards the partition was built for (some may be
+    /// empty).
+    #[inline]
+    pub fn shard_count(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning edge `e`.
+    #[inline]
+    pub fn shard_of(&self, e: EdgeId) -> u32 {
+        self.edge_shard[e.index()]
+    }
+
+    /// Shard owning node `v` (the shard its out-edges belong to).
+    #[inline]
+    pub fn shard_of_node(&self, v: NodeId) -> u32 {
+        self.node_shard[v.index()]
+    }
+
+    /// Edges of `shard`, in ascending original edge-id order — the
+    /// order sub-models must be materialized in for deterministic
+    /// index remapping.
+    pub fn edges_of(&self, shard: u32) -> Vec<EdgeId> {
+        self.edge_shard
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect()
+    }
+
+    /// Edge count per shard, indexed by shard id.
+    pub fn edge_counts(&self) -> &[usize] {
+        &self.edge_counts
+    }
+
+    /// True when `shard` owns no edges.
+    pub fn is_empty(&self, shard: u32) -> bool {
+        self.edge_counts.get(shard as usize).is_none_or(|&c| c == 0)
+    }
+}
+
+/// Weakly-connected components in deterministic order: each component
+/// is the BFS closure (edges taken both ways) of the lowest-id node not
+/// yet assigned, and nodes within a component are listed in BFS order.
+fn weak_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        component[start] = id;
+        queue.push_back(NodeId(start as u32));
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            let mut visit = |v: NodeId, component: &mut Vec<usize>| {
+                if component[v.index()] == usize::MAX {
+                    component[v.index()] = id;
+                    queue.push_back(v);
+                }
+            };
+            for &e in graph.out_edges(u) {
+                visit(graph.dst(e), &mut component);
+            }
+            for &e in graph.in_edges(u) {
+                visit(graph.src(e), &mut component);
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+/// Partitions `graph`'s edges into `shards` stable shards. `shards` is
+/// floored at 1; with one shard every edge lands on shard 0 and the
+/// partition is trivially the whole graph.
+pub fn partition_edges(graph: &DiGraph, shards: u32) -> EdgePartition {
+    let shards = shards.max(1);
+    let n = graph.node_count();
+    let mut node_shard = vec![0u32; n];
+
+    if shards > 1 && n > 0 {
+        let components = weak_components(graph);
+        let weight =
+            |members: &[NodeId]| -> usize { members.iter().map(|&v| graph.out_degree(v)).sum() };
+        if components.len() >= shards as usize {
+            // Whole components onto the lightest shard: heaviest first,
+            // ties broken by the component's lowest node id so the
+            // packing is a pure function of the graph.
+            let mut order: Vec<usize> = (0..components.len()).collect();
+            order.sort_by_key(|&c| {
+                (
+                    usize::MAX - weight(&components[c]),
+                    components[c].first().map_or(0, |v| v.index()),
+                )
+            });
+            let mut load = vec![0usize; shards as usize];
+            for c in order {
+                let lightest = (0..shards as usize)
+                    .min_by_key(|&s| (load[s], s))
+                    .unwrap_or(0);
+                load[lightest] += weight(&components[c]);
+                for &v in &components[c] {
+                    node_shard[v.index()] = lightest as u32;
+                }
+            }
+        } else {
+            // Fewer components than shards: cut along the component BFS
+            // layout into contiguous blocks balanced by out-degree mass.
+            let total = graph.edge_count().max(1);
+            let mut seen = 0usize;
+            let mut shard = 0u32;
+            for members in &components {
+                for &v in members {
+                    // Advance to the next shard once this one's share of
+                    // the edge mass is met, never past the last shard.
+                    while shard + 1 < shards
+                        && seen * shards as usize >= total * (shard as usize + 1)
+                    {
+                        shard += 1;
+                    }
+                    node_shard[v.index()] = shard;
+                    seen += graph.out_degree(v);
+                }
+            }
+        }
+    }
+
+    let mut edge_counts = vec![0usize; shards as usize];
+    let edge_shard: Vec<u32> = graph
+        .edges()
+        .map(|e| {
+            let s = node_shard[graph.src(e).index()];
+            edge_counts[s as usize] += 1;
+            s
+        })
+        .collect();
+    EdgePartition {
+        shards,
+        node_shard,
+        edge_shard,
+        edge_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from_edges;
+
+    /// Two disjoint diamonds plus an isolated chain.
+    fn three_communities() -> DiGraph {
+        graph_from_edges(
+            11,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (5, 7),
+                (6, 7),
+                (8, 9),
+                (9, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn one_shard_is_the_whole_graph() {
+        let g = three_communities();
+        let p = partition_edges(&g, 1);
+        assert_eq!(p.shard_count(), 1);
+        assert!(g.edges().all(|e| p.shard_of(e) == 0));
+        assert_eq!(p.edges_of(0).len(), g.edge_count());
+        assert_eq!(p.edge_counts(), &[g.edge_count()]);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let g = three_communities();
+        let a = partition_edges(&g, 3);
+        let b = partition_edges(&g, 3);
+        for e in g.edges() {
+            assert_eq!(a.shard_of(e), b.shard_of(e));
+        }
+    }
+
+    #[test]
+    fn whole_components_stay_on_one_shard() {
+        let g = three_communities();
+        let p = partition_edges(&g, 3);
+        // Every component's edges share one shard.
+        for component in [&[0u32, 1, 2, 3][..], &[4, 5, 6, 7], &[8, 9, 10]] {
+            let shards: std::collections::BTreeSet<u32> = g
+                .edges()
+                .filter(|&e| component.contains(&g.src(e).0))
+                .map(|e| p.shard_of(e))
+                .collect();
+            assert_eq!(shards.len(), 1, "component {component:?} split");
+        }
+        // All three shards carry work: 4 + 4 + 2 edges.
+        let mut counts = p.edge_counts().to_vec();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn edge_shard_follows_source_node() {
+        let g = three_communities();
+        for k in [2u32, 3, 4] {
+            let p = partition_edges(&g, k);
+            for e in g.edges() {
+                assert_eq!(p.shard_of(e), p.shard_of_node(g.src(e)));
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_edges_leaves_empty_shards() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let p = partition_edges(&g, 4);
+        assert_eq!(p.shard_count(), 4);
+        assert!((0..4).any(|s| p.is_empty(s)), "{:?}", p.edge_counts());
+        assert_eq!(p.edge_counts().iter().sum::<usize>(), g.edge_count());
+        assert!(p.is_empty(99), "out-of-range shards read as empty");
+    }
+
+    #[test]
+    fn single_component_is_cut_into_balanced_blocks() {
+        // One chain of 12 edges: must be split, roughly evenly.
+        let edges: Vec<(u32, u32)> = (0..12).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(13, &edges);
+        let p = partition_edges(&g, 3);
+        let counts = p.edge_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+        assert!(
+            counts.iter().all(|&c| (3..=5).contains(&c)),
+            "{counts:?} not balanced"
+        );
+        // Contiguity: shard ids are non-decreasing along the chain.
+        let shards: Vec<u32> = g.edges().map(|e| p.shard_of(e)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "{shards:?}");
+    }
+
+    #[test]
+    fn edges_of_is_ascending() {
+        let g = three_communities();
+        let p = partition_edges(&g, 3);
+        for s in 0..3 {
+            let edges = p.edges_of(s);
+            assert!(edges.windows(2).all(|w| w[0].index() < w[1].index()));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_floored_to_one() {
+        let g = three_communities();
+        let p = partition_edges(&g, 0);
+        assert_eq!(p.shard_count(), 1);
+    }
+}

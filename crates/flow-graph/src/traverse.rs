@@ -158,6 +158,55 @@ impl BfsScratch {
     }
 }
 
+/// Backward BFS: all nodes from which some node in `targets` is
+/// reachable (targets co-reach themselves). The mirror of
+/// [`reachable`], walking in-edges; together they bound the
+/// *query-relevant* edge set `{(u, v) : u reachable from the sources
+/// and v co-reachable to the targets}` that shard routing projects
+/// sub-models onto.
+pub fn co_reachable(graph: &DiGraph, targets: &[NodeId]) -> Reachability {
+    let mut reached = BitSet::new(graph.node_count());
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &t in targets {
+        if !reached.get(t.index()) {
+            reached.set(t.index(), true);
+            order.push(t);
+            queue.push_back(t);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &e in graph.in_edges(v) {
+            let u = graph.src(e);
+            if !reached.get(u.index()) {
+                reached.set(u.index(), true);
+                order.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    Reachability { reached, order }
+}
+
+/// The query-relevant edge set between `sources` and `targets`: every
+/// edge `(u, v)` with `u` reachable from a source and `v` co-reaching a
+/// target — exactly the edges lying on some directed source→target
+/// path. Under an edge-independent cascade model every other edge's
+/// state is independent of the source→target flow indicator, so a
+/// sub-model containing this set answers flow queries with the full
+/// model's distribution; shard routing unions it per query.
+///
+/// Edges come back in ascending edge-id order (the order sub-model
+/// projection requires).
+pub fn relevant_edges(graph: &DiGraph, sources: &[NodeId], targets: &[NodeId]) -> Vec<EdgeId> {
+    let fwd = reachable(graph, sources);
+    let bwd = co_reachable(graph, targets);
+    graph
+        .edges()
+        .filter(|&e| fwd.contains(graph.src(e)) && bwd.contains(graph.dst(e)))
+        .collect()
+}
+
 /// A radius-bounded neighbourhood of a focus node, re-indexed as its own
 /// compact graph.
 #[derive(Clone, Debug)]
@@ -323,6 +372,58 @@ mod tests {
         assert_eq!(set.count_ones(), 4);
         let set2 = scratch.reach_set(&g, &[NodeId(3)], |_| true);
         assert_eq!(set2.count_ones(), 1);
+    }
+
+    #[test]
+    fn co_reachable_mirrors_reachable() {
+        let g = diamond();
+        let b = co_reachable(&g, &[NodeId(3)]);
+        assert_eq!(b.count(), 4);
+        let b1 = co_reachable(&g, &[NodeId(1)]);
+        assert_eq!(b1.count(), 2); // 1 and 0
+        assert!(b1.contains(NodeId(0)));
+        assert!(!b1.contains(NodeId(2)));
+        // Forward/backward agreement: u reaches v iff v co-reaches u.
+        for u in g.nodes() {
+            let fwd = reachable(&g, &[u]);
+            for v in g.nodes() {
+                assert_eq!(fwd.contains(v), co_reachable(&g, &[v]).contains(u));
+            }
+        }
+    }
+
+    #[test]
+    fn co_reachable_multi_target_dedups() {
+        let g = diamond();
+        let b = co_reachable(&g, &[NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(b.count(), 3); // 1, 2, 0
+        assert!(!b.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn relevant_edges_are_exactly_the_path_edges() {
+        // diamond 0->1, 0->2, 1->3, 2->3 plus a dangling 3->? none;
+        // add a side graph via a bigger fixture.
+        let g = crate::graph::graph_from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 4)],
+        );
+        // 0 -> 3: the diamond's four edges, nothing downstream of 3.
+        let edges = relevant_edges(&g, &[NodeId(0)], &[NodeId(3)]);
+        let ids: Vec<u32> = edges.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // 0 -> 5 includes the tail chain and the 5->4 back edge (4 is
+        // both reachable and co-reaching through the cycle).
+        let ids: Vec<u32> = relevant_edges(&g, &[NodeId(0)], &[NodeId(5)])
+            .iter()
+            .map(|e| e.0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+        // Disconnected pair: empty.
+        assert!(relevant_edges(&g, &[NodeId(4)], &[NodeId(0)]).is_empty());
+        // Ascending order is part of the contract.
+        let all = relevant_edges(&g, &[NodeId(0)], &[NodeId(4), NodeId(5)]);
+        assert!(all.windows(2).all(|w| w[0].index() < w[1].index()));
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`query`] — flow-condition vocabulary (`(u, v, a)` triples of §III)
 //!   shared with the samplers.
 //! * [`synth`] — the synthetic betaICM generator of §IV-A.
+//! * [`SubIcm`] — a model projected onto a subset of its edges (same
+//!   node-id space, remapped edge indices), the unit sharded serving
+//!   runs chains over.
 
 pub mod evidence;
 pub mod exact;
@@ -32,6 +35,7 @@ pub mod fingerprint;
 pub mod model;
 pub mod query;
 pub mod state;
+pub mod subicm;
 pub mod synth;
 
 mod beta_icm;
@@ -42,3 +46,4 @@ pub use fingerprint::model_fingerprint;
 pub use model::Icm;
 pub use query::FlowCondition;
 pub use state::{ActiveState, PseudoState};
+pub use subicm::SubIcm;

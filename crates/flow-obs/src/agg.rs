@@ -474,12 +474,15 @@ impl StatsSnapshot {
         s
     }
 
-    /// Renders the JSON form (schema `flow-obs/stats-v1`). Key order
-    /// is fixed, map entries are sorted, floats use shortest
+    /// Renders the JSON form (schema [`flow_core::schema::OBS_STATS`]).
+    /// Key order is fixed, map entries are sorted, floats use shortest
     /// round-trip form: the output is deterministic given
     /// deterministic inputs.
     pub fn render_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"flow-obs/stats-v1\",\n");
+        let mut s = format!(
+            "{{\n  \"schema\": \"{}\",\n",
+            flow_core::schema::OBS_STATS.tag()
+        );
         let _ = writeln!(
             s,
             "  \"serve\": {{\"cache_hit_ratio\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \

@@ -36,11 +36,15 @@ use flow_mcmc::{ChainCheckpoint, TargetCounts};
 use std::collections::HashMap;
 use std::path::Path;
 
-/// Magic first line of the persisted-cache text format. The v2 format
-/// adds a per-entry `entry lines=<n> crc=<hex>` marker; v1 files (no
-/// checksums) predate crash-safe recovery and are quarantined wholesale
-/// on load, which costs a cold start, never a wrong answer.
-const HEADER: &str = "flowserve-cache v2";
+/// Magic first line of the persisted-cache text format, from the
+/// workspace schema registry ([`flow_core::schema::SERVE_CACHE`]). v2
+/// added per-entry `entry lines=<n> crc=<hex>` markers; v3 added the
+/// shard field to the persisted key text. Files with any other header
+/// (including older versions) are quarantined wholesale on load, which
+/// costs a cold start, never a wrong answer.
+fn header() -> String {
+    flow_core::schema::SERVE_CACHE.line_header()
+}
 
 /// Marker written when checksumming is explicitly disabled
 /// ([`ServeCache::save_to_dir_opts`]); such blocks load unverified.
@@ -312,7 +316,7 @@ impl ServeCache {
         let mut hashes: Vec<u64> = self.slots.keys().copied().collect();
         hashes.sort_unstable();
         let mut out = String::new();
-        out.push_str(HEADER);
+        out.push_str(&header());
         out.push('\n');
         out.push_str(&format!("entries={}\n", hashes.len()));
         for h in hashes {
@@ -389,9 +393,9 @@ impl ServeCache {
         let mut cache = ServeCache::new(byte_budget);
         let mut quarantined: Vec<(String, String)> = Vec::new();
         let lines: Vec<&str> = text.lines().collect();
-        if lines.first().copied() != Some(HEADER) {
+        if lines.first().copied() != Some(header().as_str()) {
             quarantined.push((
-                format!("bad cache header; expected `{HEADER}`"),
+                format!("bad cache header; expected `{}`", header()),
                 text.to_string(),
             ));
             return (cache, quarantined);

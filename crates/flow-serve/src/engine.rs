@@ -6,6 +6,21 @@
 //! [`QueryOutcome`]s in submission order, and updates the estimate
 //! cache so the *next* batch gets hits and warm starts.
 //!
+//! Engines are constructed through the validating [`EngineBuilder`]
+//! (`ServeEngine::builder()`); invalid configurations are typed
+//! [`FlowError::Config`] errors at build time, never panics at serve
+//! time.
+//!
+//! With `shards > 1` the engine becomes a **sharded router**
+//! (DESIGN.md §16): the model's edges are partitioned deterministically
+//! ([`flow_graph::partition_edges`]), each query is routed to the
+//! minimal shard set covering its relevant subgraph
+//! ([`crate::route`]), and routed queries run on per-shard child
+//! engines — each with its own cache, breaker, and stats — over a
+//! projected [`SubIcm`] whose chains walk a sub-multinomial of
+//! `m_shard << m` edges. Queries spanning every shard fall back to the
+//! global path, which is byte-identical to an unsharded engine.
+//!
 //! The precision contract: every answered query reports its achieved
 //! 95% half-width, and when that is looser than the requested tolerance
 //! (budget exhaustion, deadline degradation, or sample caps) the answer
@@ -17,11 +32,15 @@ use crate::breaker::{BreakerConfig, BreakerDecision, CircuitBreaker};
 use crate::cache::{half_width, CacheEntry, ServeCache};
 use crate::exec::{run_plans_report, ExecutorConfig, PlanStatus};
 use crate::plan::{
-    plan_batch, BatchPlan, EarlyResolution, FlowQuery, Plan, PlanWork, PlannerConfig,
+    mix64, plan_batch, trace_id, BatchPlan, EarlyResolution, FlowQuery, Plan, PlanWork,
+    PlannerConfig,
 };
-use flow_core::FlowError;
-use flow_icm::Icm;
+use crate::route::{route_query, Route};
+use flow_core::{FlowError, FlowResult};
+use flow_graph::{partition_edges, EdgeId, EdgePartition};
+use flow_icm::{model_fingerprint, Icm, SubIcm};
 use flow_mcmc::{DegradationReason, McmcConfig, SharedChainOutcome, TargetCounts};
+use std::collections::BTreeMap;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +59,9 @@ pub struct ServeConfig {
     pub engine_seed: u64,
     /// Hard per-plan cap on retained samples.
     pub max_samples: usize,
+    /// Shard count for the sharded router; `1` (the default) serves
+    /// every query on the global, unsharded path.
+    pub shards: u32,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +74,7 @@ impl Default for ServeConfig {
             cache_bytes: 8 << 20,
             engine_seed: 0,
             max_samples: 200_000,
+            shards: 1,
         }
     }
 }
@@ -63,7 +86,159 @@ impl ServeConfig {
             default_tolerance: self.default_tolerance,
             engine_seed: self.engine_seed,
             max_samples: self.max_samples,
+            shard: 0,
         }
+    }
+}
+
+/// Validating constructor for [`ServeEngine`]:
+/// `ServeEngine::builder().cache(..).model_fingerprint(..).shards(..).build()?`.
+///
+/// Every invalid combination is a typed [`FlowError::Config`] at build
+/// time — a zero-worker executor, a non-positive tolerance, a zero
+/// sample cap — instead of a panic or a silent misbehaviour at serve
+/// time. The builder replaces the deprecated `ServeEngine::new` /
+/// `ServeEngine::with_cache` constructors.
+#[derive(Default)]
+pub struct EngineBuilder {
+    config: ServeConfig,
+    cache: Option<ServeCache>,
+    explicit_cache_bytes: Option<usize>,
+    model_fingerprint: Option<u64>,
+}
+
+impl EngineBuilder {
+    /// Replaces the whole base configuration (granular setters applied
+    /// afterwards still win).
+    #[must_use]
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Baseline chain configuration (class + minimum samples).
+    #[must_use]
+    pub fn mcmc(mut self, mcmc: McmcConfig) -> Self {
+        self.config.mcmc = mcmc;
+        self
+    }
+
+    /// Tolerance applied when a query does not state one.
+    #[must_use]
+    pub fn default_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.default_tolerance = tolerance;
+        self
+    }
+
+    /// Worker pool, admission policy, and retry policy.
+    #[must_use]
+    pub fn executor(mut self, executor: ExecutorConfig) -> Self {
+        self.config.executor = executor;
+        self
+    }
+
+    /// Per-chain circuit-breaker shape.
+    #[must_use]
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Estimate-cache byte budget (0 disables caching). Conflicts with
+    /// [`EngineBuilder::cache`]: a pre-populated cache already fixes
+    /// its budget.
+    #[must_use]
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.explicit_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Engine seed; chain seeds derive from it and each chain key.
+    #[must_use]
+    pub fn engine_seed(mut self, seed: u64) -> Self {
+        self.config.engine_seed = seed;
+        self
+    }
+
+    /// Hard per-plan cap on retained samples.
+    #[must_use]
+    pub fn max_samples(mut self, max_samples: usize) -> Self {
+        self.config.max_samples = max_samples;
+        self
+    }
+
+    /// Shard count for the sharded router (`1` = unsharded).
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Starts the engine over a pre-populated (e.g. loaded-from-disk)
+    /// cache instead of a cold one.
+    #[must_use]
+    pub fn cache(mut self, cache: ServeCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Declares the model version the engine will serve: entries of a
+    /// provided cache keyed on any other fingerprint are invalidated at
+    /// build, so a recovered cache can never answer for a retrained
+    /// model.
+    #[must_use]
+    pub fn model_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.model_fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// Validates and builds the engine.
+    pub fn build(self) -> FlowResult<ServeEngine> {
+        let EngineBuilder {
+            mut config,
+            cache,
+            explicit_cache_bytes,
+            model_fingerprint,
+        } = self;
+        let invalid = |detail: String| Err(FlowError::Config { detail });
+        if let Some(bytes) = explicit_cache_bytes {
+            if cache.is_some() {
+                return invalid(
+                    "both cache(..) and cache_bytes(..) were set; a pre-populated \
+                     cache already fixes its byte budget"
+                        .into(),
+                );
+            }
+            config.cache_bytes = bytes;
+        }
+        if !(config.default_tolerance.is_finite() && config.default_tolerance > 0.0) {
+            return invalid(format!(
+                "default_tolerance must be positive and finite, got {}",
+                config.default_tolerance
+            ));
+        }
+        if config.max_samples == 0 {
+            return invalid("max_samples must be at least 1".into());
+        }
+        if config.executor.workers == 0 {
+            return invalid("executor needs at least one worker".into());
+        }
+        if config.executor.retry.max_attempts == 0 {
+            return invalid(
+                "retry policy needs at least one attempt (max_attempts = 0 would \
+                 never run a plan)"
+                    .into(),
+            );
+        }
+        if config.shards == 0 {
+            return invalid("shard count must be at least 1 (1 = unsharded)".into());
+        }
+        let cache = cache.unwrap_or_else(|| ServeCache::new(config.cache_bytes));
+        let mut engine = ServeEngine::from_parts(config, cache, 0);
+        if let Some(fp) = model_fingerprint {
+            engine.cache.invalidate_stale(fp);
+        }
+        Ok(engine)
     }
 }
 
@@ -145,31 +320,121 @@ pub struct ServeStats {
     pub breaker_answers: u64,
 }
 
+/// One shard's serving unit: the projected sub-model and a child
+/// engine (own cache, breaker, stats) whose canonical keys carry the
+/// shard's slot.
+struct ShardUnit {
+    sub: SubIcm,
+    engine: ServeEngine,
+}
+
+/// The sharded router's materialized state, lazily (re)built per
+/// parent-model fingerprint.
+struct Sharding {
+    /// Fingerprint of the parent model the partition was built for.
+    fingerprint: u64,
+    partition: EdgePartition,
+    /// One unit per shard, indexed by shard id (empty shards included
+    /// for alignment; routing never selects them).
+    units: Vec<ShardUnit>,
+    /// Lazily materialized merged units for cross-shard routes, keyed
+    /// by the sorted member-shard set.
+    merged: Vec<(Vec<u32>, ShardUnit)>,
+}
+
+/// Shard slot for a merged cross-shard unit: a pure function of the
+/// member set (so chain seeds stay batch-order independent) offset
+/// into the high half of the slot space, where it can never collide
+/// with a per-shard slot `s + 1`.
+fn merged_slot(set: &[u32]) -> u32 {
+    let mut h = 0x5eed_ca57u64;
+    for &s in set {
+        h = mix64(h, u64::from(s) + 1);
+    }
+    (h as u32) | 0x8000_0000
+}
+
+impl Sharding {
+    /// Index of the merged unit for `set`, materializing it on first
+    /// use: the sub-model over the union of the member shards' edges,
+    /// in ascending parent edge order (visit-order independent).
+    fn merged_index(
+        &mut self,
+        icm: &Icm,
+        set: Vec<u32>,
+        config: &ServeConfig,
+    ) -> FlowResult<usize> {
+        if let Some(ix) = self.merged.iter().position(|(s, _)| *s == set) {
+            return Ok(ix);
+        }
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for &s in &set {
+            edges.extend(self.partition.edges_of(s));
+        }
+        edges.sort_unstable_by_key(|e| e.index());
+        let sub = SubIcm::project(icm, &edges)?;
+        let slot = merged_slot(&set);
+        let unit = ShardUnit {
+            sub,
+            engine: child_engine(*config, slot),
+        };
+        self.merged.push((set, unit));
+        Ok(self.merged.len() - 1)
+    }
+}
+
+/// A per-shard child engine: same knobs as the parent but unsharded,
+/// with a cold cache and its canonical keys pinned to `slot`.
+fn child_engine(mut config: ServeConfig, slot: u32) -> ServeEngine {
+    config.shards = 1;
+    ServeEngine::from_parts(config, ServeCache::new(config.cache_bytes), slot)
+}
+
 /// The serving engine. Owns the cache; one instance per model-serving
 /// process (the model itself is passed per batch so a retrain shows up
-/// as a fingerprint change, not an engine rebuild).
+/// as a fingerprint change, not an engine rebuild). Construct via
+/// [`ServeEngine::builder`].
 pub struct ServeEngine {
     config: ServeConfig,
     cache: ServeCache,
     breaker: CircuitBreaker,
     stats: ServeStats,
+    /// Shard slot stamped into this engine's canonical keys: `0` for
+    /// the global engine, `s + 1` for the sharded router's children.
+    shard_slot: u32,
+    /// Router state, present once a sharded engine has seen a model.
+    sharding: Option<Box<Sharding>>,
 }
 
 impl ServeEngine {
-    /// An engine with a cold cache.
-    pub fn new(config: ServeConfig) -> Self {
-        let cache = ServeCache::new(config.cache_bytes);
-        Self::with_cache(config, cache)
+    /// The validating builder — the supported way to construct an
+    /// engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
     }
 
-    /// An engine over a pre-populated (e.g. loaded-from-disk) cache.
-    pub fn with_cache(config: ServeConfig, cache: ServeCache) -> Self {
+    fn from_parts(config: ServeConfig, cache: ServeCache, shard_slot: u32) -> Self {
         ServeEngine {
             config,
             cache,
             breaker: CircuitBreaker::new(config.breaker),
             stats: ServeStats::default(),
+            shard_slot,
+            sharding: None,
         }
+    }
+
+    /// An engine with a cold cache.
+    #[deprecated(note = "use `ServeEngine::builder()...build()?`, which validates the config")]
+    pub fn new(config: ServeConfig) -> Self {
+        let cache = ServeCache::new(config.cache_bytes);
+        Self::from_parts(config, cache, 0)
+    }
+
+    /// An engine over a pre-populated (e.g. loaded-from-disk) cache.
+    #[deprecated(note = "use `ServeEngine::builder().cache(cache).build()?`")]
+    pub fn with_cache(config: ServeConfig, cache: ServeCache) -> Self {
+        Self::from_parts(config, cache, 0)
     }
 
     /// The engine's circuit breaker (read-only; for tests/telemetry).
@@ -182,25 +447,62 @@ impl ServeEngine {
         &self.cache
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics. Under a sharded engine these aggregate
+    /// across the router: routed queries' outcomes are absorbed into
+    /// the parent's counters as they are stitched back.
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// Per-shard child-engine statistics, indexed by shard id. Empty
+    /// until a sharded engine has served its first batch (or `[]`
+    /// forever on an unsharded engine).
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.sharding
+            .as_ref()
+            .map(|s| s.units.iter().map(|u| u.engine.stats).collect())
+            .unwrap_or_default()
     }
 
     /// Installs a new model version: eagerly invalidates every cache
     /// entry keyed on a different fingerprint and returns how many were
     /// dropped.
-    ///
-    /// The model itself is still passed per batch ([`Self::execute_batch`]),
-    /// so a swap cannot interrupt in-flight work — the current batch
-    /// holds `&mut self` and finishes on the model it was handed; the
-    /// next batch simply arrives with the new `Icm` whose fingerprint
-    /// now matches the surviving entries. Calling this is an eager-
-    /// reclamation optimization plus telemetry hook, not a correctness
-    /// requirement: stale entries can never hit anyway because the
-    /// fingerprint is part of every key.
+    #[deprecated(
+        note = "use `install_model_icm`, which also swaps the sharded router shard-granularly"
+    )]
     pub fn install_model(&mut self, fingerprint: u64) -> usize {
         self.cache.invalidate_stale(fingerprint)
+    }
+
+    /// Installs a new model version, shard-granularly.
+    ///
+    /// The global cache drops entries keyed on any other fingerprint,
+    /// and a sharded engine re-partitions eagerly: shards whose
+    /// projected sub-model fingerprint is unchanged keep their unit —
+    /// cache, breaker, and stats intact — while changed shards are
+    /// rebuilt cold. Returns how many cache entries were dropped across
+    /// the global cache and all retired units.
+    ///
+    /// The model itself is still passed per batch
+    /// ([`Self::execute_batch`]), so a swap cannot interrupt in-flight
+    /// work — the current batch holds `&mut self` and finishes on the
+    /// model it was handed; the next batch simply arrives with the new
+    /// `Icm` whose fingerprint now matches the surviving entries.
+    /// Calling this is an eager-reclamation optimization plus telemetry
+    /// hook, not a correctness requirement: stale entries can never hit
+    /// anyway because the fingerprint is part of every key.
+    pub fn install_model_icm(&mut self, icm: &Icm) -> usize {
+        let fingerprint = model_fingerprint(icm);
+        let mut dropped = self.cache.invalidate_stale(fingerprint);
+        if self.config.shards > 1 {
+            match self.ensure_sharding(icm) {
+                Ok(d) => dropped += d,
+                // A failed rebuild leaves the router unmaterialized;
+                // the next batch retries (and falls back globally).
+                Err(_) => self.sharding = None,
+            }
+        }
+        dropped
     }
 
     /// The engine's configuration.
@@ -208,12 +510,240 @@ impl ServeEngine {
         &self.config
     }
 
+    /// (Re)builds the router state for `icm`, reusing every unit whose
+    /// projected sub-model is unchanged. Returns how many cache entries
+    /// the retired units held.
+    fn ensure_sharding(&mut self, icm: &Icm) -> FlowResult<usize> {
+        let fingerprint = model_fingerprint(icm);
+        if self
+            .sharding
+            .as_ref()
+            .is_some_and(|s| s.fingerprint == fingerprint)
+        {
+            return Ok(0);
+        }
+        let partition = partition_edges(icm.graph(), self.config.shards);
+        let (mut old_units, old_merged) = match self.sharding.take() {
+            Some(old) => (
+                old.units.into_iter().map(Some).collect::<Vec<_>>(),
+                old.merged,
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        let shard_count = partition.shard_count();
+        let mut reused = vec![false; shard_count as usize];
+        let mut units = Vec::with_capacity(shard_count as usize);
+        for s in 0..shard_count {
+            let sub = SubIcm::project(icm, &partition.edges_of(s))?;
+            let carried = old_units.get_mut(s as usize).and_then(|slot| {
+                if slot
+                    .as_ref()
+                    .is_some_and(|u| u.sub.fingerprint() == sub.fingerprint())
+                {
+                    slot.take()
+                } else {
+                    None
+                }
+            });
+            match carried {
+                Some(unit) => {
+                    reused[s as usize] = true;
+                    units.push(unit);
+                }
+                None => units.push(ShardUnit {
+                    sub,
+                    engine: child_engine(self.config, s + 1),
+                }),
+            }
+        }
+        let mut dropped: usize = old_units
+            .into_iter()
+            .flatten()
+            .map(|u| u.engine.cache.len())
+            .sum();
+        // A merged unit survives exactly when every member shard was
+        // reused: equal member fingerprints mean the union sub-model —
+        // and hence every cached answer — is unchanged.
+        let mut merged = Vec::new();
+        for (set, unit) in old_merged {
+            let intact = set
+                .iter()
+                .all(|&s| reused.get(s as usize).copied().unwrap_or(false));
+            if intact {
+                merged.push((set, unit));
+            } else {
+                dropped += unit.engine.cache.len();
+            }
+        }
+        flow_obs::event(|| {
+            flow_obs::Event::new("serve.shard.rebuilt")
+                .u64("shards", u64::from(shard_count))
+                .u64("reused", reused.iter().filter(|&&r| r).count() as u64)
+                .u64("dropped_entries", dropped as u64)
+        });
+        self.sharding = Some(Box::new(Sharding {
+            fingerprint,
+            partition,
+            units,
+            merged,
+        }));
+        Ok(dropped)
+    }
+
     /// Executes a batch of queries, returning one outcome per query in
-    /// submission order.
+    /// submission order. A `shards > 1` engine routes each query to the
+    /// minimal shard set covering its relevant subgraph and
+    /// scatter-gathers the per-unit sub-batches; everything else — and
+    /// every query spanning too many shards — runs on the global path,
+    /// byte-identical to an unsharded engine.
     pub fn execute_batch(&mut self, icm: &Icm, queries: &[FlowQuery]) -> Vec<QueryOutcome> {
+        if self.config.shards > 1 {
+            self.execute_batch_sharded(icm, queries)
+        } else {
+            self.execute_batch_local(icm, queries)
+        }
+    }
+
+    /// The sharded router: route, scatter per-unit sub-batches, gather
+    /// outcomes back into submission order.
+    fn execute_batch_sharded(&mut self, icm: &Icm, queries: &[FlowQuery]) -> Vec<QueryOutcome> {
+        let _batch = flow_obs::span("serve.batch.sharded");
+        if let Err(e) = self.ensure_sharding(icm) {
+            // Partitioning failed (malformed model): serve the whole
+            // batch on the global path rather than dropping it.
+            flow_obs::event(|| {
+                flow_obs::Event::new("serve.shard.disabled").str("error", e.to_string())
+            });
+            return self.execute_batch_local(icm, queries);
+        }
+        let Some(mut sharding) = self.sharding.take() else {
+            return self.execute_batch_local(icm, queries);
+        };
+
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
+        let mut global: Vec<usize> = Vec::new();
+        let mut groups: BTreeMap<Vec<u32>, Vec<usize>> = BTreeMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            match route_query(icm, &sharding.partition, q) {
+                Route::Global => global.push(i),
+                Route::Shards(set) => {
+                    flow_obs::event(|| {
+                        let ids: Vec<String> = set.iter().map(|s| s.to_string()).collect();
+                        flow_obs::Event::new("serve.query.routed")
+                            .u64("query", i as u64)
+                            .u64("span", set.len() as u64)
+                            .str("shards", ids.join(","))
+                    });
+                    groups.entry(set).or_default().push(i);
+                }
+                Route::Reject(e) => {
+                    let trace = trace_id(0, i);
+                    self.stats.queries += 1;
+                    self.stats.failed += 1;
+                    flow_obs::event(|| {
+                        flow_obs::Event::new("serve.query.rejected")
+                            .trace(trace)
+                            .u64("query", i as u64)
+                            .str("error", e.to_string())
+                    });
+                    flow_obs::event(|| {
+                        flow_obs::Event::new("serve.query.resolved")
+                            .trace(trace)
+                            .u64("query", i as u64)
+                            .str("path", "failed")
+                    });
+                    outcomes[i] = Some(QueryOutcome::Failed(e));
+                }
+            }
+        }
+
+        // Scatter: each routed group runs on its unit's child engine
+        // over the projected sub-model (node ids are preserved, so the
+        // queries need no translation). Group order is the BTreeMap's
+        // set order — deterministic — and every chain seed is a pure
+        // function of (engine seed, canonical key), so batch
+        // composition cannot change any answer.
+        for (set, idxs) in groups {
+            let unit = if let [s] = set.as_slice() {
+                &mut sharding.units[*s as usize]
+            } else {
+                match sharding.merged_index(icm, set, &self.config) {
+                    Ok(ix) => &mut sharding.merged[ix].1,
+                    Err(_) => {
+                        // Unprojectable union (cannot happen for a
+                        // well-formed partition): global fallback.
+                        global.extend(idxs);
+                        continue;
+                    }
+                }
+            };
+            let sub_queries: Vec<FlowQuery> = idxs.iter().map(|&i| queries[i].clone()).collect();
+            let before = unit.engine.stats;
+            let sub_outcomes = unit.engine.execute_batch(unit.sub.icm(), &sub_queries);
+            let after = unit.engine.stats;
+            self.stats.queries += idxs.len() as u64;
+            self.stats.plans += after.plans - before.plans;
+            self.stats.steps += after.steps - before.steps;
+            self.stats.retries += after.retries - before.retries;
+            self.stats.shed += after.shed - before.shed;
+            for (&i, outcome) in idxs.iter().zip(sub_outcomes) {
+                self.absorb_outcome(&outcome);
+                outcomes[i] = Some(outcome);
+            }
+        }
+        self.sharding = Some(sharding);
+
+        // Gather the global remainder on the local path (its own stats
+        // accounting), preserving submission order.
+        if !global.is_empty() {
+            global.sort_unstable();
+            let global_queries: Vec<FlowQuery> =
+                global.iter().map(|&i| queries[i].clone()).collect();
+            let global_outcomes = self.execute_batch_local(icm, &global_queries);
+            for (&i, outcome) in global.iter().zip(global_outcomes) {
+                outcomes[i] = Some(outcome);
+            }
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or(QueryOutcome::Failed(FlowError::Io {
+                    detail: "query matched no route".into(),
+                }))
+            })
+            .collect()
+    }
+
+    /// Folds a routed query's outcome into the parent's counters (the
+    /// child engine keeps its own full accounting).
+    fn absorb_outcome(&mut self, outcome: &QueryOutcome) {
+        match outcome {
+            QueryOutcome::Answered(a) => {
+                self.stats.answered += 1;
+                match a.served {
+                    Served::CacheHit => self.stats.cache_hits += 1,
+                    Served::Fresh => self.stats.fresh += 1,
+                    Served::WarmRefinement => self.stats.refined += 1,
+                    Served::ShortCircuited => self.stats.breaker_answers += 1,
+                }
+                if !a.degradation.is_empty() {
+                    self.stats.degraded += 1;
+                }
+            }
+            QueryOutcome::Rejected { .. } => self.stats.rejected += 1,
+            QueryOutcome::Failed(_) => self.stats.failed += 1,
+        }
+    }
+
+    /// The unsharded serving path (and the sharded router's global
+    /// fallback).
+    fn execute_batch_local(&mut self, icm: &Icm, queries: &[FlowQuery]) -> Vec<QueryOutcome> {
         let _batch = flow_obs::span("serve.batch");
         self.stats.queries += queries.len() as u64;
-        let batch: BatchPlan = plan_batch(icm, &mut self.cache, &self.config.planner(), queries);
+        let mut planner = self.config.planner();
+        planner.shard = self.shard_slot;
+        let batch: BatchPlan = plan_batch(icm, &mut self.cache, &planner, queries);
         self.stats.plans += batch.plans.len() as u64;
 
         // Breaker gate: an open chain's plans never reach the executor.

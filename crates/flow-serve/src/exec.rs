@@ -372,6 +372,7 @@ mod tests {
             default_tolerance: 0.5,
             engine_seed: 5,
             max_samples: 10_000,
+            shard: 0,
         }
     }
 

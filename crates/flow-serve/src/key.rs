@@ -100,6 +100,12 @@ pub struct QueryKey {
     pub config: ConfigClass,
     /// Model fingerprint the key was built against.
     pub fingerprint: u64,
+    /// Shard slot the key was resolved on: `0` for the global
+    /// (unsharded) engine, `s + 1` for per-shard engines. Folded into
+    /// both hashes so a shard engine's entries and the global engine's
+    /// entries never collide even when their models fingerprint alike
+    /// (a single-shard partition IS the full model).
+    pub shard: u32,
 }
 
 impl QueryKey {
@@ -135,11 +141,18 @@ impl QueryKey {
             conditions,
             config: ConfigClass::of(config, icm.edge_count()),
             fingerprint: model_fingerprint(icm),
+            shard: 0,
         })
     }
 
+    /// The same key pinned to a shard slot (see [`QueryKey::shard`]).
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
     fn fold_common(&self, h: Fnv64) -> Fnv64 {
-        let mut h = h.u64(u64::from(self.source.0));
+        let mut h = h.u64(u64::from(self.source.0)).u64(u64::from(self.shard));
         h = h.u64(self.conditions.len() as u64);
         for c in &self.conditions {
             h = h
@@ -200,7 +213,7 @@ impl QueryKey {
                 .join(";")
         };
         format!(
-            "src={} tgt={} cond={} burn={} thin={} prop={} fp={}",
+            "src={} tgt={} cond={} burn={} thin={} prop={} fp={} shard={}",
             self.source.0,
             target,
             conditions,
@@ -208,6 +221,7 @@ impl QueryKey {
             self.config.thin,
             self.config.proposal_tag(),
             self.fingerprint,
+            self.shard,
         )
     }
 
@@ -276,6 +290,13 @@ impl QueryKey {
             1 => ProposalKind::CurrentActivity,
             other => return Err(corrupt(format!("unknown proposal tag {other}"))),
         };
+        // Lenient on a missing shard field (pre-v3 keys default to the
+        // global slot); the cache header version gates wholesale format
+        // changes, this keeps key parsing robust in isolation.
+        let shard = match fields.iter().find(|(k, _)| *k == "shard") {
+            Some((_, v)) => parse_u32("shard", v)?,
+            None => 0,
+        };
         Ok(QueryKey {
             source,
             target,
@@ -286,6 +307,7 @@ impl QueryKey {
                 proposal,
             },
             fingerprint: parse_u64("fp", get("fp")?)?,
+            shard,
         })
     }
 }
@@ -389,6 +411,21 @@ mod tests {
             assert_eq!(parsed.hash64(), k.hash64());
         }
         assert!(QueryKey::from_text("src=0 tgt=bogus").is_err());
+    }
+
+    #[test]
+    fn shard_slot_separates_identities_and_round_trips() {
+        let base = key(&[]);
+        let sharded = base.clone().with_shard(3);
+        assert_ne!(base.hash64(), sharded.hash64());
+        assert_ne!(base.chain_key(), sharded.chain_key());
+        let parsed = QueryKey::from_text(&sharded.to_text()).unwrap();
+        assert_eq!(parsed, sharded);
+        assert_eq!(parsed.shard, 3);
+        // Pre-v3 text without the field defaults to the global slot.
+        let legacy =
+            QueryKey::from_text("src=0 tgt=sink:3 cond=- burn=8 thin=4 prop=0 fp=77").unwrap();
+        assert_eq!(legacy.shard, 0);
     }
 
     #[test]

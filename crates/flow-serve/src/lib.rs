@@ -25,6 +25,11 @@
 //!   deadlines/step budgets onto graceful degradation
 //!   ([`flow_mcmc::DegradationReason`], including the serving-specific
 //!   `PrecisionNotReached`), and keeps cumulative [`ServeStats`];
+//!   constructed through the validating [`EngineBuilder`];
+//! * [`route`] — the sharded router: with `shards > 1` each query runs
+//!   on the minimal set of shards covering its relevant subgraph, on
+//!   per-shard child engines over projected sub-models
+//!   ([`flow_icm::SubIcm`]) whose chains walk `m_shard << m` edges;
 //! * [`spec`] — the `repro serve` JSONL query-file format.
 //!
 //! Determinism contract: a query's answer is a pure function of
@@ -40,11 +45,14 @@ pub mod engine;
 pub mod exec;
 pub mod key;
 pub mod plan;
+pub mod route;
 pub mod spec;
 
 pub use breaker::{BreakerConfig, BreakerDecision, CircuitBreaker};
 pub use cache::{half_width, CacheEntry, ServeCache};
-pub use engine::{Answer, QueryOutcome, ServeConfig, ServeEngine, ServeStats, Served};
+pub use engine::{
+    Answer, EngineBuilder, QueryOutcome, ServeConfig, ServeEngine, ServeStats, Served,
+};
 pub use exec::{
     run_plans, run_plans_report, run_plans_strict, ExecReport, ExecutorConfig, PlanStatus,
     RetryPolicy,
@@ -54,6 +62,7 @@ pub use plan::{
     mix64, plan_batch, samples_for_tolerance, BatchPlan, EarlyResolution, FlowQuery, Plan,
     PlanEntry, PlanWork, PlannerConfig,
 };
+pub use route::{route_query, Route};
 pub use spec::{parse_query_file, ModelSpec, QueryFile, QuerySpec};
 
 // Re-exported so engine consumers can build targets and read counts

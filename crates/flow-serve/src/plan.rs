@@ -83,6 +83,10 @@ pub struct PlannerConfig {
     pub engine_seed: u64,
     /// Hard per-plan cap on retained samples.
     pub max_samples: usize,
+    /// Shard slot stamped into every canonical key: `0` for the global
+    /// engine, `s + 1` for the per-shard engines of a sharded router
+    /// (see [`QueryKey::shard`]).
+    pub shard: u32,
 }
 
 /// Retained samples needed to promise `tolerance` at worst-case
@@ -311,7 +315,7 @@ pub fn plan_batch(
     for (i, q) in queries.iter().enumerate() {
         let tolerance = q.tolerance.unwrap_or(config.default_tolerance);
         let key = match QueryKey::canonical(q.source, &q.target, &q.conditions, &config.mcmc, icm) {
-            Ok(k) => k,
+            Ok(k) => k.with_shard(config.shard),
             Err(e) => {
                 let trace = trace_id(0, i);
                 traces[i] = trace;
@@ -474,6 +478,7 @@ mod tests {
             default_tolerance: 0.05,
             engine_seed: 17,
             max_samples: 100_000,
+            shard: 0,
         }
     }
 

@@ -36,6 +36,10 @@ pub struct ModelSpec {
     pub edges: usize,
     /// Generation seed.
     pub seed: u64,
+    /// Disjoint equal-size communities the nodes split into (each a
+    /// separate weak component, so `--shards` routing has locality to
+    /// exploit). `1` — the default — is a single random graph.
+    pub communities: u32,
 }
 
 /// One raw query line, before validation.
@@ -122,10 +126,15 @@ fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, SerdeEr
 
 impl Deserialize for ModelSpec {
     fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let communities: u32 = opt_field(v, "communities")?.unwrap_or(1);
+        if communities == 0 {
+            return Err(SerdeError("field `communities`: must be at least 1".into()));
+        }
         Ok(ModelSpec {
             nodes: serde::field(v, "nodes")?,
             edges: serde::field(v, "edges")?,
             seed: opt_field(v, "seed")?.unwrap_or(0),
+            communities,
         })
     }
 }
@@ -261,7 +270,8 @@ mod tests {
             Some(ModelSpec {
                 nodes: 60,
                 edges: 180,
-                seed: 7
+                seed: 7,
+                communities: 1
             })
         );
         assert_eq!(file.queries.len(), 3);

@@ -46,6 +46,15 @@ fn answer(outcome: &QueryOutcome) -> &Answer {
     }
 }
 
+/// Builder-based construction used across these tests; invalid configs
+/// are impossible here, so the expect documents the contract.
+fn build_engine(config: ServeConfig) -> ServeEngine {
+    ServeEngine::builder()
+        .config(config)
+        .build()
+        .expect("valid engine config")
+}
+
 #[test]
 fn same_seed_same_query_is_bit_equal_with_cache_on_and_off() {
     let icm = small_icm();
@@ -55,8 +64,8 @@ fn same_seed_same_query_is_bit_equal_with_cache_on_and_off() {
         FlowQuery::flow(NodeId(2), NodeId(4)),
     ];
 
-    let mut cached = ServeEngine::new(config(11));
-    let mut uncached = ServeEngine::new(ServeConfig {
+    let mut cached = build_engine(config(11));
+    let mut uncached = build_engine(ServeConfig {
         cache_bytes: 0,
         ..config(11)
     });
@@ -87,13 +96,13 @@ fn solo_and_batched_queries_get_identical_answers() {
     let icm = small_icm();
     let shared_query = FlowQuery::flow(NodeId(0), NodeId(4));
 
-    let mut solo = ServeEngine::new(ServeConfig {
+    let mut solo = build_engine(ServeConfig {
         cache_bytes: 0,
         ..config(23)
     });
     let solo_answer = solo.execute_batch(&icm, std::slice::from_ref(&shared_query));
 
-    let mut batched = ServeEngine::new(ServeConfig {
+    let mut batched = build_engine(ServeConfig {
         cache_bytes: 0,
         ..config(23)
     });
@@ -123,7 +132,7 @@ fn warm_cache_hit_spends_zero_sampler_steps() {
         },
     ];
     let sink = Arc::new(MemorySink::new());
-    let mut engine = ServeEngine::new(config(3));
+    let mut engine = build_engine(config(3));
     {
         let _r = ScopedRecorder::install(sink.clone());
         engine.execute_batch(&icm, &queries);
@@ -156,7 +165,7 @@ fn shared_chain_batch_agrees_with_independent_estimates() {
         samples: 12_000,
         ..Default::default()
     };
-    let mut engine = ServeEngine::new(ServeConfig {
+    let mut engine = build_engine(ServeConfig {
         mcmc,
         cache_bytes: 0,
         default_tolerance: 0.5,
@@ -199,7 +208,7 @@ fn contradictory_conditions_fail_typed_without_sampling() {
         ..FlowQuery::flow(NodeId(0), NodeId(4))
     };
     let sink = Arc::new(MemorySink::new());
-    let mut engine = ServeEngine::new(config(1));
+    let mut engine = build_engine(config(1));
     let outcomes = {
         let _r = ScopedRecorder::install(sink.clone());
         engine.execute_batch(&icm, std::slice::from_ref(&query))
@@ -229,7 +238,7 @@ fn step_budget_exhaustion_degrades_instead_of_failing() {
         max_steps: Some(700),
         ..FlowQuery::flow(NodeId(0), NodeId(4))
     };
-    let mut engine = ServeEngine::new(config(5));
+    let mut engine = build_engine(config(5));
     let outcomes = engine.execute_batch(&icm, std::slice::from_ref(&query));
     let got = answer(&outcomes[0]);
     assert!(
@@ -252,7 +261,7 @@ fn queue_overflow_is_explicit_backpressure() {
     let queries: Vec<FlowQuery> = (0..4)
         .map(|s| FlowQuery::flow(NodeId(s), NodeId(4)))
         .collect();
-    let mut engine = ServeEngine::new(ServeConfig {
+    let mut engine = build_engine(ServeConfig {
         executor: ExecutorConfig {
             workers: 2,
             queue_capacity: 2,
@@ -290,7 +299,7 @@ fn warm_refinement_pools_cached_and_fresh_samples() {
         tolerance: Some(0.02),
         ..FlowQuery::flow(NodeId(0), NodeId(4))
     };
-    let mut engine = ServeEngine::new(ServeConfig {
+    let mut engine = build_engine(ServeConfig {
         mcmc: McmcConfig {
             samples: 300,
             ..Default::default()
@@ -327,13 +336,17 @@ fn cache_persists_across_engine_instances() {
         FlowQuery::flow(NodeId(1), NodeId(3)),
     ];
 
-    let mut first = ServeEngine::new(config(41));
+    let mut first = build_engine(config(41));
     let cold = first.execute_batch(&icm, &queries);
     first.cache().save_to_dir(&dir).unwrap();
 
     let loaded = ServeCache::load_from_dir(&dir, 8 << 20).unwrap();
     assert_eq!(loaded.len(), 2);
-    let mut second = ServeEngine::with_cache(config(41), loaded);
+    let mut second = ServeEngine::builder()
+        .config(config(41))
+        .cache(loaded)
+        .build()
+        .expect("valid engine config");
     let warm = second.execute_batch(&icm, &queries);
     for (a, b) in cold.iter().zip(&warm) {
         let (a, b) = (answer(a), answer(b));
@@ -348,7 +361,7 @@ fn cache_persists_across_engine_instances() {
 fn retrained_model_invalidates_cached_answers() {
     let icm = small_icm();
     let query = FlowQuery::flow(NodeId(0), NodeId(4));
-    let mut engine = ServeEngine::new(config(13));
+    let mut engine = build_engine(config(13));
     engine.execute_batch(&icm, std::slice::from_ref(&query));
 
     // Same structure, one nudged probability: a different fingerprint.

@@ -80,7 +80,7 @@ fn timing_of(name: &str) -> FlowResult<TimingAssumption> {
 fn render(model: &StreamModel) -> String {
     let mut out = String::new();
     let graph = model.graph();
-    let _ = writeln!(out, "flowstream-snapshot v1");
+    let _ = writeln!(out, "{}", flow_core::schema::STREAM_SNAPSHOT.line_header());
     let _ = writeln!(out, "epoch={}", model.epoch());
     let _ = writeln!(out, "fingerprint={:016x}", model.serve_fingerprint());
     let _ = writeln!(out, "timing={}", timing_name(model.timing()));
@@ -183,7 +183,7 @@ fn parse_snapshot(text: &str) -> FlowResult<StreamModel> {
     }
 
     let mut lines = body.lines();
-    if lines.next() != Some("flowstream-snapshot v1") {
+    if lines.next() != Some(flow_core::schema::STREAM_SNAPSHOT.line_header().as_str()) {
         return Err(corrupt("bad snapshot magic"));
     }
     let epoch = parse_u64(kv(lines.next().unwrap_or(""), "epoch")?, "epoch")?;
@@ -428,13 +428,15 @@ impl ModelRegistry {
     }
 
     /// Hot-swaps the current model version into a serving engine:
-    /// installs the fingerprint and eagerly reclaims cache entries
-    /// keyed under older models. In-flight batches are untouched — the
-    /// engine takes its model per batch, so work that started on an
-    /// older version completes on it.
+    /// installs the fingerprint, eagerly reclaims cache entries keyed
+    /// under older models, and — on a sharded engine — rebuilds only
+    /// the shards whose sub-model actually changed, keeping the warm
+    /// caches of untouched shards. In-flight batches are untouched —
+    /// the engine takes its model per batch, so work that started on
+    /// an older version completes on it.
     pub fn swap_into(&self, engine: &mut ServeEngine) -> SwapReport {
         let fingerprint = self.model.serve_fingerprint();
-        let invalidated = engine.install_model(fingerprint);
+        let invalidated = engine.install_model_icm(&self.model.serving_icm());
         flow_obs::counter("stream.swaps", 1);
         flow_obs::event(|| {
             flow_obs::Event::new("stream.swap")

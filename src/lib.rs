@@ -61,6 +61,37 @@ pub use flow_graph as graph;
 pub use flow_icm as icm;
 pub use flow_learn as learn;
 pub use flow_mcmc as mcmc;
+pub use flow_obs as obs;
 pub use flow_rwr as rwr;
+pub use flow_serve as serve;
 pub use flow_stats as stats;
+pub use flow_stream as stream;
 pub use flow_twitter as twitter;
+
+/// One-import surface for the model → serve → stream workflow.
+///
+/// ```
+/// use infoflow::prelude::*;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1)).expect("simple edge");
+/// b.add_edge(NodeId(1), NodeId(2)).expect("simple edge");
+/// let icm = Icm::with_uniform_probability(b.build(), 0.5);
+/// let mut engine = ServeEngine::builder()
+///     .shards(1)
+///     .build()
+///     .expect("default config is valid");
+/// let outcomes = engine.execute_batch(&icm, &[FlowQuery::flow(NodeId(0), NodeId(2))]);
+/// assert!(matches!(outcomes[0], QueryOutcome::Answered(_)));
+/// ```
+pub mod prelude {
+    pub use flow_core::{FlowError, FlowResult};
+    pub use flow_graph::{DiGraph, EdgeId, GraphBuilder, NodeId};
+    pub use flow_icm::{FlowCondition, Icm};
+    pub use flow_mcmc::McmcConfig;
+    pub use flow_obs::Recorder;
+    pub use flow_serve::{
+        Answer, EngineBuilder, FlowQuery, QueryOutcome, ServeConfig, ServeEngine,
+    };
+    pub use flow_stream::{IngestConfig, Ingestor, ModelRegistry};
+}

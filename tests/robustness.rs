@@ -247,6 +247,14 @@ fn serve_config(seed: u64) -> ServeConfig {
     }
 }
 
+/// Builder-based construction; these configs are always valid.
+fn build_engine(config: ServeConfig) -> ServeEngine {
+    ServeEngine::builder()
+        .config(config)
+        .build()
+        .expect("valid engine config")
+}
+
 #[test]
 fn stalled_serving_worker_is_retried_and_recovers() {
     let _guard = armed();
@@ -260,7 +268,7 @@ fn stalled_serving_worker_is_retried_and_recovers() {
             value: 0.0,
         },
     );
-    let mut engine = ServeEngine::new(serve_config(11));
+    let mut engine = build_engine(serve_config(11));
     let outcomes = engine.execute_batch(&icm, &[FlowQuery::flow(NodeId(0), NodeId(3))]);
     assert!(matches!(outcomes[0], QueryOutcome::Answered(_)));
     assert_eq!(engine.stats().retries, 2);
@@ -272,7 +280,7 @@ fn exhausted_retries_surface_a_typed_stall_not_a_panic() {
     let _guard = armed();
     let icm = diamond_icm();
     fault::arm("serve.worker_stall", FaultSpec::always(0.0));
-    let mut engine = ServeEngine::new(serve_config(12));
+    let mut engine = build_engine(serve_config(12));
     let outcomes = engine.execute_batch(&icm, &[FlowQuery::flow(NodeId(0), NodeId(3))]);
     assert!(matches!(
         outcomes[0],
@@ -288,7 +296,7 @@ fn saturated_admission_sheds_with_a_retry_hint() {
     let _guard = armed();
     let icm = diamond_icm();
     fault::arm("serve.queue_saturate", FaultSpec::always(0.0));
-    let mut engine = ServeEngine::new(serve_config(13));
+    let mut engine = build_engine(serve_config(13));
     let queries = vec![
         FlowQuery::flow(NodeId(0), NodeId(3)),
         FlowQuery::flow(NodeId(1), NodeId(3)),
@@ -314,7 +322,7 @@ fn corrupted_cache_read_quarantines_and_serving_continues() {
     std::fs::remove_dir_all(&dir).ok();
 
     // Populate and persist a healthy cache.
-    let mut engine = ServeEngine::new(serve_config(14));
+    let mut engine = build_engine(serve_config(14));
     let queries = vec![
         FlowQuery::flow(NodeId(0), NodeId(3)),
         FlowQuery::flow(NodeId(1), NodeId(3)),
@@ -334,7 +342,11 @@ fn corrupted_cache_read_quarantines_and_serving_continues() {
     assert!(dir.join("quarantine").join("block-0000.txt").exists());
 
     fault::clear_all();
-    let mut warm = ServeEngine::with_cache(serve_config(14), loaded);
+    let mut warm = ServeEngine::builder()
+        .config(serve_config(14))
+        .cache(loaded)
+        .build()
+        .expect("valid engine config");
     let outcomes = warm.execute_batch(&icm, &queries);
     assert!(outcomes
         .iter()
@@ -349,7 +361,7 @@ fn torn_cache_write_loses_the_tail_but_never_the_loader() {
     let dir = std::env::temp_dir().join(format!("flow-robust-write-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
 
-    let mut engine = ServeEngine::new(serve_config(15));
+    let mut engine = build_engine(serve_config(15));
     let queries = vec![
         FlowQuery::flow(NodeId(0), NodeId(3)),
         FlowQuery::flow(NodeId(1), NodeId(3)),
@@ -381,7 +393,7 @@ fn disarmed_serving_is_byte_identical_with_resilience_on_or_off() {
         FlowQuery::flow(NodeId(1), NodeId(3)),
     ];
     let answers = |config: ServeConfig| -> Vec<(u64, f64, f64)> {
-        let mut engine = ServeEngine::new(config);
+        let mut engine = build_engine(config);
         engine
             .execute_batch(&icm, &queries)
             .into_iter()

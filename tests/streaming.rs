@@ -27,6 +27,14 @@ fn serve_config(seed: u64) -> ServeConfig {
     }
 }
 
+/// Builder-based construction; these configs are always valid.
+fn build_engine(config: ServeConfig) -> ServeEngine {
+    ServeEngine::builder()
+        .config(config)
+        .build()
+        .expect("valid engine config")
+}
+
 fn queries() -> Vec<FlowQuery> {
     vec![
         FlowQuery::flow(NodeId(0), NodeId(4)),
@@ -91,7 +99,7 @@ fn hot_swap_invalidates_stale_entries_and_matches_a_cold_engine() {
     );
     registry.seal_epoch(&seal(&epoch_one_lines())).unwrap();
 
-    let mut engine = ServeEngine::new(serve_config(11));
+    let mut engine = build_engine(serve_config(11));
     let swap = registry.swap_into(&mut engine);
     assert_eq!(swap.invalidated, 0, "nothing cached yet");
 
@@ -120,7 +128,7 @@ fn hot_swap_invalidates_stale_entries_and_matches_a_cold_engine() {
     // engine's — the warm engine carries nothing stale forward.
     let icm_v2 = registry.model().serving_icm();
     let swapped = engine.execute_batch(&icm_v2, &queries());
-    let mut cold = ServeEngine::new(serve_config(11));
+    let mut cold = build_engine(serve_config(11));
     let cold_answers = cold.execute_batch(&icm_v2, &queries());
     for (s, c) in swapped.iter().zip(&cold_answers) {
         let (s, c) = (answer(s), answer(c));
@@ -153,7 +161,7 @@ fn batches_on_an_older_model_still_complete_after_a_swap() {
     registry.seal_epoch(&seal(&epoch_one_lines())).unwrap();
     let icm_v1 = registry.model().serving_icm();
 
-    let mut engine = ServeEngine::new(serve_config(29));
+    let mut engine = build_engine(serve_config(29));
     registry.swap_into(&mut engine);
     let before = engine.execute_batch(&icm_v1, &queries());
 
